@@ -1,0 +1,169 @@
+//! The shared collection model and filters the baseline systems operate on.
+
+use bh_common::{BhError, Bitset, Result};
+use std::collections::BTreeMap;
+
+/// A conjunction of numeric range conditions over named attributes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimFilter {
+    /// `(attribute, lo, hi)` inclusive ranges, ANDed.
+    pub ranges: Vec<(String, f64, f64)>,
+}
+
+impl SimFilter {
+    /// A single-range filter.
+    pub fn range(attr: &str, lo: f64, hi: f64) -> SimFilter {
+        SimFilter { ranges: vec![(attr.into(), lo, hi)] }
+    }
+
+    /// Add another conjunctive range.
+    pub fn and(mut self, attr: &str, lo: f64, hi: f64) -> SimFilter {
+        self.ranges.push((attr.into(), lo, hi));
+        self
+    }
+
+    /// Does row `row` of the given attribute columns pass every range?
+    pub fn matches(&self, attrs: &BTreeMap<String, Vec<f64>>, row: usize) -> bool {
+        self.ranges.iter().all(|(a, lo, hi)| {
+            attrs
+                .get(a)
+                .map(|col| {
+                    let v = col[row];
+                    v >= *lo && v <= *hi
+                })
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Columnar storage for one baseline collection (or one segment of it).
+#[derive(Debug, Default, Clone)]
+pub struct SimCollection {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Row ids in insertion order.
+    pub ids: Vec<u64>,
+    /// Row-major embeddings.
+    pub vectors: Vec<f32>,
+    /// Named numeric attribute columns.
+    pub attrs: BTreeMap<String, Vec<f64>>,
+}
+
+impl SimCollection {
+    /// An empty collection of the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, ..Default::default() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Embedding of one row.
+    pub fn vector(&self, row: usize) -> &[f32] {
+        &self.vectors[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Append a batch; attribute sets must be consistent across batches.
+    pub fn append(&mut self, vectors: &[f32], ids: &[u64], attrs: &[(&str, &[f64])]) -> Result<()> {
+        if self.dim == 0 {
+            return Err(BhError::InvalidArgument("collection dim is zero".into()));
+        }
+        if vectors.len() != ids.len() * self.dim {
+            return Err(BhError::DimensionMismatch {
+                expected: ids.len() * self.dim,
+                got: vectors.len(),
+            });
+        }
+        for (name, col) in attrs {
+            if col.len() != ids.len() {
+                return Err(BhError::InvalidArgument(format!(
+                    "attribute {name} has {} values for {} rows",
+                    col.len(),
+                    ids.len()
+                )));
+            }
+        }
+        let existing_attrs: Vec<&String> = self.attrs.keys().collect();
+        if !self.is_empty() {
+            let incoming: Vec<&str> = attrs.iter().map(|(n, _)| *n).collect();
+            for name in &existing_attrs {
+                if !incoming.contains(&name.as_str()) {
+                    return Err(BhError::InvalidArgument(format!(
+                        "batch missing attribute {name}"
+                    )));
+                }
+            }
+        }
+        self.ids.extend_from_slice(ids);
+        self.vectors.extend_from_slice(vectors);
+        for (name, col) in attrs {
+            self.attrs.entry(name.to_string()).or_default().extend_from_slice(col);
+        }
+        Ok(())
+    }
+
+    /// Bitset (over *row offsets*) of rows passing the filter.
+    pub fn filter_bitset(&self, filter: &SimFilter) -> Bitset {
+        let mut b = Bitset::new(self.len());
+        for row in 0..self.len() {
+            if filter.matches(&self.attrs, row) {
+                b.set(row);
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimCollection {
+        let mut c = SimCollection::new(2);
+        let vecs: Vec<f32> = (0..10).flat_map(|i| [i as f32, i as f32]).collect();
+        let ids: Vec<u64> = (0..10).collect();
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        c.append(&vecs, &ids, &[("x", &xs)]).unwrap();
+        c
+    }
+
+    #[test]
+    fn append_and_access() {
+        let c = sample();
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.vector(3), &[3.0, 3.0]);
+        assert_eq!(c.attrs["x"][7], 7.0);
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let c = sample();
+        let f = SimFilter::range("x", 2.0, 5.0);
+        let b = c.filter_bitset(&f);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        // Conjunction narrows.
+        let f2 = SimFilter::range("x", 2.0, 5.0).and("x", 4.0, 9.0);
+        assert_eq!(c.filter_bitset(&f2).iter().collect::<Vec<_>>(), vec![4, 5]);
+        // Unknown attribute matches nothing.
+        let f3 = SimFilter::range("nope", 0.0, 100.0);
+        assert!(c.filter_bitset(&f3).is_all_clear());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mut c = SimCollection::new(2);
+        assert!(c.append(&[1.0; 3], &[1], &[]).is_err());
+        let xs = [1.0f64];
+        assert!(c.append(&[1.0, 2.0], &[1, 2], &[("x", &xs[..])]).is_err());
+        c.append(&[1.0, 2.0], &[1], &[("x", &xs[..])]).unwrap();
+        // Later batch must carry the same attributes.
+        assert!(c.append(&[3.0, 4.0], &[2], &[]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # bh-baselines — simulated comparator systems
+//!
+//! The paper's evaluation compares BlendHouse against Milvus 2.4.5
+//! (specialized, cloud-native) and pgvector 0.7.4 (generalized,
+//! single-node). We cannot run those systems here, so this crate implements
+//! **behavioural stand-ins** that share our index library (removing
+//! index-implementation quality from the comparison) but reproduce exactly
+//! the *strategy restrictions* the paper attributes the performance gaps to:
+//!
+//! | Behaviour | [`MilvusSim`] | [`PgvectorSim`] |
+//! |---|---|---|
+//! | Ingest | segments sealed during write, **indexes built serially after** (staged; Table IV) | single monolithic index built after load — the big graph makes each insertion walk a deeper structure |
+//! | Filtered search | pre-filter bitmap, plus Milvus' rule-based brute-force fallback when few rows pass | **post-filter only**: one fixed-ef search, filter afterwards, no iteration — recall collapses when the filter rejects most candidates (Fig. 9's `<10%` recall) |
+//! | Cost-based optimization | none (one rule) | none |
+//! | Serving on cache miss | none — a segment must be loaded before answering | n/a (single node) |
+//!
+//! Both systems operate on the same simple collection model (ids + numeric
+//! attributes + vectors) the VectorBench-style workloads use.
+
+pub mod collection;
+pub mod milvus;
+pub mod pgvector;
+
+pub use collection::{SimCollection, SimFilter};
+pub use milvus::MilvusSim;
+pub use pgvector::PgvectorSim;
+
+use bh_common::Result;
+use bh_vector::{Neighbor, SearchParams};
+
+/// Common interface the benchmark harness drives.
+pub trait BaselineSystem: Send + Sync {
+    /// System label used in printed tables.
+    fn name(&self) -> &'static str;
+
+    /// Append a batch (row-major vectors + per-attribute columns).
+    fn ingest(&mut self, vectors: &[f32], ids: &[u64], attrs: &[(&str, &[f64])]) -> Result<()>;
+
+    /// Finish ingest: build/seal whatever indexes are still pending. Load
+    /// time in Table IV is ingest + finalize.
+    fn finalize(&mut self) -> Result<()>;
+
+    /// Top-k search with an optional conjunctive attribute filter.
+    fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&SimFilter>,
+    ) -> Result<Vec<Neighbor>>;
+
+    /// Number of ingested rows.
+    fn len(&self) -> usize;
+
+    /// True when nothing has been ingested.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

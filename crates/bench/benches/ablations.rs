@@ -1,0 +1,189 @@
+//! Ablations of the design choices DESIGN.md calls out — each isolates one
+//! mechanism and compares it against the alternative the paper (or this
+//! reproduction) rejected.
+//!
+//! 1. Native iterative search vs the generic doubling-k restart wrapper
+//!    (§III-B post-filter): redundant visits and wall time.
+//! 2. Multi-probe consistent hashing vs a single-probe ring (Fig. 3):
+//!    load balance at equal ring size.
+//! 3. Pipelined vs staged ingest (§V-B1): the overlap that produces
+//!    Table IV's gap, isolated inside one system.
+//! 4. Row-offset labels vs primary-key labels in per-segment indexes
+//!    (§III-B): cost of mapping search hits back to scalar rows.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{print_table, Timer};
+use bh_bench::setup::{build_database, TableOptions};
+use bh_cluster::hashring::MultiProbeRing;
+use bh_common::WorkerId;
+use bh_storage::table::IngestMode;
+use bh_vector::{IndexKind, IndexRegistry, IndexSpec, Metric, SearchParams};
+use blendhouse::DatabaseConfig;
+use std::collections::HashMap;
+
+fn ablation_iterator() -> Vec<Vec<String>> {
+    let data = DatasetSpec::laion_sim().generate();
+    let reg = IndexRegistry::with_builtins();
+    let n = 8_000.min(data.n());
+    let ids: Vec<u64> = (0..n as u64).collect();
+    let slice = &data.vectors[..n * data.dim()];
+
+    // HNSW has the native resumable iterator; IVFFLAT falls back to the
+    // generic doubling-k wrapper.
+    let mut out = Vec::new();
+    for (label, kind) in [("native (HNSW)", IndexKind::Hnsw), ("generic (IVFFLAT)", IndexKind::IvfFlat)] {
+        let spec = IndexSpec::new(kind, data.dim(), Metric::L2).with_param("nlist", 64);
+        let mut b = reg.create_builder(&spec).unwrap();
+        if b.requires_training() {
+            b.train(slice).unwrap();
+        }
+        b.add_with_ids(slice, &ids).unwrap();
+        let idx = b.finish().unwrap();
+        let params = SearchParams::default().with_ef(64).with_nprobe(16);
+        let q = data.queries(1, 1).remove(0);
+        let t = Timer::start();
+        let mut it = idx.search_iterator(&q, &params).unwrap();
+        let mut pulled = 0;
+        // Post-filter style: pull 10 rows at a time until 200 collected.
+        while pulled < 200 {
+            let batch = it.next_batch(10).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            pulled += batch.len();
+        }
+        out.push(vec![
+            label.to_string(),
+            format!("{pulled}"),
+            format!("{}", it.visited()),
+            format!("{:.2}x", it.visited() as f64 / pulled.max(1) as f64),
+            format!("{:.2}ms", t.secs() * 1e3),
+        ]);
+    }
+    out
+}
+
+fn ablation_hashing() -> Vec<Vec<String>> {
+    let keys: Vec<String> = (0..20_000).map(|i| format!("seg-{i:016x}")).collect();
+    let mut out = Vec::new();
+    for (label, probes) in [("single-probe ring", 1u32), ("multi-probe (21)", 21u32)] {
+        let mut ring = MultiProbeRing::new(probes);
+        for w in 0..16 {
+            ring.add_worker(WorkerId(w));
+        }
+        let mut counts = vec![0usize; 16];
+        for k in &keys {
+            counts[ring.assign(k).unwrap().raw() as usize] += 1;
+        }
+        let mean = keys.len() as f64 / 16.0;
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        out.push(vec![
+            label.to_string(),
+            format!("{:.2}", max / mean),
+            format!("{:.2}", min / mean),
+        ]);
+    }
+    out
+}
+
+fn ablation_ingest() -> Vec<Vec<String>> {
+    // The pipelining win is overlap between segment persistence (remote I/O,
+    // charged on the wall clock) and index construction (CPU); run with a
+    // disaggregated latency profile so the overlap is observable even on a
+    // single-core host.
+    let data = DatasetSpec::cohere_sim().generate();
+    let mut out = Vec::new();
+    for (label, mode) in [("pipelined", IngestMode::Pipelined), ("staged", IngestMode::Staged)] {
+        let mut cfg = DatabaseConfig {
+            real_time: true,
+            latencies: bh_common::DeploymentLatencies {
+                remote_store: bh_common::LatencyModel::new(
+                    std::time::Duration::from_millis(4),
+                    std::time::Duration::from_nanos(1),
+                ),
+                local_disk: bh_common::LatencyModel::ZERO,
+                rpc: bh_common::LatencyModel::ZERO,
+            },
+            ..Default::default()
+        };
+        cfg.table.ingest_mode = mode;
+        let t = Timer::start();
+        let db = build_database(&data, cfg, &TableOptions::default());
+        out.push(vec![label.to_string(), format!("{:.2}s", t.secs())]);
+        drop(db);
+    }
+    out
+}
+
+fn ablation_row_offsets() -> Vec<Vec<String>> {
+    // Per-segment indexes label rows with offsets; the rejected design labels
+    // with primary keys and pays a PK→row lookup per hit. Model the lookup
+    // with the hash map a real LSM PK index would consult.
+    let data = DatasetSpec::laion_sim().generate();
+    let n = 8_000.min(data.n());
+    let reg = IndexRegistry::with_builtins();
+    let spec = IndexSpec::new(IndexKind::Hnsw, data.dim(), Metric::L2);
+    let mut b = reg.create_builder(&spec).unwrap();
+    let ids: Vec<u64> = (0..n as u64).collect();
+    b.add_with_ids(&data.vectors[..n * data.dim()], &ids).unwrap();
+    let idx = b.finish().unwrap();
+    let params = SearchParams::default().with_ef(64);
+    let queries = data.queries(64, 2);
+    // PK table: sparse primary keys → row offsets (8 probes per lookup to
+    // model an LSM sparse-index + block walk).
+    let pk_map: HashMap<u64, u32> = (0..n as u64).map(|i| (i * 97 + 13, i as u32)).collect();
+
+    let t = Timer::start();
+    for q in &queries {
+        let hits = idx.search_with_filter(q, 100, &params, None).unwrap();
+        std::hint::black_box(hits);
+    }
+    let offsets_time = t.secs();
+
+    let t = Timer::start();
+    let mut acc = 0u64;
+    for q in &queries {
+        let hits = idx.search_with_filter(q, 100, &params, None).unwrap();
+        for h in &hits {
+            // PK design: translate every hit through the PK index.
+            for probe in 0..8 {
+                let pk = h.id * 97 + 13 + probe % 1;
+                acc += *pk_map.get(&pk).unwrap_or(&0) as u64;
+            }
+        }
+        std::hint::black_box(hits);
+    }
+    std::hint::black_box(acc);
+    let pk_time = t.secs();
+    vec![
+        vec!["row offsets (ours)".into(), format!("{:.2}ms", offsets_time * 1e3)],
+        vec![
+            "primary keys (rejected)".into(),
+            format!("{:.2}ms (+{:.0}%)", pk_time * 1e3, (pk_time / offsets_time - 1.0) * 100.0),
+        ],
+    ]
+}
+
+fn main() {
+    print_table(
+        "Ablation 1: native vs generic search iterator (pull 200 rows, batch 10)",
+        &["iterator", "rows returned", "rows visited", "redundancy", "time"],
+        &ablation_iterator(),
+    );
+    print_table(
+        "Ablation 2: ring balance, 16 workers × 20k segments (peak/mean, min/mean)",
+        &["ring", "peak/mean", "min/mean"],
+        &ablation_hashing(),
+    );
+    print_table(
+        "Ablation 3: pipelined vs staged ingest (cohere-sim, HNSW)",
+        &["mode", "load time"],
+        &ablation_ingest(),
+    );
+    print_table(
+        "Ablation 4: index hit → scalar row mapping",
+        &["label scheme", "64 queries × top-100"],
+        &ablation_row_offsets(),
+    );
+}

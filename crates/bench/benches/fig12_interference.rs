@@ -1,0 +1,126 @@
+//! **Fig. 12** — read/write interference: read QPS under growing write
+//! concurrency, mixed VW vs isolated VWs (§V-B3).
+//!
+//! Compute capacity is modelled explicitly with a slot pool (a VW's cores):
+//! in the *mixed* configuration readers and writers contend for one pool; in
+//! the *isolated* configuration writers drain a separate pool, so read QPS
+//! is flat regardless of write concurrency — the paper's separation claim.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{print_table, CpuPool};
+use bh_bench::setup::{build_database, TableOptions};
+use bh_bench::workloads::vector_search;
+use bh_storage::value::Value;
+use blendhouse::DatabaseConfig;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SLOTS: usize = 4;
+const READERS: usize = 2;
+const RUN: Duration = Duration::from_millis(1500);
+
+fn run_config(write_threads: usize, isolated: bool) -> f64 {
+    let data = DatasetSpec::cohere_sim().generate();
+    let db = Arc::new(build_database(&data, DatabaseConfig::default(), &TableOptions::default()));
+    // Writers target their own table so data growth doesn't confound the
+    // resource-contention measurement.
+    db.execute(
+        &format!(
+            "CREATE TABLE sink (id UInt64, emb Array(Float32), \
+             INDEX ann emb TYPE HNSW('DIM={}'))",
+            data.dim()
+        ),
+    )
+    .unwrap();
+
+    let read_pool = Arc::new(CpuPool::new(SLOTS));
+    let write_pool = if isolated { Arc::new(CpuPool::new(SLOTS)) } else { read_pool.clone() };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicUsize::new(0));
+    let queries: Vec<String> = vector_search(&data, 16, 10, 1)
+        .iter()
+        .map(|q| q.to_sql("bench", "emb"))
+        .collect();
+
+    let mut handles = Vec::new();
+    for w in 0..write_threads {
+        let db = db.clone();
+        let pool = write_pool.clone();
+        let stop = stop.clone();
+        let dim = data.dim();
+        handles.push(std::thread::spawn(move || {
+            let sink = db.table("sink").unwrap();
+            let mut batch_id = w as u64 * 1_000_000;
+            while !stop.load(Ordering::Relaxed) {
+                let _slot = pool.acquire();
+                // One ingest batch = segment write + HNSW build (CPU-heavy).
+                let rows: Vec<Vec<Value>> = (0..400)
+                    .map(|i| {
+                        vec![
+                            Value::UInt64(batch_id + i),
+                            Value::Vector(vec![(i % 7) as f32; dim]),
+                        ]
+                    })
+                    .collect();
+                batch_id += 400;
+                let _ = sink.insert_rows(rows);
+            }
+        }));
+    }
+    for r in 0..READERS {
+        let db = db.clone();
+        let pool = read_pool.clone();
+        let stop = stop.clone();
+        let reads = reads.clone();
+        let queries = queries.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut qi = r;
+            while !stop.load(Ordering::Relaxed) {
+                let _slot = pool.acquire();
+                let _ = db.execute(&queries[qi % queries.len()]);
+                reads.fetch_add(1, Ordering::Relaxed);
+                qi += 1;
+            }
+        }));
+    }
+    let start = Instant::now();
+    std::thread::sleep(RUN);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    reads.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut mixed_at_zero = 0.0;
+    let mut mixed_at_max = 0.0;
+    for &writers in &[0usize, 2, 4, 8] {
+        let mixed = run_config(writers, false);
+        let isolated = run_config(writers, true);
+        println!("[fig12] writers={writers}: mixed {mixed:.0} qps | isolated {isolated:.0} qps");
+        if writers == 0 {
+            mixed_at_zero = mixed;
+        }
+        if writers == 8 {
+            mixed_at_max = mixed;
+        }
+        rows.push(vec![
+            format!("{writers}"),
+            format!("{mixed:.0}"),
+            format!("{isolated:.0}"),
+        ]);
+    }
+    assert!(
+        mixed_at_max < mixed_at_zero * 0.8,
+        "write concurrency should depress mixed read QPS ({mixed_at_zero:.0} -> {mixed_at_max:.0})"
+    );
+    print_table(
+        "Fig 12: read QPS vs write concurrency (mixed VW vs isolated VWs)",
+        &["write threads", "mixed QPS", "isolated QPS"],
+        &rows,
+    );
+}

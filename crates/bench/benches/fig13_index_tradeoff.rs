@@ -1,0 +1,73 @@
+//! **Fig. 13** — recall-vs-QPS trade-off of the three recommended index
+//! types (BH-HNSW, BH-HNSWSQ, BH-IVFPQFS), sweeping ef_search / nprobe.
+//!
+//! Paper shape: HNSW reaches the highest recall ceiling, HNSWSQ tracks it at
+//! lower memory with a small recall tax, IVFPQFS trades recall for the
+//! fastest/cheapest operation.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{measure_qps, print_table};
+use bh_bench::setup::{recall_of, result_ids, build_database, TableOptions};
+use bh_bench::workloads::{ground_truth, vector_search};
+use bh_vector::SearchParams;
+use blendhouse::DatabaseConfig;
+use std::time::Duration;
+
+const K: usize = 10;
+
+fn main() {
+    let data = DatasetSpec::cohere_sim().generate();
+    let queries = vector_search(&data, 24, K, 5);
+    let truths: Vec<_> = queries.iter().map(|q| ground_truth(&data, q, None)).collect();
+
+    let mut rows = Vec::new();
+    let mut best_recall = std::collections::BTreeMap::new();
+    for (label, clause) in [
+        ("BH-HNSW", format!("HNSW('DIM={}', 'M=16', 'EF_CONSTRUCTION=96')", data.dim())),
+        ("BH-HNSWSQ", format!("HNSWSQ('DIM={}', 'M=16', 'EF_CONSTRUCTION=96')", data.dim())),
+        ("BH-IVFPQFS", format!("IVFPQFS('DIM={}')", data.dim())),
+    ] {
+        let db = build_database(
+            &data,
+            DatabaseConfig::default(),
+            &TableOptions { index_clause: Some(clause), ..Default::default() },
+        );
+        for knob in [8usize, 16, 32, 64, 128] {
+            let params = SearchParams { ef_search: knob, nprobe: knob / 2 + 1 };
+            let opts = blendhouse::QueryOptions { search: params, ..db.default_options() };
+            let sqls: Vec<String> = queries.iter().map(|q| q.to_sql("bench", "emb")).collect();
+            let mut qi = 0;
+            let qps = measure_qps(24, Duration::from_millis(300), || {
+                std::hint::black_box(db.execute_with(&sqls[qi % sqls.len()], &opts).unwrap());
+                qi += 1;
+            });
+            let recall: f64 = queries
+                .iter()
+                .zip(&truths)
+                .map(|(q, t)| {
+                    let rs = db.execute_with(&q.to_sql("bench", "emb"), &opts).unwrap().rows();
+                    recall_of(&result_ids(&rs), t)
+                })
+                .sum::<f64>()
+                / queries.len() as f64;
+            println!("[fig13] {label} knob={knob}: recall {recall:.3} qps {qps:.0}");
+            let entry = best_recall.entry(label.to_string()).or_insert(0.0f64);
+            *entry = entry.max(recall);
+            rows.push(vec![
+                label.to_string(),
+                format!("{knob}"),
+                format!("{recall:.3}"),
+                format!("{qps:.0}"),
+            ]);
+        }
+    }
+    assert!(
+        best_recall["BH-HNSW"] >= best_recall["BH-IVFPQFS"],
+        "HNSW's recall ceiling must be at or above IVFPQFS'"
+    );
+    print_table(
+        "Fig 13: recall vs QPS of different index types",
+        &["index", "ef/nprobe knob", "recall@10", "QPS"],
+        &rows,
+    );
+}

@@ -1,0 +1,75 @@
+//! **Fig. 14** — the impact of updates and compaction on vector search
+//! performance (§V-B5).
+//!
+//! Updates create new row versions plus delete-bitmap entries; queries pay
+//! the combine cost, so QPS decays as updated rows accumulate. Compaction
+//! drops the dead versions and rebuilds indexes, restoring QPS.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{measure_qps, print_table};
+use bh_bench::setup::{build_database, TableOptions};
+use bh_bench::workloads::vector_search;
+use blendhouse::DatabaseConfig;
+use std::time::Duration;
+
+fn main() {
+    let data = DatasetSpec::cohere_sim().generate();
+    let db = build_database(&data, DatabaseConfig::default(), &TableOptions::default());
+    let queries: Vec<String> = vector_search(&data, 16, 10, 3)
+        .iter()
+        .map(|q| q.to_sql("bench", "emb"))
+        .collect();
+    let qps = |db: &blendhouse::Database| {
+        let mut qi = 0;
+        measure_qps(24, Duration::from_millis(500), || {
+            std::hint::black_box(db.execute(&queries[qi % queries.len()]).unwrap());
+            qi += 1;
+        })
+    };
+
+    let baseline = qps(&db);
+    let mut rows = vec![vec!["0".into(), format!("{baseline:.0}"), "off".into()]];
+    println!("[fig14] 0 updates: {baseline:.0} qps");
+
+    let steps = [2, 5, 10]; // percent of rows updated per step (cumulative)
+    let mut updated_total = 0usize;
+    let mut degraded = baseline;
+    for pct in steps {
+        let lo = updated_total;
+        let hi = updated_total + data.n() * pct / 100;
+        db.execute(&format!(
+            "UPDATE bench SET similarity = 0.5 WHERE id >= {lo} AND id < {hi}"
+        ))
+        .unwrap();
+        updated_total = hi;
+        degraded = qps(&db);
+        println!("[fig14] {updated_total} rows updated (compaction off): {degraded:.0} qps");
+        rows.push(vec![
+            format!("{updated_total}"),
+            format!("{degraded:.0}"),
+            "off".into(),
+        ]);
+    }
+    assert!(
+        degraded < baseline,
+        "updates should depress QPS ({baseline:.0} -> {degraded:.0})"
+    );
+
+    // Enable compaction: dead versions dropped, indexes rebuilt.
+    let report = db.compact("bench").unwrap();
+    let restored = qps(&db);
+    println!(
+        "[fig14] after compaction (dropped {} rows): {restored:.0} qps",
+        report.rows_dropped
+    );
+    rows.push(vec![format!("{updated_total}"), format!("{restored:.0}"), "on".into()]);
+    assert!(
+        restored > degraded,
+        "compaction should restore QPS ({degraded:.0} -> {restored:.0})"
+    );
+    print_table(
+        "Fig 14: impact of updates and compaction on QPS",
+        &["rows updated", "QPS", "compaction"],
+        &rows,
+    );
+}

@@ -1,0 +1,98 @@
+//! **Fig. 16** — data partition strategies on the LAION-style workload
+//! (§V-B7): random vs scalar (similarity-score partitions) vs semantic
+//! (k-means CLUSTER BY) vs the combination.
+//!
+//! Paper shape: scalar and semantic each beat random partitioning; their
+//! combination is best, because the scheduler can prune on both axes.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{measure_qps, print_table};
+use bh_bench::setup::{build_database, TableOptions};
+use bh_bench::workloads::laion_search;
+use bh_cluster::scheduler::PruneConfig;
+use blendhouse::{DatabaseConfig, QueryOptions};
+use std::time::Duration;
+
+fn main() {
+    let data = DatasetSpec::laion_sim().generate().with_captions();
+    let queries = laion_search(&data, 24, 10, 6);
+
+    let configs: Vec<(&str, TableOptions, PruneConfig)> = vec![
+        (
+            "random",
+            TableOptions::default(),
+            PruneConfig::none(),
+        ),
+        (
+            "scalar",
+            TableOptions {
+                with_pbucket: true,
+                partition_clause: "PARTITION BY pbucket".into(),
+                ..Default::default()
+            },
+            PruneConfig::scalar_only(),
+        ),
+        (
+            "semantic",
+            TableOptions {
+                cluster_clause: "CLUSTER BY emb INTO 16 BUCKETS".into(),
+                ..Default::default()
+            },
+            PruneConfig { scalar: false, semantic_fraction: 0.3, min_segments: 2 },
+        ),
+        (
+            "scalar+semantic",
+            TableOptions {
+                with_pbucket: true,
+                partition_clause: "PARTITION BY pbucket".into(),
+                cluster_clause: "CLUSTER BY emb INTO 16 BUCKETS".into(),
+                ..Default::default()
+            },
+            PruneConfig { scalar: true, semantic_fraction: 0.3, min_segments: 2 },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut results = std::collections::BTreeMap::new();
+    for (label, topts, prune) in configs {
+        // Equal segment sizes across configurations: partitioning decides
+        // *which* rows share a segment, not how large segments are.
+        let mut cfg = DatabaseConfig::default();
+        cfg.table.segment_max_rows = 128;
+        let db = build_database(&data, cfg, &topts);
+        let opts = QueryOptions { prune, ..db.default_options() };
+        let mut sqls: Vec<String> = Vec::new();
+        for q in &queries {
+            // The scalar-partition variants additionally filter the pbucket
+            // column, which is what lets partition pruning engage fully.
+            let mut sql = q.to_sql("bench", "emb");
+            if topts.with_pbucket {
+                let bucket = (q.similarity_floor.unwrap_or(0.0) * 10.0) as i64;
+                sql = sql.replace(
+                    "WHERE ",
+                    &format!("WHERE pbucket BETWEEN {bucket} AND 10 AND "),
+                );
+            }
+            sqls.push(sql);
+        }
+        let mut qi = 0;
+        let qps = measure_qps(24, Duration::from_millis(800), || {
+            std::hint::black_box(db.execute_with(&sqls[qi % sqls.len()], &opts).unwrap());
+            qi += 1;
+        });
+        println!("[fig16] {label}: {qps:.0} qps");
+        results.insert(label.to_string(), qps);
+        rows.push(vec![label.to_string(), format!("{qps:.0}")]);
+    }
+    assert!(
+        results["scalar+semantic"] > results["random"],
+        "combined partitioning must beat random ({:.0} vs {:.0})",
+        results["scalar+semantic"],
+        results["random"]
+    );
+    print_table(
+        "Fig 16: QPS of different partition strategies (LAION-style workload)",
+        &["strategy", "QPS"],
+        &rows,
+    );
+}

@@ -1,0 +1,85 @@
+//! **Fig. 17** — performance breakdown of the workload-aware optimizations
+//! (§IV-C, §V-B8): baseline → +READ_Opt (fine-grained block reads + split
+//! adaptive column caches) → +READ_Opt+Query_Opt (plan cache +
+//! short-circuit processing).
+//!
+//! Paper shape: READ_Opt gives a large step (theirs +124%), Query_Opt a
+//! further step (+206% total) on a repetitive hybrid workload.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{measure_qps, print_table};
+use bh_bench::setup::{build_database, TableOptions};
+use bh_bench::workloads::filtered_search;
+use bh_cluster::worker::WorkerConfig;
+use bh_common::{DeploymentLatencies, LatencyModel};
+use blendhouse::{DatabaseConfig, QueryOptions};
+use std::time::Duration;
+
+fn main() {
+    let data = DatasetSpec::cohere_sim().generate();
+    // A disaggregated latency profile so remote block reads have real cost.
+    let latencies = DeploymentLatencies {
+        remote_store: LatencyModel::new(Duration::from_micros(150), Duration::from_nanos(0)),
+        local_disk: LatencyModel::ZERO,
+        rpc: LatencyModel::ZERO,
+    };
+
+    let run = |worker: WorkerConfig, opts_patch: &dyn Fn(QueryOptions) -> QueryOptions| {
+        let mut cfg = DatabaseConfig { real_time: true, latencies, ..Default::default() };
+        cfg.vw.worker = worker;
+        let db = build_database(&data, cfg, &TableOptions::default());
+        db.preload("bench", "default").unwrap();
+        let sqls: Vec<String> = filtered_search(&data, 24, 10, 0.4, 8)
+            .iter()
+            .map(|q| q.to_sql("bench", "emb"))
+            .collect();
+        let opts = opts_patch(db.default_options());
+        let mut qi = 0;
+        measure_qps(24, Duration::from_millis(1200), || {
+            std::hint::black_box(db.execute_with(&sqls[qi % sqls.len()], &opts).unwrap());
+            qi += 1;
+        })
+    };
+
+    let baseline_worker = WorkerConfig {
+        fine_grained_reads: false,
+        block_meta_bytes: 0,
+        block_data_bytes: 0,
+        ..Default::default()
+    };
+    let optimized_worker = WorkerConfig::default();
+
+    let no_query_opt = |o: QueryOptions| QueryOptions {
+        enable_plan_cache: false,
+        enable_short_circuit: false,
+        ..o
+    };
+    let full_query_opt = |o: QueryOptions| o;
+
+    let baseline = run(baseline_worker.clone(), &no_query_opt);
+    let read_opt = run(optimized_worker.clone(), &no_query_opt);
+    let full = run(optimized_worker, &full_query_opt);
+
+    let pct = |x: f64| (x / baseline - 1.0) * 100.0;
+    println!(
+        "[fig17] baseline {baseline:.0} | +READ_Opt {read_opt:.0} ({:+.1}%) | \
+         +READ_Opt+Query_Opt {full:.0} ({:+.1}%)",
+        pct(read_opt),
+        pct(full)
+    );
+    assert!(read_opt > baseline, "READ_Opt must improve over baseline");
+    assert!(full >= read_opt, "Query_Opt must not regress");
+    print_table(
+        "Fig 17: workload-aware optimization breakdown",
+        &["configuration", "QPS", "vs baseline"],
+        &[
+            vec!["baseline".into(), format!("{baseline:.0}"), "+0.0%".into()],
+            vec!["+READ_Opt".into(), format!("{read_opt:.0}"), format!("{:+.1}%", pct(read_opt))],
+            vec![
+                "+READ_Opt+Query_Opt".into(),
+                format!("{full:.0}"),
+                format!("{:+.1}%", pct(full)),
+            ],
+        ],
+    );
+}

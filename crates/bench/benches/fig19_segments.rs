@@ -1,0 +1,106 @@
+//! **Fig. 19** — impact of the number of segments on hybrid-query QPS under
+//! a high-write-frequency workload, and compaction's role in bounding it
+//! (§V-C3).
+//!
+//! Paper shape: per-worker QPS decreases as segments accumulate; background
+//! compaction keeps the segment count converged inside a band.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{measure_qps, print_table};
+use bh_bench::setup::{build_database, TableOptions};
+use bh_bench::workloads::vector_search;
+use bh_storage::value::Value;
+use blendhouse::DatabaseConfig;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn main() {
+    let data = DatasetSpec::laion_sim().generate();
+    let mut cfg = DatabaseConfig::default();
+    cfg.table.segment_max_rows = 256; // small segments → high write frequency
+    let db = build_database(&data, cfg, &TableOptions::default());
+    let table = db.table("bench").unwrap();
+    let sqls: Vec<String> = vector_search(&data, 16, 10, 12)
+        .iter()
+        .map(|q| q.to_sql("bench", "emb"))
+        .collect();
+
+    // Samples of (segment count, QPS) as writes stream in; compaction runs
+    // periodically like the background task would.
+    let mut samples: Vec<(usize, f64)> = Vec::new();
+    let mut max_segments_seen = 0usize;
+    let mut next_id = data.n() as u64;
+    for step in 0..24 {
+        // One write burst.
+        let rows: Vec<Vec<Value>> = (0..512)
+            .map(|i| {
+                let row = (next_id as usize + i) % data.n();
+                vec![
+                    Value::UInt64(next_id + i as u64),
+                    Value::Int64(data.rand_int[row]),
+                    Value::Int64(0),
+                    Value::Str(String::new()),
+                    Value::Float64(data.similarity[row]),
+                    Value::Vector(data.vector(row).to_vec()),
+                ]
+            })
+            .collect();
+        next_id += 512;
+        table.insert_rows(rows).unwrap();
+
+        let segs = table.segment_count();
+        max_segments_seen = max_segments_seen.max(segs);
+        let mut qi = 0;
+        let qps = measure_qps(8, Duration::from_millis(150), || {
+            std::hint::black_box(db.execute(&sqls[qi % sqls.len()]).unwrap());
+            qi += 1;
+        });
+        samples.push((segs, qps));
+
+        // Periodic background compaction bounds the segment count.
+        if step % 6 == 5 {
+            let report = db.compact("bench").unwrap();
+            println!(
+                "[fig19] step {step}: compacted {} segments into {}",
+                report.merged_segments, report.new_segments
+            );
+        }
+    }
+
+    // Bin samples by segment count (paper's normalization into bins).
+    let bin_width = (max_segments_seen / 6).max(1);
+    let mut bins: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for (segs, qps) in &samples {
+        bins.entry(segs / bin_width).or_default().push(*qps);
+    }
+    let mut rows_out = Vec::new();
+    let mut bin_means: Vec<(usize, f64)> = Vec::new();
+    for (bin, qpss) in &bins {
+        let mean = qpss.iter().sum::<f64>() / qpss.len() as f64;
+        bin_means.push((*bin, mean));
+        rows_out.push(vec![
+            format!("{}–{}", bin * bin_width, (bin + 1) * bin_width - 1),
+            format!("{}", qpss.len()),
+            format!("{mean:.0}"),
+        ]);
+    }
+    // Shape check: the lowest-segment-count bin outperforms the highest.
+    if bin_means.len() >= 2 {
+        let first = bin_means.first().unwrap().1;
+        let last = bin_means.last().unwrap().1;
+        assert!(
+            first > last,
+            "QPS should fall as segments accumulate ({first:.0} vs {last:.0})"
+        );
+    }
+    println!(
+        "[fig19] compaction kept segment count ≤ {} across {} write bursts",
+        max_segments_seen,
+        samples.len()
+    );
+    print_table(
+        "Fig 19: QPS by segment-count bin (high write frequency, with compaction)",
+        &["segment-count bin", "samples", "mean QPS"],
+        &rows_out,
+    );
+}

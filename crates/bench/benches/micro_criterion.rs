@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks of the hot kernels that back the cost model's
+//! constants: exact distances (`c_d`), ADC lookups (`c_c`), bitmap tests
+//! (`c_p`), the top-k collector, the LRU cache, and consistent hashing.
+//!
+//! These are the numbers `CostParams::calibrate` fits; keeping them under
+//! Criterion regression tracking keeps the optimizer's ratios honest.
+
+use bh_cluster::hashring::MultiProbeRing;
+use bh_common::{Bitset, TopK, WorkerId};
+use bh_storage::lru::LruCache;
+use bh_vector::distance::{cosine_distance, dot, l2_sq};
+use bh_vector::quant::pq::{CodeBits, Pq, PqParams};
+use bh_vector::quant::sq::Sq8;
+use bh_vector::Metric;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn vec_of(dim: usize, seed: f32) -> Vec<f32> {
+    (0..dim).map(|i| (i as f32 * 0.37 + seed).sin()).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance");
+    for dim in [64usize, 128, 768] {
+        let a = vec_of(dim, 0.0);
+        let b = vec_of(dim, 1.0);
+        g.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(l2_sq(black_box(&a), black_box(&b))))
+        });
+        g.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(dot(black_box(&a), black_box(&b))))
+        });
+        g.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(cosine_distance(black_box(&a), black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let dim = 128;
+    let sample: Vec<f32> = (0..512 * dim).map(|i| (i as f32 * 0.01).sin()).collect();
+    let q = vec_of(dim, 0.5);
+
+    let sq = Sq8::train(&sample, dim).unwrap();
+    let code = sq.encode(&q).unwrap();
+    c.bench_function("sq8_asym_l2_128d", |b| {
+        b.iter(|| black_box(sq.asym_l2(black_box(&q), black_box(&code))))
+    });
+
+    let pq = Pq::train(&sample, dim, Metric::L2, &PqParams::new(32, CodeBits::B8)).unwrap();
+    let pcode = pq.encode(&q).unwrap();
+    let table = pq.adc_table(&q).unwrap();
+    c.bench_function("pq_adc_m32", |b| b.iter(|| black_box(table.distance(black_box(&pcode)))));
+
+    let pq4 = Pq::train(&sample, dim, Metric::L2, &PqParams::new(32, CodeBits::B4)).unwrap();
+    let pcode4 = pq4.encode(&q).unwrap();
+    let table4 = pq4.adc_table(&q).unwrap();
+    c.bench_function("pq_adc_m32_4bit", |b| {
+        b.iter(|| black_box(table4.distance(black_box(&pcode4))))
+    });
+}
+
+fn bench_bitset_and_topk(c: &mut Criterion) {
+    let bits = Bitset::from_positions(100_000, (0..100_000).step_by(3));
+    c.bench_function("bitset_contains", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            black_box(bits.contains(i))
+        })
+    });
+
+    c.bench_function("topk_push_1000_into_10", |b| {
+        b.iter(|| {
+            let mut tk = TopK::new(10);
+            for i in 0..1000u32 {
+                tk.push(((i * 2654435761) % 10007) as f32, i);
+            }
+            black_box(tk.into_sorted())
+        })
+    });
+}
+
+fn bench_lru_and_ring(c: &mut Criterion) {
+    let cache: LruCache<u32, u32> = LruCache::new(10_000);
+    for i in 0..1000u32 {
+        cache.put(i, i, 7);
+    }
+    c.bench_function("lru_get_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 13) % 1000;
+            black_box(cache.get(&i))
+        })
+    });
+
+    let mut ring = MultiProbeRing::new(21);
+    for w in 0..16 {
+        ring.add_worker(WorkerId(w));
+    }
+    let keys: Vec<String> = (0..256).map(|i| format!("seg-{i:016x}")).collect();
+    c.bench_function("ring_assign_21probe", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(ring.assign(&keys[i]))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_distances, bench_quantizers, bench_bitset_and_topk, bench_lru_and_ring
+}
+criterion_main!(benches);

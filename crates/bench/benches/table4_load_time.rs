@@ -1,0 +1,56 @@
+//! **Table IV** — end-to-end load time of BlendHouse vs Milvus vs pgvector.
+//!
+//! Paper shape: BlendHouse < Milvus < pgvector on both datasets, because
+//! BlendHouse pipelines per-segment index builds with segment writes, Milvus
+//! builds segment indexes serially after writing, and pgvector builds one
+//! monolithic index whose per-insert cost grows with graph size.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::{print_table, Timer};
+use bh_bench::setup::{build_database, load_baseline, TableOptions};
+use bh_baselines::{BaselineSystem, MilvusSim, PgvectorSim};
+use blendhouse::DatabaseConfig;
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in [DatasetSpec::cohere_sim(), DatasetSpec::openai_sim()] {
+        let data = spec.generate();
+
+        let t = Timer::start();
+        let db = build_database(&data, DatabaseConfig::default(), &TableOptions::default());
+        let bh = t.secs();
+        drop(db);
+
+        let t = Timer::start();
+        let mut milvus = MilvusSim::with_defaults(data.dim());
+        load_baseline(&mut milvus, &data);
+        milvus.finalize().unwrap();
+        let mv = t.secs();
+        drop(milvus);
+
+        let t = Timer::start();
+        let mut pg = PgvectorSim::with_defaults(data.dim());
+        load_baseline(&mut pg, &data);
+        pg.finalize().unwrap();
+        let pgv = t.secs();
+        drop(pg);
+
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{} rows × {}d", spec.n, spec.dim),
+            format!("{bh:.2}"),
+            format!("{mv:.2}"),
+            format!("{pgv:.2}"),
+        ]);
+        println!(
+            "[table4] {}: BlendHouse {bh:.2}s | Milvus {mv:.2}s | pgvector {pgv:.2}s",
+            spec.name
+        );
+        assert!(bh < pgv, "BlendHouse should load faster than pgvector-sim");
+    }
+    print_table(
+        "Table IV: Load time of different systems (seconds)",
+        &["dataset", "size", "BlendHouse", "MilvusSim", "PgvectorSim"],
+        &rows,
+    );
+}

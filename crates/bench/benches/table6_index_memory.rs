@@ -1,0 +1,54 @@
+//! **Table VI** — memory consumption of different index types over the
+//! production-style dataset.
+//!
+//! Paper shape (at 30M rows): HNSW 596 GB > HNSWSQ 238 GB > IVFPQFS 91 GB —
+//! roughly 6.5 : 2.6 : 1. The same ratio ladder must hold at our scale.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::harness::print_table;
+use bh_bench::setup::{build_database, TableOptions};
+use blendhouse::DatabaseConfig;
+
+fn main() {
+    let data = DatasetSpec::production_sim().generate();
+    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
+    for (label, clause) in [
+        ("BH-HNSW", format!("HNSW('DIM={}', 'M=16')", data.dim())),
+        ("BH-HNSWSQ", format!("HNSWSQ('DIM={}', 'M=16')", data.dim())),
+        ("BH-IVFPQFS", format!("IVFPQFS('DIM={}')", data.dim())),
+    ] {
+        let db = build_database(
+            &data,
+            DatabaseConfig::default(),
+            &TableOptions { index_clause: Some(clause), ..Default::default() },
+        );
+        let table = db.table("bench").unwrap();
+        // Resident size = sum over per-segment indexes, loaded as a worker
+        // would hold them in its memory cache.
+        let bytes: usize = table
+            .segments()
+            .iter()
+            .map(|m| {
+                table
+                    .load_index(m)
+                    .unwrap()
+                    .map(|idx| idx.memory_usage())
+                    .unwrap_or(0)
+            })
+            .sum();
+        let mb = bytes as f64 / (1 << 20) as f64;
+        println!("[table6] {label}: {mb:.1} MB");
+        sizes.push(bytes);
+        rows.push(vec![label.to_string(), format!("{mb:.1}")]);
+    }
+    assert!(sizes[0] > sizes[1], "HNSW must outweigh HNSWSQ");
+    assert!(sizes[1] > sizes[2], "HNSWSQ must outweigh IVFPQFS");
+    let ratio = sizes[0] as f64 / sizes[2] as f64;
+    println!("[table6] HNSW : IVFPQFS ratio = {ratio:.1} (paper: ~6.5)");
+    print_table(
+        "Table VI: memory consumption of different index types",
+        &["index", "size (MB)"],
+        &rows,
+    );
+}

@@ -1,0 +1,26 @@
+//! # bh-bench — the evaluation harness
+//!
+//! Reproduces every table and figure of the paper's §V as `harness = false`
+//! bench targets (`cargo bench --workspace` regenerates the full
+//! evaluation). Supporting machinery:
+//!
+//! * [`datasets`] — synthetic stand-ins for Cohere / OpenAI / LAION /
+//!   production data at laptop scale (Gaussian-mixture embeddings with
+//!   genuine cluster structure, captions, similarity scores). Scale factors
+//!   are documented per-experiment in EXPERIMENTS.md; set `BH_BENCH_SCALE`
+//!   to grow them.
+//! * [`workloads`] — VectorBench-style query generators: pure top-k,
+//!   filtered search at a chosen pass-fraction, LAION-style multi-predicate
+//!   queries with regex, production-style multi-column queries.
+//! * [`harness`] — QPS/latency/recall measurement, ef-for-recall tuning, a
+//!   capacity-modelling CPU pool for the interference experiment, and
+//!   aligned table printing so each bench emits the same rows/series as the
+//!   paper artifact it reproduces.
+
+pub mod datasets;
+pub mod harness;
+pub mod setup;
+pub mod workloads;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use harness::{measure_qps, print_table, CpuPool, Timer};

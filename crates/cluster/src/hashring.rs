@@ -1,0 +1,269 @@
+//! Multi-probe consistent hashing (Fig. 3; Appleton & O'Reilly).
+//!
+//! Plain consistent hashing needs many virtual nodes per worker to balance
+//! load. Multi-probe hashing instead places **one** point per worker and
+//! hashes each key `k` times; the probe that lands closest (clockwise) to a
+//! worker wins. Balance improves with the probe count at zero extra ring
+//! space, and — the property BlendHouse scaling relies on — adding or
+//! removing a worker only moves the keys whose winning probe pointed at it.
+
+use bh_common::WorkerId;
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit hash — stable across platforms and runs, which matters
+/// because segment→worker maps must agree between scheduler and preload.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // FNV's avalanche is weak for short, similar strings (worker names);
+    // finish with the SplitMix64 mixer so ring points spread uniformly.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+fn probe_hash(key: &str, probe: u32) -> u64 {
+    let mut buf = Vec::with_capacity(key.len() + 4);
+    buf.extend_from_slice(key.as_bytes());
+    buf.extend_from_slice(&probe.to_le_bytes());
+    fnv1a(&buf)
+}
+
+fn worker_point(w: WorkerId) -> u64 {
+    fnv1a(format!("worker-{}", w.raw()).as_bytes())
+}
+
+/// The ring: one point per worker, `probes` hash probes per key.
+#[derive(Debug, Clone)]
+pub struct MultiProbeRing {
+    points: BTreeMap<u64, WorkerId>,
+    probes: u32,
+}
+
+impl MultiProbeRing {
+    /// `probes` ≥ 1; the paper-cited default of 21 probes gives ~1.05 peak
+    /// load ratio.
+    pub fn new(probes: u32) -> Self {
+        Self { points: BTreeMap::new(), probes: probes.max(1) }
+    }
+
+    /// Place a worker on the ring.
+    pub fn add_worker(&mut self, w: WorkerId) {
+        self.points.insert(worker_point(w), w);
+    }
+
+    /// Remove a worker from the ring.
+    pub fn remove_worker(&mut self, w: WorkerId) {
+        self.points.remove(&worker_point(w));
+    }
+
+    /// Is the worker on the ring?
+    pub fn contains(&self, w: WorkerId) -> bool {
+        self.points.contains_key(&worker_point(w))
+    }
+
+    /// Number of workers on the ring.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All registered workers.
+    pub fn workers(&self) -> Vec<WorkerId> {
+        self.points.values().copied().collect()
+    }
+
+    /// Clockwise distance from `h` to the next worker point, plus that worker.
+    fn clockwise_next(&self, h: u64) -> Option<(u64, WorkerId)> {
+        let next = self.points.range(h..).next().or_else(|| self.points.iter().next())?;
+        let dist = next.0.wrapping_sub(h);
+        Some((dist, *next.1))
+    }
+
+    /// Assign a key: the probe with the smallest clockwise distance wins.
+    pub fn assign(&self, key: &str) -> Option<WorkerId> {
+        let mut best: Option<(u64, WorkerId)> = None;
+        for p in 0..self.probes {
+            let h = probe_hash(key, p);
+            if let Some((dist, w)) = self.clockwise_next(h) {
+                if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
+                    best = Some((dist, w));
+                }
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+
+    /// Bulk assignment of keys to workers.
+    pub fn assign_all<'a>(
+        &self,
+        keys: impl IntoIterator<Item = &'a str>,
+    ) -> BTreeMap<WorkerId, Vec<String>> {
+        let mut out: BTreeMap<WorkerId, Vec<String>> = BTreeMap::new();
+        for k in keys {
+            if let Some(w) = self.assign(k) {
+                out.entry(w).or_default().push(k.to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ring(n: usize, probes: u32) -> MultiProbeRing {
+        let mut r = MultiProbeRing::new(probes);
+        for i in 0..n {
+            r.add_worker(WorkerId(i as u64));
+        }
+        r
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("seg-{i:016x}")).collect()
+    }
+
+    #[test]
+    fn empty_ring_assigns_nothing() {
+        let r = MultiProbeRing::new(21);
+        assert_eq!(r.assign("k"), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn single_worker_gets_everything() {
+        let r = ring(1, 21);
+        for k in keys(50) {
+            assert_eq!(r.assign(&k), Some(WorkerId(0)));
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let r1 = ring(5, 21);
+        let r2 = ring(5, 21);
+        for k in keys(100) {
+            assert_eq!(r1.assign(&k), r2.assign(&k));
+        }
+    }
+
+    #[test]
+    fn multi_probe_balances_better_than_single_probe() {
+        let imbalance = |probes: u32| {
+            let r = ring(8, probes);
+            let mut counts = vec![0usize; 8];
+            for k in keys(4000) {
+                counts[r.assign(&k).unwrap().raw() as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap() as f64;
+            max / (4000.0 / 8.0)
+        };
+        let single = imbalance(1);
+        let multi = imbalance(21);
+        assert!(
+            multi < single,
+            "21 probes ({multi:.2}) should beat 1 probe ({single:.2}) peak/mean"
+        );
+        assert!(multi < 1.45, "multi-probe peak/mean too high: {multi:.2}");
+    }
+
+    #[test]
+    fn adding_worker_moves_bounded_fraction() {
+        let r_before = ring(8, 21);
+        let mut r_after = r_before.clone();
+        r_after.add_worker(WorkerId(8));
+        let ks = keys(4000);
+        let moved = ks
+            .iter()
+            .filter(|k| r_before.assign(k) != r_after.assign(k))
+            .count();
+        let frac = moved as f64 / ks.len() as f64;
+        // Ideal is 1/9 ≈ 0.111; allow generous slack for hash variance.
+        assert!(frac < 0.25, "scale-up moved {frac:.3} of keys");
+        assert!(frac > 0.0, "scale-up must move something");
+        // Every moved key moved TO the new worker, never between old ones.
+        for k in &ks {
+            if r_before.assign(k) != r_after.assign(k) {
+                assert_eq!(r_after.assign(k), Some(WorkerId(8)));
+            }
+        }
+    }
+
+    #[test]
+    fn removing_worker_only_moves_its_keys() {
+        let r_before = ring(8, 21);
+        let mut r_after = r_before.clone();
+        r_after.remove_worker(WorkerId(3));
+        for k in keys(2000) {
+            let before = r_before.assign(&k).unwrap();
+            let after = r_after.assign(&k).unwrap();
+            if before != WorkerId(3) {
+                assert_eq!(before, after, "key {k} moved though its worker stayed");
+            } else {
+                assert_ne!(after, WorkerId(3));
+            }
+        }
+    }
+
+    #[test]
+    fn assign_all_partitions_keys() {
+        let r = ring(4, 21);
+        let ks = keys(100);
+        let groups = r.assign_all(ks.iter().map(|s| s.as_str()));
+        let total: usize = groups.values().map(|v| v.len()).sum();
+        assert_eq!(total, 100);
+        assert!(groups.len() >= 2, "keys should spread across workers");
+    }
+
+    #[test]
+    fn membership_queries() {
+        let mut r = ring(2, 3);
+        assert!(r.contains(WorkerId(0)));
+        assert!(!r.contains(WorkerId(9)));
+        r.remove_worker(WorkerId(0));
+        assert!(!r.contains(WorkerId(0)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.workers(), vec![WorkerId(1)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scale_up_never_reshuffles_between_old_workers(
+            n_workers in 2usize..12,
+            n_keys in 1usize..200,
+            seed in 0u64..1000,
+        ) {
+            let r_before = ring(n_workers, 21);
+            let mut r_after = r_before.clone();
+            let new_worker = WorkerId(1000 + seed);
+            r_after.add_worker(new_worker);
+            for i in 0..n_keys {
+                let k = format!("key-{seed}-{i}");
+                let b = r_before.assign(&k).unwrap();
+                let a = r_after.assign(&k).unwrap();
+                prop_assert!(a == b || a == new_worker);
+            }
+        }
+
+        #[test]
+        fn prop_assignment_total(
+            n_workers in 1usize..10,
+            n_keys in 0usize..100,
+        ) {
+            let r = ring(n_workers, 7);
+            let ks: Vec<String> = (0..n_keys).map(|i| format!("k{i}")).collect();
+            let groups = r.assign_all(ks.iter().map(|s| s.as_str()));
+            prop_assert_eq!(groups.values().map(|v| v.len()).sum::<usize>(), n_keys);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Virtual warehouses: membership, scaling, serving, retry, preload.
+//!
+//! A VW is a set of workers plus a multi-probe hash ring mapping segments to
+//! workers. The behaviours reproduced from the paper:
+//!
+//! * **Scaling-friendly allocation** (§II-D): adding/removing workers moves
+//!   only the minimal key range; `previous_owner` remembers where each
+//!   reassigned segment lived *before* the last topology change.
+//! * **Vector search serving** (Fig. 4): when the assigned worker misses its
+//!   index cache, the VW calls the previous owner's search RPC (latency
+//!   charged) instead of falling back to brute force, and warms the new
+//!   owner in the background.
+//! * **Query-level retry** (§II-E): a dead worker's task is retried on the
+//!   topology with the worker removed.
+//! * **Cache-aware preload** (§II-D): new indexes are pushed to the workers
+//!   the ring assigns them to.
+
+use crate::hashring::MultiProbeRing;
+use crate::worker::{Worker, WorkerConfig};
+use bh_common::ids::IdGenerator;
+use bh_common::{
+    BhError, Bitset, LatencyModel, MetricsRegistry, Result, SharedClock, VwId, WorkerId,
+};
+use bh_storage::objectstore::ObjectStore;
+use bh_storage::segment::SegmentMeta;
+use bh_storage::table::TableStore;
+use bh_vector::{IndexRegistry, Neighbor, SearchParams};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// VW-level configuration.
+#[derive(Debug, Clone)]
+pub struct VwConfig {
+    /// Hash probes per segment key (multi-probe consistent hashing).
+    pub probes: u32,
+    /// Enable vector search serving on cache miss.
+    pub serving_enabled: bool,
+    /// RPC latency model for worker-to-worker serving calls.
+    pub rpc: LatencyModel,
+    /// Warm the new owner's cache synchronously after a miss (deterministic
+    /// tests) instead of in a background thread (benchmarks).
+    pub synchronous_warm: bool,
+    /// Configuration for workers this VW creates.
+    pub worker: WorkerConfig,
+}
+
+impl Default for VwConfig {
+    fn default() -> Self {
+        Self {
+            probes: 21,
+            serving_enabled: true,
+            rpc: LatencyModel::ZERO,
+            synchronous_warm: true,
+            worker: WorkerConfig::default(),
+        }
+    }
+}
+
+/// A virtual warehouse.
+pub struct VirtualWarehouse {
+    id: VwId,
+    name: String,
+    cfg: VwConfig,
+    remote: Arc<dyn ObjectStore>,
+    registry: Arc<IndexRegistry>,
+    clock: SharedClock,
+    metrics: MetricsRegistry,
+    ids: Arc<IdGenerator>,
+    workers: RwLock<BTreeMap<WorkerId, Arc<Worker>>>,
+    ring: RwLock<MultiProbeRing>,
+    /// Segment key → owner before the most recent topology change.
+    previous_owner: RwLock<HashMap<String, WorkerId>>,
+}
+
+impl VirtualWarehouse {
+    /// An empty warehouse (add workers with [`Self::scale_up`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: VwId,
+        name: &str,
+        cfg: VwConfig,
+        remote: Arc<dyn ObjectStore>,
+        registry: Arc<IndexRegistry>,
+        clock: SharedClock,
+        metrics: MetricsRegistry,
+        ids: Arc<IdGenerator>,
+    ) -> Self {
+        let probes = cfg.probes;
+        Self {
+            id,
+            name: name.to_string(),
+            cfg,
+            remote,
+            registry,
+            clock,
+            metrics,
+            ids,
+            workers: RwLock::new(BTreeMap::new()),
+            ring: RwLock::new(MultiProbeRing::new(probes)),
+            previous_owner: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// This warehouse's id.
+    pub fn id(&self) -> VwId {
+        self.id
+    }
+
+    /// This warehouse's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.read().len()
+    }
+
+    /// Shared metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Ids of all member workers.
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        self.workers.read().keys().copied().collect()
+    }
+
+    /// Look up a member worker.
+    pub fn worker(&self, id: WorkerId) -> Result<Arc<Worker>> {
+        self.workers
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| BhError::NotFound(format!("{id} in {}", self.name)))
+    }
+
+    /// Record the current assignment of `known_segments` as the "previous"
+    /// topology, then apply a membership change. Serving consults this map.
+    fn remember_assignment(&self, known_segments: &[Arc<SegmentMeta>]) {
+        let ring = self.ring.read();
+        let mut prev = self.previous_owner.write();
+        for meta in known_segments {
+            if let Some(w) = ring.assign(&meta.id.key()) {
+                prev.insert(meta.id.key(), w);
+            }
+        }
+    }
+
+    /// Add a worker (scale up). `known_segments` lets the VW remember the
+    /// pre-scaling owners for serving.
+    pub fn scale_up(&self, known_segments: &[Arc<SegmentMeta>]) -> WorkerId {
+        self.remember_assignment(known_segments);
+        let wid = self.ids.next_worker();
+        let w = Arc::new(Worker::new(
+            wid,
+            self.cfg.worker.clone(),
+            self.remote.clone(),
+            None,
+            self.registry.clone(),
+            self.clock.clone(),
+            self.metrics.clone(),
+        ));
+        self.workers.write().insert(wid, w);
+        self.ring.write().add_worker(wid);
+        self.metrics.counter("vw.scale_up").inc();
+        wid
+    }
+
+    /// Remove a worker (scale down or failure eviction).
+    pub fn scale_down(&self, wid: WorkerId, known_segments: &[Arc<SegmentMeta>]) -> Result<()> {
+        self.remember_assignment(known_segments);
+        self.workers
+            .write()
+            .remove(&wid)
+            .ok_or_else(|| BhError::NotFound(format!("{wid} in {}", self.name)))?;
+        self.ring.write().remove_worker(wid);
+        self.metrics.counter("vw.scale_down").inc();
+        Ok(())
+    }
+
+    /// Current owner of a segment.
+    pub fn owner_of(&self, meta: &SegmentMeta) -> Result<(WorkerId, Arc<Worker>)> {
+        let wid = self
+            .ring
+            .read()
+            .assign(&meta.id.key())
+            .ok_or_else(|| BhError::WorkerUnavailable(format!("{} has no workers", self.name)))?;
+        Ok((wid, self.worker(wid)?))
+    }
+
+    /// Pre-scaling owner of a segment, if recorded and still a member.
+    fn previous_owner_of(&self, meta: &SegmentMeta) -> Option<Arc<Worker>> {
+        let wid = *self.previous_owner.read().get(&meta.id.key())?;
+        self.workers.read().get(&wid).cloned()
+    }
+
+    /// Group segments by their assigned worker.
+    pub fn assign(&self, metas: &[Arc<SegmentMeta>]) -> BTreeMap<WorkerId, Vec<Arc<SegmentMeta>>> {
+        let ring = self.ring.read();
+        let mut out: BTreeMap<WorkerId, Vec<Arc<SegmentMeta>>> = BTreeMap::new();
+        for meta in metas {
+            if let Some(w) = ring.assign(&meta.id.key()) {
+                out.entry(w).or_default().push(meta.clone());
+            }
+        }
+        out
+    }
+
+    /// Cache-aware preload: push each segment's index to its assigned worker
+    /// (same hash as the query scheduler, §II-D). Returns loaded count.
+    pub fn preload(&self, metas: &[Arc<SegmentMeta>]) -> Result<usize> {
+        let mut n = 0;
+        for (wid, segs) in self.assign(metas) {
+            let w = self.worker(wid)?;
+            n += w.preload(segs.iter().map(|m| m.as_ref()))?;
+        }
+        Ok(n)
+    }
+
+    /// One segment's ANN search with serving + retry (the VW data path).
+    pub fn search_segment(
+        &self,
+        table: &TableStore,
+        meta: &Arc<SegmentMeta>,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        match self.search_segment_once(table, meta, query, k, params, filter) {
+            Ok(r) => Ok(r),
+            Err(e) if e.is_retryable() => {
+                // Query-level retry (§II-E): evict the dead worker from the
+                // ring and run against the new topology.
+                self.metrics.counter("vw.query_retries").inc();
+                if let Ok((wid, w)) = self.owner_of(meta) {
+                    if !w.is_alive() {
+                        let _ = self.scale_down(wid, &[meta.clone()]);
+                    }
+                }
+                self.search_segment_once(table, meta, query, k, params, filter)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn search_segment_once(
+        &self,
+        table: &TableStore,
+        meta: &Arc<SegmentMeta>,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        let (_, target) = self.owner_of(meta)?;
+        if target.index_resident(meta) || meta.index_kind.is_none() {
+            return target.search_segment(table, meta, query, k, params, filter);
+        }
+        // Cache miss on the assigned worker.
+        if self.cfg.serving_enabled {
+            if let Some(prev) = self.previous_owner_of(meta) {
+                if prev.is_alive() && prev.index_resident(meta) {
+                    // Serving call: charge RPC latency, search on the peer,
+                    // and warm the new owner so the miss is transient.
+                    target.charge_rpc(&self.cfg.rpc, query.len() * 4);
+                    self.metrics.counter("vw.serving_calls").inc();
+                    let result = prev.serve_remote_search(meta, query, k, params, filter)?;
+                    self.warm(target.clone(), meta.clone());
+                    return Ok(result);
+                }
+            }
+        }
+        // No serving possible: brute force now, warm for the future.
+        let result = target.search_segment(table, meta, query, k, params, filter)?;
+        self.warm(target, meta.clone());
+        Ok(result)
+    }
+
+    fn warm(&self, worker: Arc<Worker>, meta: Arc<SegmentMeta>) {
+        if self.cfg.synchronous_warm {
+            let _ = worker.warm_index(&meta);
+            return;
+        }
+        // Deduplicate: under load many queries miss on the same segment
+        // before the first warm completes; only one loader should run.
+        if !worker.try_begin_warm(meta.id) {
+            return;
+        }
+        std::thread::spawn(move || {
+            let _ = worker.warm_index(&meta);
+            worker.end_warm(meta.id);
+        });
+    }
+
+    /// Kill a worker in place (fault injection; stays in the ring until a
+    /// retry evicts it, like a real undetected failure).
+    pub fn inject_failure(&self, wid: WorkerId) -> Result<()> {
+        self.worker(wid)?.kill();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_common::VirtualClock;
+    use bh_storage::objectstore::InMemoryObjectStore;
+    use bh_storage::schema::TableSchema;
+    use bh_storage::table::TableStoreConfig;
+    use bh_storage::value::{ColumnType, Value};
+    use bh_vector::IndexKind;
+    use std::time::Duration;
+
+    fn table(n: usize, seg_rows: usize) -> Arc<TableStore> {
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("emb", ColumnType::Vector(4))
+            .with_vector_index("i", "emb", IndexKind::Hnsw, 4, bh_vector::Metric::L2);
+        let ts = TableStore::new(
+            schema,
+            InMemoryObjectStore::for_tests(),
+            Arc::new(IndexRegistry::with_builtins()),
+            TableStoreConfig { segment_max_rows: seg_rows, ..Default::default() },
+            Arc::new(IdGenerator::new()),
+            MetricsRegistry::new(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::UInt64(i as u64), Value::Vector(vec![i as f32; 4])])
+            .collect();
+        ts.insert_rows(rows).unwrap();
+        Arc::new(ts)
+    }
+
+    fn vw(table: &TableStore, cfg: VwConfig, n_workers: usize) -> VirtualWarehouse {
+        let v = VirtualWarehouse::new(
+            VwId(0),
+            "test-vw",
+            cfg,
+            table.remote_store().clone(),
+            table.registry().clone(),
+            VirtualClock::shared(),
+            table.metrics().clone(),
+            Arc::new(IdGenerator::starting_at(100)),
+        );
+        for _ in 0..n_workers {
+            v.scale_up(&[]);
+        }
+        v
+    }
+
+    #[test]
+    fn assignment_covers_all_segments() {
+        let t = table(500, 50);
+        let v = vw(&t, VwConfig::default(), 3);
+        let metas = t.segments();
+        assert_eq!(metas.len(), 10);
+        let groups = v.assign(&metas);
+        let total: usize = groups.values().map(|g| g.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(v.worker_count(), 3);
+    }
+
+    #[test]
+    fn preload_places_indexes_on_assigned_workers() {
+        let t = table(400, 50);
+        let v = vw(&t, VwConfig::default(), 2);
+        let metas = t.segments();
+        assert_eq!(v.preload(&metas).unwrap(), metas.len());
+        // Every segment is resident exactly on its assigned worker.
+        for (wid, segs) in v.assign(&metas) {
+            let w = v.worker(wid).unwrap();
+            for meta in segs {
+                assert!(w.index_resident(&meta));
+            }
+        }
+    }
+
+    #[test]
+    fn search_uses_local_index_after_preload() {
+        let t = table(300, 300);
+        let v = vw(&t, VwConfig::default(), 2);
+        let metas = t.segments();
+        v.preload(&metas).unwrap();
+        let got = v
+            .search_segment(&t, &metas[0], &[7.0; 4], 3, &SearchParams::default(), None)
+            .unwrap();
+        assert_eq!(got[0].id, 7);
+        assert_eq!(t.metrics().counter_value("worker.local_search"), 1);
+        assert_eq!(t.metrics().counter_value("worker.brute_force"), 0);
+    }
+
+    #[test]
+    fn serving_answers_from_previous_owner_on_scale_up() {
+        let t = table(300, 300);
+        let clock = VirtualClock::shared();
+        let v = VirtualWarehouse::new(
+            VwId(0),
+            "vw",
+            VwConfig {
+                rpc: LatencyModel::fixed(Duration::from_micros(200)),
+                ..Default::default()
+            },
+            t.remote_store().clone(),
+            t.registry().clone(),
+            clock.clone(),
+            t.metrics().clone(),
+            Arc::new(IdGenerator::starting_at(100)),
+        );
+        v.scale_up(&[]);
+        let metas = t.segments();
+        v.preload(&metas).unwrap();
+        let meta = metas[0].clone();
+        let (old_owner, _) = v.owner_of(&meta).unwrap();
+
+        // Scale up until the segment moves to a new worker.
+        let mut moved = false;
+        for _ in 0..20 {
+            v.scale_up(&metas);
+            let (now_owner, w) = v.owner_of(&meta).unwrap();
+            if now_owner != old_owner && !w.index_resident(&meta) {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "segment never moved after 20 scale-ups");
+
+        let before_serving = t.metrics().counter_value("vw.serving_calls");
+        let before_bf = t.metrics().counter_value("worker.brute_force");
+        let got = v
+            .search_segment(&t, &meta, &[5.0; 4], 2, &SearchParams::default(), None)
+            .unwrap();
+        assert_eq!(got[0].id, 5);
+        assert_eq!(t.metrics().counter_value("vw.serving_calls"), before_serving + 1);
+        assert_eq!(
+            t.metrics().counter_value("worker.brute_force"),
+            before_bf,
+            "serving must avoid brute force"
+        );
+        assert!(clock.now_nanos() >= 200_000, "rpc latency charged");
+        // Synchronous warm: the new owner is now resident; next search local.
+        let (_, w) = v.owner_of(&meta).unwrap();
+        assert!(w.index_resident(&meta));
+    }
+
+    #[test]
+    fn serving_disabled_falls_back_to_brute_force() {
+        let t = table(300, 300);
+        let v = vw(
+            &t,
+            VwConfig { serving_enabled: false, ..Default::default() },
+            1,
+        );
+        let metas = t.segments();
+        v.preload(&metas).unwrap();
+        let meta = metas[0].clone();
+        // Force a move.
+        for _ in 0..20 {
+            v.scale_up(&metas);
+            let (_, w) = v.owner_of(&meta).unwrap();
+            if !w.index_resident(&meta) {
+                break;
+            }
+        }
+        let (_, w) = v.owner_of(&meta).unwrap();
+        if !w.index_resident(&meta) {
+            let before = t.metrics().counter_value("worker.brute_force");
+            v.search_segment(&t, &meta, &[1.0; 4], 1, &SearchParams::default(), None).unwrap();
+            assert_eq!(t.metrics().counter_value("worker.brute_force"), before + 1);
+        }
+    }
+
+    #[test]
+    fn failed_worker_triggers_query_retry() {
+        let t = table(200, 200);
+        let v = vw(&t, VwConfig::default(), 3);
+        let metas = t.segments();
+        v.preload(&metas).unwrap();
+        let meta = metas[0].clone();
+        let (owner, _) = v.owner_of(&meta).unwrap();
+        v.inject_failure(owner).unwrap();
+        // The query still succeeds via retry on the shrunken topology.
+        let got = v
+            .search_segment(&t, &meta, &[3.0; 4], 1, &SearchParams::default(), None)
+            .unwrap();
+        assert_eq!(got[0].id, 3);
+        assert_eq!(t.metrics().counter_value("vw.query_retries"), 1);
+        assert_eq!(v.worker_count(), 2, "dead worker evicted");
+        let (new_owner, _) = v.owner_of(&meta).unwrap();
+        assert_ne!(new_owner, owner);
+    }
+
+    #[test]
+    fn all_workers_dead_errors_out() {
+        let t = table(100, 100);
+        let v = vw(&t, VwConfig::default(), 1);
+        let metas = t.segments();
+        let (owner, _) = v.owner_of(&metas[0]).unwrap();
+        v.inject_failure(owner).unwrap();
+        let err = v
+            .search_segment(&t, &metas[0], &[0.0; 4], 1, &SearchParams::default(), None)
+            .unwrap_err();
+        assert!(matches!(err, BhError::WorkerUnavailable(_)));
+    }
+
+    #[test]
+    fn scale_down_redistributes() {
+        let t = table(400, 40);
+        let v = vw(&t, VwConfig::default(), 3);
+        let metas = t.segments();
+        let before = v.assign(&metas);
+        let victim = *before.keys().next().unwrap();
+        v.scale_down(victim, &metas).unwrap();
+        let after = v.assign(&metas);
+        assert!(!after.contains_key(&victim));
+        let total: usize = after.values().map(|g| g.len()).sum();
+        assert_eq!(total, metas.len());
+        // Segments not owned by the victim stayed put.
+        for (wid, segs) in &before {
+            if *wid == victim {
+                continue;
+            }
+            for meta in segs {
+                let still = after.get(wid).map(|g| g.iter().any(|m| m.id == meta.id));
+                assert_eq!(still, Some(true), "segment moved though its worker stayed");
+            }
+        }
+    }
+}

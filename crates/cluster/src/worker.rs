@@ -1,0 +1,683 @@
+//! Compute workers.
+//!
+//! A worker is stateless with respect to data: everything it holds is cache.
+//! Per the paper's design each worker owns
+//!
+//! * a hierarchical **vector-index cache** (memory → optional local disk →
+//!   remote store, §II-D), and
+//! * a split-space **block cache** for scalar column blocks (§IV-C).
+//!
+//! `search_segment` is the per-segment ANN task: local index search when the
+//! index is memory-resident, otherwise (unless the caller routed the request
+//! through vector search serving) a brute-force fallback over the raw vector
+//! column. `serve_remote_search` is the RPC-exposed entry other workers call
+//! during scaling — it only answers from the local memory cache.
+
+use bh_common::{BhError, Bitset, LatencyModel, MetricsRegistry, Result, SharedClock, WorkerId};
+use bh_storage::cache::{BlockCache, BlockKind, IndexCache};
+use bh_storage::column::ColumnData;
+use bh_storage::objectstore::ObjectStore;
+use bh_storage::predicate::Predicate;
+use bh_storage::segment::SegmentMeta;
+use bh_storage::table::TableStore;
+use bh_vector::distance::Metric;
+use bh_vector::{IndexRegistry, Neighbor, SearchParams};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Sizing and behaviour knobs for one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// In-memory vector-index cache capacity.
+    pub index_mem_bytes: usize,
+    /// Block-cache metadata-space capacity.
+    pub block_meta_bytes: usize,
+    /// Block-cache data-space (and decoded-cache) capacity.
+    pub block_data_bytes: usize,
+    /// Block-cache anti-thrashing row limit (§IV-C).
+    pub cache_row_limit: usize,
+    /// Use fine-grained (per-block) scalar reads instead of whole columns.
+    pub fine_grained_reads: bool,
+    /// Simulated per-segment-search service time of one worker core.
+    /// Zero by default; the elasticity experiments set it so that capacity —
+    /// not the host's core count — bounds throughput, as in a real cluster.
+    pub compute_per_segment: bh_common::LatencyModel,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            index_mem_bytes: 256 << 20,
+            block_meta_bytes: 16 << 20,
+            block_data_bytes: 128 << 20,
+            cache_row_limit: 100_000,
+            fine_grained_reads: true,
+            compute_per_segment: bh_common::LatencyModel::ZERO,
+        }
+    }
+}
+
+/// One compute worker.
+pub struct Worker {
+    id: WorkerId,
+    index_cache: IndexCache,
+    block_cache: BlockCache,
+    /// Decoded-column cache: the "adaptive in-memory caching" of §IV-C —
+    /// hybrid queries re-read the same scalar/vector columns constantly,
+    /// and caching the *decoded* form avoids per-query block decode cost.
+    column_cache: bh_storage::lru::LruCache<(bh_common::SegmentId, String), Arc<ColumnData>>,
+    /// Decoded form of individual blocks (the fine-grained read path's
+    /// counterpart of `column_cache`).
+    decoded_blocks: bh_storage::lru::LruCache<String, Arc<ColumnData>>,
+    alive: AtomicBool,
+    /// Segments currently being warmed in the background — deduplicates the
+    /// warm storm that would otherwise follow a cache miss under load.
+    warming: parking_lot::Mutex<std::collections::HashSet<bh_common::SegmentId>>,
+    cfg: WorkerConfig,
+    metrics: MetricsRegistry,
+    clock: SharedClock,
+}
+
+impl Worker {
+    /// A stateless worker over the given store tiers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: WorkerId,
+        cfg: WorkerConfig,
+        remote: Arc<dyn ObjectStore>,
+        local_disk: Option<Arc<dyn ObjectStore>>,
+        registry: Arc<IndexRegistry>,
+        clock: SharedClock,
+        metrics: MetricsRegistry,
+    ) -> Self {
+        let index_cache = IndexCache::new(
+            cfg.index_mem_bytes,
+            local_disk,
+            remote,
+            registry,
+            metrics.clone(),
+        );
+        let block_cache = BlockCache::new(
+            cfg.block_meta_bytes,
+            cfg.block_data_bytes,
+            cfg.cache_row_limit,
+            metrics.clone(),
+        );
+        let column_cache = bh_storage::lru::LruCache::new(cfg.block_data_bytes);
+        let decoded_blocks = bh_storage::lru::LruCache::new(cfg.block_data_bytes);
+        Self {
+            id,
+            index_cache,
+            block_cache,
+            column_cache,
+            decoded_blocks,
+            alive: AtomicBool::new(true),
+            warming: parking_lot::Mutex::new(std::collections::HashSet::new()),
+            cfg,
+            metrics,
+            clock,
+        }
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Is the worker answering requests?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection: the worker stops answering (§II-E).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+
+    /// "Failed nodes recover within seconds": restart with cold memory cache.
+    pub fn recover(&self) {
+        self.index_cache.clear_memory();
+        self.alive.store(true, Ordering::Relaxed);
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(BhError::WorkerUnavailable(format!("{}", self.id)))
+        }
+    }
+
+    /// Is the segment's index resident in this worker's memory cache?
+    pub fn index_resident(&self, seg: &SegmentMeta) -> bool {
+        self.index_cache.resident(seg.id)
+    }
+
+    /// Warm the index cache for a segment (preload / post-miss load).
+    pub fn warm_index(&self, seg: &SegmentMeta) -> Result<()> {
+        self.check_alive()?;
+        self.index_cache.get(seg)?;
+        Ok(())
+    }
+
+    /// Claim the right to warm a segment in the background; returns false if
+    /// a warm for it is already in flight. Callers must pair with
+    /// [`Self::end_warm`].
+    pub fn try_begin_warm(&self, seg: bh_common::SegmentId) -> bool {
+        self.warming.lock().insert(seg)
+    }
+
+    /// Release a warm claim taken with [`Self::try_begin_warm`].
+    pub fn end_warm(&self, seg: bh_common::SegmentId) {
+        self.warming.lock().remove(&seg);
+    }
+
+    /// Preload a batch of segments (cache-aware preload, §II-D).
+    pub fn preload<'a>(&self, metas: impl IntoIterator<Item = &'a SegmentMeta>) -> Result<usize> {
+        self.check_alive()?;
+        self.index_cache.preload(metas)
+    }
+
+    /// The worker's hierarchical index cache.
+    pub fn index_cache(&self) -> &IndexCache {
+        &self.index_cache
+    }
+
+    /// Per-segment ANN search through this worker's caches.
+    ///
+    /// `allow_fallback` = false restricts to the memory-resident fast path
+    /// (used by the serving RPC); the hierarchy (disk/remote) is still
+    /// consulted when `allow_fallback` is true and the index exists.
+    pub fn search_segment(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_alive()?;
+        self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        if self.index_cache.resident(meta.id) {
+            let idx = self
+                .index_cache
+                .get(meta)?
+                .ok_or_else(|| BhError::Internal("resident index vanished".into()))?;
+            self.metrics.counter("worker.local_search").inc();
+            return idx.search_with_filter(query, k, params, filter);
+        }
+        // Cache miss → brute force over the raw vector column (§II-D), so
+        // the query is served immediately instead of stalling on index load.
+        self.metrics.counter("worker.brute_force").inc();
+        self.brute_force_segment(table, meta, query, k, filter)
+    }
+
+    /// Serving RPC entry (Fig. 4): answer only from the memory cache; callers
+    /// charge the RPC latency themselves.
+    pub fn serve_remote_search(
+        &self,
+        meta: &SegmentMeta,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_alive()?;
+        self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        if !self.index_cache.resident(meta.id) {
+            return Err(BhError::Rpc(format!(
+                "{}: segment {} not resident for serving",
+                self.id, meta.id
+            )));
+        }
+        let idx = self
+            .index_cache
+            .get(meta)?
+            .ok_or_else(|| BhError::Internal("resident index vanished".into()))?;
+        self.metrics.counter("worker.served_remote").inc();
+        idx.search_with_filter(query, k, params, filter)
+    }
+
+    /// Fetch the segment's index through the cache hierarchy (used by the
+    /// post-filter executor, which drives the index iterator itself). Counts
+    /// as one per-segment task for the compute-service-time model.
+    pub fn index_handle(
+        &self,
+        meta: &SegmentMeta,
+    ) -> Result<Option<Arc<dyn bh_vector::VectorIndex>>> {
+        self.check_alive()?;
+        self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        self.index_cache.get(meta)
+    }
+
+    /// Exact distance scan over the raw vector column.
+    pub fn brute_force_segment(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        query: &[f32],
+        k: usize,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_alive()?;
+        self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        let idx_def = table
+            .schema()
+            .indexes
+            .first()
+            .ok_or_else(|| BhError::Plan("table has no vector column/index".into()))?;
+        let metric = idx_def.spec.metric;
+        let mut tk = bh_common::TopK::new(k);
+        // Plan A's cost is s·n·c_d: with a selective filter, fetch only the
+        // qualifying vectors (block-granular) instead of the whole column —
+        // the "skip rows via primary keys/indices" behaviour of §II-C.
+        let selective = filter
+            .map(|f| self.cfg.fine_grained_reads && f.count() * 4 < meta.row_count)
+            .unwrap_or(false);
+        if selective {
+            let offsets: Vec<u32> =
+                filter.expect("checked").iter().map(|o| o as u32).collect();
+            let cells = self.read_cells(table, meta, &idx_def.column, &offsets)?;
+            for (o, cell) in offsets.iter().zip(cells) {
+                let v = cell
+                    .as_vector()
+                    .ok_or_else(|| BhError::Internal("vector column expected".into()))?
+                    .to_vec();
+                if query.len() != v.len() {
+                    return Err(BhError::DimensionMismatch {
+                        expected: v.len(),
+                        got: query.len(),
+                    });
+                }
+                tk.push(metric.distance(query, &v), *o as u64);
+            }
+            return Ok(tk
+                .into_sorted()
+                .into_iter()
+                .map(|s| Neighbor::new(s.item, s.distance))
+                .collect());
+        }
+        let col = self.read_column(table, meta, &idx_def.column, meta.row_count)?;
+        let (data, dim) = col
+            .vector_data()
+            .ok_or_else(|| BhError::Internal("vector column expected".into()))?;
+        if query.len() != dim {
+            return Err(BhError::DimensionMismatch { expected: dim, got: query.len() });
+        }
+        for row in 0..meta.row_count {
+            if let Some(f) = filter {
+                if !f.contains(row) {
+                    continue;
+                }
+            }
+            let d = metric.distance(query, &data[row * dim..(row + 1) * dim]);
+            tk.push(d, row as u64);
+        }
+        Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
+    }
+
+    /// Read a full column through the caches. The decoded-column cache is
+    /// consulted first; `query_rows` feeds the anti-thrashing bypass
+    /// decision (§IV-C row limit) for both cache layers.
+    pub fn read_column(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        name: &str,
+        query_rows: usize,
+    ) -> Result<Arc<ColumnData>> {
+        self.check_alive()?;
+        let cache_key = (meta.id, name.to_string());
+        if let Some(col) = self.column_cache.get(&cache_key) {
+            self.metrics.counter("worker.column_cache.hit").inc();
+            return Ok(col);
+        }
+        self.metrics.counter("worker.column_cache.miss").inc();
+        let def = table
+            .schema()
+            .column(name)
+            .ok_or_else(|| BhError::NotFound(format!("column {name}")))?;
+        let ty = match def.ty {
+            bh_storage::value::ColumnType::Vector(0) => bh_storage::value::ColumnType::Vector(
+                table.schema().index_on(name).map(|i| i.spec.dim).unwrap_or(0),
+            ),
+            t => t,
+        };
+        let store = table.remote_store();
+        let mut out = ColumnData::empty(ty);
+        for b in 0..meta.block_count() {
+            let key = meta.block_key(name, b);
+            let blob = self.block_cache.get_or_fetch(&key, BlockKind::Data, query_rows, || {
+                store.get(&key)
+            })?;
+            out.extend_from(&ColumnData::decode_block(ty, &blob)?)?;
+        }
+        let out = Arc::new(out);
+        if query_rows <= self.cfg.cache_row_limit {
+            self.column_cache.put(cache_key, out.clone(), out.memory_bytes().max(1));
+        }
+        Ok(out)
+    }
+
+    /// Drop all cached decoded columns (compaction invalidation — rare, so
+    /// a full clear is simpler than prefix tracking).
+    pub fn invalidate_columns(&self) {
+        self.column_cache.clear();
+        self.decoded_blocks.clear();
+    }
+
+    /// Read specific cells of a column. With fine-grained reads enabled only
+    /// the covering blocks are fetched — the §IV-C read-amplification
+    /// optimization; otherwise the whole column is read.
+    pub fn read_cells(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        name: &str,
+        offsets: &[u32],
+    ) -> Result<Vec<bh_storage::value::Value>> {
+        self.check_alive()?;
+        // A decoded column in cache beats any I/O strategy.
+        if let Some(col) = self.column_cache.get(&(meta.id, name.to_string())) {
+            self.metrics.counter("worker.column_cache.hit").inc();
+            return Ok(offsets.iter().map(|&o| col.get(o as usize)).collect());
+        }
+        if !self.cfg.fine_grained_reads {
+            let col = self.read_column(table, meta, name, offsets.len())?;
+            return Ok(offsets.iter().map(|&o| col.get(o as usize)).collect());
+        }
+        let def = table
+            .schema()
+            .column(name)
+            .ok_or_else(|| BhError::NotFound(format!("column {name}")))?;
+        let ty = match def.ty {
+            bh_storage::value::ColumnType::Vector(0) => bh_storage::value::ColumnType::Vector(
+                table.schema().index_on(name).map(|i| i.spec.dim).unwrap_or(0),
+            ),
+            t => t,
+        };
+        let store = table.remote_store();
+        // Group needed offsets by block, fetch each block once.
+        let mut by_block: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for &o in offsets {
+            by_block.entry(ColumnData::block_of(o as usize)).or_default().push(o);
+        }
+        let mut cells: BTreeMap<u32, bh_storage::value::Value> = BTreeMap::new();
+        for (block, offs) in by_block {
+            let key = meta.block_key(name, block);
+            let part: Arc<ColumnData> = match self.decoded_blocks.get(&key) {
+                Some(p) => p,
+                None => {
+                    let blob = self.block_cache.get_or_fetch(
+                        &key,
+                        BlockKind::Data,
+                        offsets.len(),
+                        || store.get(&key),
+                    )?;
+                    let p = Arc::new(ColumnData::decode_block(ty, &blob)?);
+                    if offsets.len() <= self.cfg.cache_row_limit {
+                        self.decoded_blocks.put(key.clone(), p.clone(), p.memory_bytes().max(1));
+                    }
+                    p
+                }
+            };
+            let base = block * bh_storage::column::BLOCK_ROWS;
+            for o in offs {
+                cells.insert(o, part.get(o as usize - base));
+            }
+        }
+        Ok(offsets.iter().map(|o| cells.remove(o).expect("filled above")).collect())
+    }
+
+    /// Evaluate a predicate over a segment, returning the qualifying bitset
+    /// (visibility is NOT applied here; the executor composes it).
+    pub fn eval_predicate(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        predicate: &Predicate,
+    ) -> Result<Bitset> {
+        self.check_alive()?;
+        if matches!(predicate, Predicate::True) {
+            return Ok(Bitset::full(meta.row_count));
+        }
+        let needed = predicate.referenced_columns();
+        let mut columns: BTreeMap<String, Arc<ColumnData>> = BTreeMap::new();
+        for c in &needed {
+            columns.insert(c.clone(), self.read_column(table, meta, c, meta.row_count)?);
+        }
+        let refs: BTreeMap<String, &ColumnData> =
+            columns.iter().map(|(k, v)| (k.clone(), v.as_ref())).collect();
+        predicate.eval_bitset(&refs, meta.row_count)
+    }
+
+    /// Exact distances for a candidate set — the refine step (`σ·k·c_d`).
+    pub fn refine_distances(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        query: &[f32],
+        metric: Metric,
+        candidates: &[Neighbor],
+    ) -> Result<Vec<Neighbor>> {
+        self.check_alive()?;
+        let idx_def = table
+            .schema()
+            .indexes
+            .first()
+            .ok_or_else(|| BhError::Plan("no vector column".into()))?;
+        let offsets: Vec<u32> = candidates.iter().map(|n| n.id as u32).collect();
+        let cells = self.read_cells(table, meta, &idx_def.column, &offsets)?;
+        let mut out = Vec::with_capacity(candidates.len());
+        for (nb, cell) in candidates.iter().zip(cells) {
+            let v = cell
+                .as_vector()
+                .ok_or_else(|| BhError::Internal("refine on non-vector cell".into()))?
+                .to_vec();
+            out.push(Neighbor::new(nb.id, metric.distance(query, &v)));
+        }
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        Ok(out)
+    }
+
+    /// Charge an RPC round-trip on this worker's clock (callers use this
+    /// before invoking a peer's `serve_remote_search`).
+    pub fn charge_rpc(&self, model: &LatencyModel, bytes: usize) {
+        model.charge(self.clock.as_ref(), bytes);
+        self.metrics.counter("worker.rpc_calls").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_common::ids::IdGenerator;
+    use bh_common::VirtualClock;
+    use bh_storage::objectstore::InMemoryObjectStore;
+    use bh_storage::schema::TableSchema;
+    use bh_storage::table::{TableStoreConfig, TableStore};
+    use bh_storage::value::{ColumnType, Value};
+    use bh_vector::IndexKind;
+
+    fn table(n: usize) -> Arc<TableStore> {
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("label", ColumnType::Str)
+            .with_column("emb", ColumnType::Vector(4))
+            .with_vector_index("i", "emb", IndexKind::Hnsw, 4, bh_vector::Metric::L2);
+        // Share one metrics registry between the store and the table so
+        // tests can observe object-store fetch counts.
+        let metrics = MetricsRegistry::new();
+        let ts = TableStore::new(
+            schema,
+            Arc::new(InMemoryObjectStore::new(
+                VirtualClock::shared(),
+                bh_common::LatencyModel::ZERO,
+                metrics.clone(),
+                "test-store",
+            )),
+            Arc::new(IndexRegistry::with_builtins()),
+            TableStoreConfig { segment_max_rows: 4096, ..Default::default() },
+            Arc::new(IdGenerator::new()),
+            metrics,
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::UInt64(i as u64),
+                    Value::Str(format!("l{}", i % 3)),
+                    Value::Vector(vec![i as f32; 4]),
+                ]
+            })
+            .collect();
+        ts.insert_rows(rows).unwrap();
+        Arc::new(ts)
+    }
+
+    fn worker(table: &TableStore, cfg: WorkerConfig) -> Worker {
+        Worker::new(
+            WorkerId(0),
+            cfg,
+            table.remote_store().clone(),
+            None,
+            table.registry().clone(),
+            VirtualClock::shared(),
+            table.metrics().clone(),
+        )
+    }
+
+    #[test]
+    fn search_fallbacks_to_brute_force_then_uses_index() {
+        let t = table(200);
+        let w = worker(&t, WorkerConfig::default());
+        let meta = t.segments()[0].clone();
+        let q = vec![5.0; 4];
+        let params = SearchParams::default();
+
+        // Cold: brute force.
+        let cold = w.search_segment(&t, &meta, &q, 3, &params, None).unwrap();
+        assert_eq!(cold[0].id, 5);
+        assert_eq!(t.metrics().counter_value("worker.brute_force"), 1);
+
+        // Warm the cache, then search locally.
+        w.warm_index(&meta).unwrap();
+        assert!(w.index_resident(&meta));
+        let warm = w.search_segment(&t, &meta, &q, 3, &params, None).unwrap();
+        assert_eq!(warm[0].id, 5);
+        assert_eq!(t.metrics().counter_value("worker.local_search"), 1);
+    }
+
+    #[test]
+    fn serving_rpc_requires_residency() {
+        let t = table(100);
+        let w = worker(&t, WorkerConfig::default());
+        let meta = t.segments()[0].clone();
+        let q = vec![1.0; 4];
+        let params = SearchParams::default();
+        assert!(matches!(
+            w.serve_remote_search(&meta, &q, 2, &params, None),
+            Err(BhError::Rpc(_))
+        ));
+        w.warm_index(&meta).unwrap();
+        let got = w.serve_remote_search(&meta, &q, 2, &params, None).unwrap();
+        assert_eq!(got[0].id, 1);
+        assert_eq!(t.metrics().counter_value("worker.served_remote"), 1);
+    }
+
+    #[test]
+    fn killed_worker_rejects_everything_and_recovers_cold() {
+        let t = table(50);
+        let w = worker(&t, WorkerConfig::default());
+        let meta = t.segments()[0].clone();
+        w.warm_index(&meta).unwrap();
+        w.kill();
+        assert!(!w.is_alive());
+        let q = vec![0.0; 4];
+        let params = SearchParams::default();
+        let err = w.search_segment(&t, &meta, &q, 1, &params, None).unwrap_err();
+        assert!(err.is_retryable());
+        assert!(w.warm_index(&meta).is_err());
+        w.recover();
+        assert!(w.is_alive());
+        assert!(!w.index_resident(&meta), "recovered worker starts cold");
+    }
+
+    #[test]
+    fn read_cells_fine_grained_fetches_fewer_blocks() {
+        let t = table(5000); // ~5 blocks of 1024
+        let meta = t.segments()[0].clone();
+        let offs = vec![0u32, 1, 2]; // single block
+        let m_fine = {
+            let w = worker(&t, WorkerConfig { fine_grained_reads: true, ..Default::default() });
+            let before = t.metrics().counter_value("test-store.get");
+            let cells = w.read_cells(&t, &meta, "id", &offs).unwrap();
+            assert_eq!(cells[2], Value::UInt64(2));
+            t.metrics().counter_value("test-store.get") - before
+        };
+        let m_coarse = {
+            let w = worker(&t, WorkerConfig { fine_grained_reads: false, ..Default::default() });
+            let before = t.metrics().counter_value("test-store.get");
+            let cells = w.read_cells(&t, &meta, "id", &offs).unwrap();
+            assert_eq!(cells[2], Value::UInt64(2));
+            t.metrics().counter_value("test-store.get") - before
+        };
+        assert!(
+            m_fine < m_coarse,
+            "fine-grained ({m_fine} fetches) must beat coarse ({m_coarse})"
+        );
+        assert_eq!(m_fine, 1, "3 adjacent cells live in one block");
+    }
+
+    #[test]
+    fn predicate_eval_and_refine() {
+        let t = table(300);
+        let w = worker(&t, WorkerConfig::default());
+        let meta = t.segments()[0].clone();
+        let p = Predicate::eq("label", Value::Str("l0".into()));
+        let bits = w.eval_predicate(&t, &meta, &p).unwrap();
+        assert_eq!(bits.count(), 100);
+        // Filtered brute force returns only l0 rows (offsets ≡ 0 mod 3).
+        let got = w.brute_force_segment(&t, &meta, &[4.0; 4], 5, Some(&bits)).unwrap();
+        for nb in &got {
+            assert_eq!(nb.id % 3, 0);
+        }
+        // Refine recomputes exact distances in sorted order.
+        let refined = w
+            .refine_distances(&t, &meta, &[4.0; 4], bh_vector::Metric::L2, &got)
+            .unwrap();
+        assert_eq!(refined.len(), got.len());
+        for w2 in refined.windows(2) {
+            assert!(w2[0].distance <= w2[1].distance);
+        }
+        assert_eq!(refined[0].id, 3, "closest l0 row to [4,4,4,4] is offset 3");
+    }
+
+    #[test]
+    fn true_predicate_shortcuts_without_reads() {
+        let t = table(100);
+        let w = worker(&t, WorkerConfig::default());
+        let meta = t.segments()[0].clone();
+        let before = t.metrics().counter_value("test-store.get");
+        let bits = w.eval_predicate(&t, &meta, &Predicate::True).unwrap();
+        assert!(bits.is_all_set());
+        assert_eq!(t.metrics().counter_value("test-store.get"), before);
+    }
+
+    #[test]
+    fn block_cache_serves_repeat_reads() {
+        let t = table(2000);
+        let w = worker(&t, WorkerConfig::default());
+        let meta = t.segments()[0].clone();
+        w.read_column(&t, &meta, "id", 10).unwrap();
+        let before = t.metrics().counter_value("test-store.get");
+        w.read_column(&t, &meta, "id", 10).unwrap();
+        assert_eq!(
+            t.metrics().counter_value("test-store.get"),
+            before,
+            "second read must be fully cached"
+        );
+    }
+}

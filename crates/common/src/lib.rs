@@ -1,0 +1,32 @@
+//! Shared primitives for BlendHouse-rs.
+//!
+//! This crate holds the small, dependency-light building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`error`] — the workspace-wide error type.
+//! * [`ids`] — strongly-typed identifiers for segments, workers, tables, rows.
+//! * [`bitset`] — a compact fixed-size bitset used for delete bitmaps and
+//!   pre-filter row masks.
+//! * [`topk`] — a bounded max-heap top-k collector used by every search path.
+//! * [`clock`] — real and virtual clocks plus latency models, so the
+//!   disaggregated-architecture simulation can inject remote-storage and RPC
+//!   latencies deterministically in tests and realistically in benchmarks.
+//! * [`metrics`] — lightweight counters and histograms for instrumenting cache
+//!   hits, RPC calls, and I/O.
+//! * [`rng`] — seeded RNG construction helpers for reproducible experiments.
+
+pub mod bitset;
+pub mod clock;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod regex_lite;
+pub mod rng;
+pub mod topk;
+
+pub use bitset::Bitset;
+pub use clock::{Clock, DeploymentLatencies, LatencyModel, RealClock, SharedClock, VirtualClock};
+pub use error::{BhError, Result};
+pub use ids::{RowId, SegmentId, TableId, VwId, WorkerId};
+pub use metrics::MetricsRegistry;
+pub use topk::TopK;

@@ -1,0 +1,232 @@
+//! Lightweight metrics: named counters and latency histograms.
+//!
+//! The evaluation harness and several experiments (cache-miss study, read
+//! amplification, serving RPC counts) need cheap, thread-safe counters that
+//! can be snapshotted. This is a tiny registry — not a general observability
+//! stack — sized for exactly that.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 latency histogram (nanosecond resolution, buckets up
+/// to ~73 minutes). Lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    // bucket i counts samples with floor(log2(nanos)) == i
+    buckets: [AtomicU64; 42],
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        let idx = (64 - nanos.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples.
+    pub fn mean(&self) -> Duration {
+        let c = self.count();
+        if c == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / c)
+    }
+
+    /// Approximate quantile via bucket upper bounds (`q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_nanos(1u64 << (i + 1));
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+}
+
+/// A named registry of counters and histograms.
+///
+/// Cloning the registry is cheap (it is an `Arc` internally); all clones share
+/// the same metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::default()))
+            .clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::default()))
+            .clone()
+    }
+
+    /// Current value of a counter (0 if never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.counters.read().get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Snapshot of all counter values, sorted by name.
+    pub fn snapshot_counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let m = MetricsRegistry::new();
+        m.counter("cache.hit").inc();
+        m.counter("cache.hit").add(2);
+        assert_eq!(m.counter_value("cache.hit"), 3);
+        assert_eq!(m.counter_value("cache.miss"), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m.counter("x").inc();
+        assert_eq!(m2.counter_value("x"), 1);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let m = MetricsRegistry::new();
+        let h = m.histogram("lat");
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        let mean = h.mean();
+        assert!(mean >= Duration::from_micros(200) && mean <= Duration::from_micros(240));
+        // p99 bucket must be at least as large as the max sample's bucket lower bound
+        assert!(h.quantile(0.99) >= Duration::from_micros(1000));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let m = MetricsRegistry::new();
+        m.counter("b").inc();
+        m.counter("a").inc();
+        let snap = m.snapshot_counters();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "b");
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = MetricsRegistry::new();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.counter("n").inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.counter_value("n"), 8000);
+    }
+}

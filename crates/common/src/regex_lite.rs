@@ -1,0 +1,301 @@
+//! A small regex engine for predicate evaluation.
+//!
+//! The LAION-style workload (§V-A) filters caption strings with patterns
+//! built from simple tokens ("^[0-9]", literal words, wildcards). This module
+//! implements exactly the subset those predicates need — no external regex
+//! dependency required:
+//!
+//! * literal characters,
+//! * `.` (any char), `*` / `+` / `?` quantifiers on the previous atom,
+//! * character classes `[abc]`, ranges `[a-z0-9]`, negation `[^…]`,
+//! * anchors `^` and `$`.
+//!
+//! Matching is backtracking over the compiled atom list; patterns are
+//! unanchored by default (`find anywhere`), like `grep`.
+
+use crate::error::{BhError, Result};
+
+/// A compiled pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    atoms: Vec<Quantified>,
+    anchored_start: bool,
+    anchored_end: bool,
+    source: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Quantified {
+    atom: Atom,
+    quant: Quant,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Quant {
+    One,
+    ZeroOrOne,
+    ZeroOrMore,
+    OneOrMore,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Atom {
+    Literal(char),
+    Any,
+    Class { negated: bool, singles: Vec<char>, ranges: Vec<(char, char)> },
+}
+
+impl Atom {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            Atom::Literal(l) => *l == c,
+            Atom::Any => true,
+            Atom::Class { negated, singles, ranges } => {
+                let hit =
+                    singles.contains(&c) || ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                hit != *negated
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compile a pattern.
+    pub fn new(pattern: &str) -> Result<Regex> {
+        let mut chars = pattern.chars().peekable();
+        let mut anchored_start = false;
+        let mut atoms: Vec<Quantified> = Vec::new();
+        let mut anchored_end = false;
+
+        if chars.peek() == Some(&'^') {
+            anchored_start = true;
+            chars.next();
+        }
+
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '$' if chars.peek().is_none() => {
+                    anchored_end = true;
+                    break;
+                }
+                '.' => Atom::Any,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| BhError::Parse("regex: dangling escape".into()))?;
+                    match esc {
+                        'd' => Atom::Class { negated: false, singles: vec![], ranges: vec![('0', '9')] },
+                        'w' => Atom::Class {
+                            negated: false,
+                            singles: vec!['_'],
+                            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9')],
+                        },
+                        's' => Atom::Class {
+                            negated: false,
+                            singles: vec![' ', '\t', '\n', '\r'],
+                            ranges: vec![],
+                        },
+                        other => Atom::Literal(other),
+                    }
+                }
+                '[' => {
+                    let mut negated = false;
+                    let mut singles = Vec::new();
+                    let mut ranges = Vec::new();
+                    if chars.peek() == Some(&'^') {
+                        negated = true;
+                        chars.next();
+                    }
+                    let mut closed = false;
+                    let mut pending: Option<char> = None;
+                    while let Some(cc) = chars.next() {
+                        if cc == ']' {
+                            if let Some(p) = pending.take() {
+                                singles.push(p);
+                            }
+                            closed = true;
+                            break;
+                        }
+                        if cc == '-' && pending.is_some() && chars.peek().is_some_and(|&n| n != ']')
+                        {
+                            let lo = pending.take().expect("checked");
+                            let hi = chars.next().expect("peeked");
+                            if lo > hi {
+                                return Err(BhError::Parse(format!(
+                                    "regex: inverted range {lo}-{hi}"
+                                )));
+                            }
+                            ranges.push((lo, hi));
+                        } else {
+                            if let Some(p) = pending.take() {
+                                singles.push(p);
+                            }
+                            pending = Some(cc);
+                        }
+                    }
+                    if !closed {
+                        return Err(BhError::Parse("regex: unterminated class".into()));
+                    }
+                    Atom::Class { negated, singles, ranges }
+                }
+                '*' | '+' | '?' => {
+                    return Err(BhError::Parse(format!("regex: dangling quantifier {c}")))
+                }
+                other => Atom::Literal(other),
+            };
+            let quant = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    Quant::ZeroOrMore
+                }
+                Some('+') => {
+                    chars.next();
+                    Quant::OneOrMore
+                }
+                Some('?') => {
+                    chars.next();
+                    Quant::ZeroOrOne
+                }
+                _ => Quant::One,
+            };
+            atoms.push(Quantified { atom, quant });
+        }
+
+        Ok(Regex { atoms, anchored_start, anchored_end, source: pattern.to_string() })
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Does the pattern match anywhere in `text` (respecting anchors)?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        if self.anchored_start {
+            return self.match_here(&chars, 0, 0);
+        }
+        (0..=chars.len()).any(|start| self.match_here(&chars, start, 0))
+    }
+
+    fn match_here(&self, text: &[char], pos: usize, atom_idx: usize) -> bool {
+        if atom_idx == self.atoms.len() {
+            return !self.anchored_end || pos == text.len();
+        }
+        let q = &self.atoms[atom_idx];
+        match q.quant {
+            Quant::One => {
+                pos < text.len()
+                    && q.atom.matches(text[pos])
+                    && self.match_here(text, pos + 1, atom_idx + 1)
+            }
+            Quant::ZeroOrOne => {
+                if pos < text.len()
+                    && q.atom.matches(text[pos])
+                    && self.match_here(text, pos + 1, atom_idx + 1)
+                {
+                    return true;
+                }
+                self.match_here(text, pos, atom_idx + 1)
+            }
+            Quant::ZeroOrMore | Quant::OneOrMore => {
+                let min = if q.quant == Quant::OneOrMore { 1 } else { 0 };
+                // Greedy with backtracking: try the longest run first.
+                let mut max_run = 0;
+                while pos + max_run < text.len() && q.atom.matches(text[pos + max_run]) {
+                    max_run += 1;
+                }
+                for run in (min..=max_run).rev() {
+                    if self.match_here(text, pos + run, atom_idx + 1) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_match_anywhere_by_default() {
+        assert!(m("cat", "a cat sat"));
+        assert!(!m("dog", "a cat sat"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^cat", "cat nap"));
+        assert!(!m("^cat", "a cat"));
+        assert!(m("nap$", "cat nap"));
+        assert!(!m("cat$", "cat nap"));
+        assert!(m("^exact$", "exact"));
+        assert!(!m("^exact$", "exactly"));
+    }
+
+    #[test]
+    fn dot_and_quantifiers() {
+        assert!(m("c.t", "cut"));
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(m(".*", ""));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(m("^[0-9]", "42 images"));
+        assert!(!m("^[0-9]", "no digits first"));
+        assert!(m("[a-z]+@[a-z]+", "mail me at foo@bar now"));
+        assert!(m("[^aeiou]", "x"));
+        assert!(!m("^[^aeiou]$", "a"));
+        assert!(m("[abc-]", "a-b")); // trailing dash is literal
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("\\d+", "year 2024"));
+        assert!(!m("^\\d", "year"));
+        assert!(m("\\w+", "hello_world"));
+        assert!(m("a\\.b", "a.b"));
+        assert!(!m("a\\.b", "axb"));
+        assert!(m("\\s", "a b"));
+    }
+
+    #[test]
+    fn backtracking_star() {
+        assert!(m("a.*b", "a xx b yy b"));
+        assert!(m("a[0-9]*7", "a1237"));
+        assert!(!m("a[0-9]+7", "a7x")); // needs at least one digit before 7
+    }
+
+    #[test]
+    fn unicode_text_is_handled_per_char() {
+        assert!(m("é", "café"));
+        assert!(m("^caf.$", "café"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn dollar_in_middle_is_literal() {
+        assert!(m("a$b", "a$b"));
+    }
+}

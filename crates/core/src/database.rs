@@ -1,0 +1,542 @@
+//! The `Database` facade: catalog, virtual warehouses, SQL execution.
+
+use crate::csv::parse_csv;
+use crate::ddl::schema_from_ast;
+use bh_cluster::vw::{VirtualWarehouse, VwConfig};
+use bh_common::ids::IdGenerator;
+use bh_common::{
+    BhError, DeploymentLatencies, MetricsRegistry, RealClock, Result, SharedClock, VirtualClock,
+    VwId,
+};
+use bh_query::bind::{bind_predicate, literal_to_value};
+use bh_query::exec::{QueryEngine, QueryOptions};
+use bh_query::result::ResultSet;
+use bh_sql::ast::{DeleteStmt, InsertStmt, Statement, UpdateStmt};
+use bh_sql::parse_statement;
+use bh_storage::objectstore::{InMemoryObjectStore, SharedObjectStore};
+use bh_storage::predicate::Predicate;
+use bh_storage::table::{TableStore, TableStoreConfig};
+use bh_storage::value::Value;
+use bh_vector::IndexRegistry;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Outcome of one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// SELECT results.
+    Rows(ResultSet),
+    /// Row count affected by INSERT / UPDATE / DELETE.
+    Affected(usize),
+    /// DDL acknowledged.
+    Created,
+}
+
+impl QueryOutput {
+    /// Unwrap SELECT rows (panics on DML output — test convenience).
+    pub fn rows(self) -> ResultSet {
+        match self {
+            QueryOutput::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a DML row count (panics on row output — test convenience).
+    pub fn affected(self) -> usize {
+        match self {
+            QueryOutput::Affected(n) => n,
+            other => panic!("expected affected count, got {other:?}"),
+        }
+    }
+}
+
+/// Construction-time configuration.
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Latency profile of the simulated deployment.
+    pub latencies: DeploymentLatencies,
+    /// Use the wall clock (benchmarks) or a virtual clock (tests).
+    pub real_time: bool,
+    /// Per-table storage tunables.
+    pub table: TableStoreConfig,
+    /// Virtual-warehouse tunables.
+    pub vw: VwConfig,
+    /// Workers in the default read VW.
+    pub default_workers: usize,
+    /// Default query options (can be overridden per statement).
+    pub query: QueryOptions,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        Self {
+            latencies: DeploymentLatencies::zero(),
+            real_time: false,
+            table: TableStoreConfig::default(),
+            vw: VwConfig::default(),
+            default_workers: 2,
+            query: QueryOptions::default(),
+        }
+    }
+}
+
+/// A BlendHouse database instance.
+pub struct Database {
+    cfg: DatabaseConfig,
+    remote: SharedObjectStore,
+    registry: Arc<IndexRegistry>,
+    metrics: MetricsRegistry,
+    clock: SharedClock,
+    ids: Arc<IdGenerator>,
+    tables: RwLock<HashMap<String, Arc<TableStore>>>,
+    vws: RwLock<HashMap<String, Arc<VirtualWarehouse>>>,
+    engine: QueryEngine,
+    next_vw: std::sync::atomic::AtomicU64,
+}
+
+impl Database {
+    /// Fast, deterministic, zero-latency instance for tests and examples.
+    pub fn in_memory() -> Database {
+        Database::new(DatabaseConfig::default())
+    }
+
+    /// A database with the given simulated-deployment configuration.
+    pub fn new(cfg: DatabaseConfig) -> Database {
+        let metrics = MetricsRegistry::new();
+        let clock: SharedClock =
+            if cfg.real_time { RealClock::shared() } else { VirtualClock::shared() };
+        let remote: SharedObjectStore = Arc::new(InMemoryObjectStore::new(
+            clock.clone(),
+            cfg.latencies.remote_store,
+            metrics.clone(),
+            "remote",
+        ));
+        let db = Database {
+            cfg: cfg.clone(),
+            remote,
+            registry: Arc::new(IndexRegistry::with_builtins()),
+            metrics: metrics.clone(),
+            clock,
+            ids: Arc::new(IdGenerator::new()),
+            tables: RwLock::new(HashMap::new()),
+            vws: RwLock::new(HashMap::new()),
+            engine: QueryEngine::new(metrics),
+            next_vw: std::sync::atomic::AtomicU64::new(0),
+        };
+        db.create_vw("default", cfg.default_workers);
+        db
+    }
+
+    /// Shared metrics registry (counters across all subsystems).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The query engine (plan cache, cost model).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The pluggable index-library registry.
+    pub fn registry(&self) -> &Arc<IndexRegistry> {
+        &self.registry
+    }
+
+    /// The simulated remote shared store all tables persist to.
+    pub fn remote_store(&self) -> &SharedObjectStore {
+        &self.remote
+    }
+
+    /// The database's default per-query options.
+    pub fn default_options(&self) -> QueryOptions {
+        self.cfg.query.clone()
+    }
+
+    // ------------------------------------------------------------------- VWs
+
+    /// Create (or resize) a named virtual warehouse with `workers` workers.
+    pub fn create_vw(&self, name: &str, workers: usize) -> Arc<VirtualWarehouse> {
+        let vw = Arc::new(VirtualWarehouse::new(
+            VwId(self.next_vw.fetch_add(1, std::sync::atomic::Ordering::Relaxed)),
+            name,
+            VwConfig { rpc: self.cfg.latencies.rpc, ..self.cfg.vw.clone() },
+            self.remote.clone(),
+            self.registry.clone(),
+            self.clock.clone(),
+            self.metrics.clone(),
+            self.ids.clone(),
+        ));
+        for _ in 0..workers {
+            vw.scale_up(&[]);
+        }
+        self.vws.write().insert(name.to_string(), vw.clone());
+        vw
+    }
+
+    /// Look up a virtual warehouse by name.
+    pub fn vw(&self, name: &str) -> Result<Arc<VirtualWarehouse>> {
+        self.vws
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BhError::NotFound(format!("virtual warehouse {name}")))
+    }
+
+    /// The VW queries run on unless told otherwise.
+    pub fn default_vw(&self) -> Arc<VirtualWarehouse> {
+        self.vw("default").expect("created at construction")
+    }
+
+    // ---------------------------------------------------------------- tables
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<TableStore>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BhError::NotFound(format!("table {name}")))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Cache-aware preload of a table's indexes into a VW (§II-D).
+    pub fn preload(&self, table: &str, vw_name: &str) -> Result<usize> {
+        let t = self.table(table)?;
+        let vw = self.vw(vw_name)?;
+        vw.preload(&t.segments())
+    }
+
+    /// Run one compaction pass on a table.
+    pub fn compact(&self, table: &str) -> Result<bh_storage::table::CompactionReport> {
+        self.table(table)?.compact()
+    }
+
+    // ------------------------------------------------------------------- SQL
+
+    /// Execute one statement with the database's default options.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutput> {
+        let opts = self.default_options();
+        self.execute_with(sql, &opts)
+    }
+
+    /// Execute one statement with explicit query options (SELECT only; other
+    /// statements ignore the options).
+    pub fn execute_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryOutput> {
+        match parse_statement(sql)? {
+            Statement::CreateTable(ct) => {
+                let schema = schema_from_ast(&ct)?;
+                let name = schema.name.clone();
+                if self.tables.read().contains_key(&name) {
+                    return Err(BhError::AlreadyExists(format!("table {name}")));
+                }
+                let store = TableStore::new(
+                    schema,
+                    self.remote.clone(),
+                    self.registry.clone(),
+                    self.cfg.table.clone(),
+                    self.ids.clone(),
+                    self.metrics.clone(),
+                )?;
+                self.tables.write().insert(name, Arc::new(store));
+                Ok(QueryOutput::Created)
+            }
+            Statement::Insert(ins) => self.execute_insert(&ins),
+            Statement::Select(sel) => {
+                let t = self.table(&sel.table)?;
+                let vw = self.default_vw();
+                let rs = self.engine.execute_select(&t, &vw, opts, &sel)?;
+                Ok(QueryOutput::Rows(rs))
+            }
+            Statement::Update(upd) => self.execute_update(&upd),
+            Statement::Delete(del) => self.execute_delete(&del),
+            Statement::Explain(sel) => {
+                let t = self.table(&sel.table)?;
+                let text = self.engine.explain_select(&t, opts, &sel)?;
+                let mut rs = ResultSet::new(vec!["plan".into()]);
+                rs.rows = text.lines().map(|l| vec![Value::Str(l.to_string())]).collect();
+                Ok(QueryOutput::Rows(rs))
+            }
+        }
+    }
+
+    /// Execute a SELECT on a specific VW (read/write separation, isolation
+    /// experiments).
+    pub fn query_on_vw(
+        &self,
+        vw_name: &str,
+        sql: &str,
+        opts: &QueryOptions,
+    ) -> Result<ResultSet> {
+        let Statement::Select(sel) = parse_statement(sql)? else {
+            return Err(BhError::Plan("query_on_vw takes a SELECT".into()));
+        };
+        let t = self.table(&sel.table)?;
+        let vw = self.vw(vw_name)?;
+        self.engine.execute_select(&t, &vw, opts, &sel)
+    }
+
+    fn execute_insert(&self, ins: &InsertStmt) -> Result<QueryOutput> {
+        match ins {
+            InsertStmt::Values { table, rows } => {
+                let t = self.table(table)?;
+                let schema = t.schema();
+                let mut typed = Vec::with_capacity(rows.len());
+                for lits in rows {
+                    if lits.len() != schema.columns.len() {
+                        return Err(BhError::InvalidArgument(format!(
+                            "INSERT arity {} != {} columns",
+                            lits.len(),
+                            schema.columns.len()
+                        )));
+                    }
+                    let row: Vec<Value> = lits
+                        .iter()
+                        .zip(&schema.columns)
+                        .map(|(l, def)| {
+                            let ty = match def.ty {
+                                bh_storage::value::ColumnType::Vector(0) => {
+                                    bh_storage::value::ColumnType::Vector(
+                                        schema
+                                            .index_on(&def.name)
+                                            .map(|i| i.spec.dim)
+                                            .unwrap_or(0),
+                                    )
+                                }
+                                t => t,
+                            };
+                            literal_to_value(l, ty)
+                        })
+                        .collect::<Result<_>>()?;
+                    typed.push(row);
+                }
+                let n = typed.len();
+                t.insert_rows(typed)?;
+                Ok(QueryOutput::Affected(n))
+            }
+            InsertStmt::CsvFile { table, path } => {
+                let t = self.table(table)?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| BhError::Io(format!("csv file {path}: {e}")))?;
+                let rows = parse_csv(t.schema(), &text)?;
+                let n = rows.len();
+                t.insert_rows(rows)?;
+                Ok(QueryOutput::Affected(n))
+            }
+        }
+    }
+
+    fn execute_update(&self, upd: &UpdateStmt) -> Result<QueryOutput> {
+        let t = self.table(&upd.table)?;
+        let schema = t.schema();
+        let predicate = match &upd.where_clause {
+            Some(e) => bind_predicate(schema, e)?,
+            None => Predicate::True,
+        };
+        let assignments: Vec<(String, Value)> = upd
+            .assignments
+            .iter()
+            .map(|(col, lit)| {
+                let def = schema
+                    .column(col)
+                    .ok_or_else(|| BhError::NotFound(format!("column {col}")))?;
+                Ok((col.clone(), literal_to_value(lit, def.ty)?))
+            })
+            .collect::<Result<_>>()?;
+        Ok(QueryOutput::Affected(t.update_where(&predicate, &assignments)?))
+    }
+
+    fn execute_delete(&self, del: &DeleteStmt) -> Result<QueryOutput> {
+        let t = self.table(&del.table)?;
+        let predicate = match &del.where_clause {
+            Some(e) => bind_predicate(t.schema(), e)?,
+            None => Predicate::True,
+        };
+        Ok(QueryOutput::Affected(t.delete_where(&predicate)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn images_db(n: usize) -> Database {
+        let db = Database::in_memory();
+        db.execute(
+            "CREATE TABLE images (
+               id UInt64, label String, ts DateTime, emb Array(Float32),
+               INDEX ann emb TYPE HNSW('DIM=4')
+             ) ORDER BY id PARTITION BY label",
+        )
+        .unwrap();
+        let mut values = Vec::new();
+        for i in 0..n {
+            let c = (i % 4) as f32 * 5.0;
+            values.push(format!(
+                "({i}, 'l{}', {}, [{c}, {c}, {c}, {c}])",
+                i % 2,
+                1000 + i
+            ));
+        }
+        db.execute(&format!("INSERT INTO images VALUES {}", values.join(", "))).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let db = images_db(100);
+        let rs = db
+            .execute(
+                "SELECT id, dist FROM images WHERE label = 'l0' \
+                 ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) AS dist LIMIT 5",
+            )
+            .unwrap()
+            .rows();
+        assert_eq!(rs.len(), 5);
+        for row in &rs.rows {
+            let Value::UInt64(id) = row[0] else { panic!() };
+            assert_eq!(id % 2, 0, "label filter violated");
+            assert_eq!(id % 4, 0, "nearest cluster is i%4==0");
+        }
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = images_db(2);
+        let err = db
+            .execute("CREATE TABLE images (id UInt64)")
+            .unwrap_err();
+        assert!(matches!(err, BhError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::in_memory();
+        assert!(db.execute("SELECT * FROM nope LIMIT 1").is_err());
+        assert!(db.execute("INSERT INTO nope VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn update_and_delete_through_sql() {
+        let db = images_db(50);
+        let n = db
+            .execute("UPDATE images SET label = 'special' WHERE id = 7")
+            .unwrap()
+            .affected();
+        assert_eq!(n, 1);
+        let rs = db
+            .execute("SELECT id FROM images WHERE label = 'special' LIMIT 10")
+            .unwrap()
+            .rows();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::UInt64(7));
+
+        let deleted = db.execute("DELETE FROM images WHERE id < 10").unwrap().affected();
+        assert_eq!(deleted, 10);
+        let rs = db.execute("SELECT id FROM images WHERE id < 10 LIMIT 20").unwrap().rows();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn csv_infile_loads() {
+        let db = Database::in_memory();
+        db.execute(
+            "CREATE TABLE t (id UInt64, label String, emb Array(Float32), \
+             INDEX i emb TYPE FLAT('DIM=2'))",
+        )
+        .unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("data.csv");
+        std::fs::write(&path, "1,cat,[0.0, 0.0]\n2,dog,[5.0, 5.0]\n").unwrap();
+        let n = db
+            .execute(&format!("INSERT INTO t CSV INFILE '{}'", path.display()))
+            .unwrap()
+            .affected();
+        assert_eq!(n, 2);
+        let rs = db
+            .execute("SELECT id FROM t ORDER BY L2Distance(emb, [0.1, 0.1]) LIMIT 1")
+            .unwrap()
+            .rows();
+        assert_eq!(rs.rows[0][0], Value::UInt64(1));
+    }
+
+    #[test]
+    fn separate_vws_and_preload() {
+        let db = images_db(200);
+        db.create_vw("read", 3);
+        let loaded = db.preload("images", "read").unwrap();
+        assert!(loaded > 0);
+        let rs = db
+            .query_on_vw(
+                "read",
+                "SELECT id FROM images ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 3",
+                &db.default_options(),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        // Preloaded: no brute-force fallbacks on that VW's path.
+        assert_eq!(db.metrics().counter_value("worker.brute_force"), 0);
+    }
+
+    #[test]
+    fn compaction_via_facade() {
+        let db = images_db(100);
+        db.execute("DELETE FROM images WHERE id < 50").unwrap();
+        let report = db.compact("images").unwrap();
+        assert_eq!(report.rows_dropped, 50);
+        let rs = db.execute("SELECT id FROM images LIMIT 200").unwrap().rows();
+        assert_eq!(rs.len(), 50);
+    }
+
+    #[test]
+    fn explain_reports_plan_and_strategy() {
+        let db = images_db(200);
+        let rs = db
+            .execute(
+                "EXPLAIN SELECT id FROM images WHERE label = 'l0' \
+                 ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 5",
+            )
+            .unwrap()
+            .rows();
+        let text: Vec<String> = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("AnnScan"), "{joined}");
+        assert!(joined.contains("strategy:"), "{joined}");
+        assert!(joined.contains("cost[brute-force (Plan A)]"), "{joined}");
+        assert!(joined.contains("distance-topk-pushdown"), "{joined}");
+    }
+
+    #[test]
+    fn doc_example_runs() {
+        // Mirrors the crate-level doc example.
+        let db = Database::in_memory();
+        db.execute(
+            "CREATE TABLE docs (id UInt64, body String, embedding Array(Float32), \
+             INDEX ann embedding TYPE HNSW('DIM=4')) ORDER BY id",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO docs VALUES (1, 'hello', [0.0, 0.0, 0.0, 0.0]), \
+             (2, 'world', [1.0, 1.0, 1.0, 1.0])",
+        )
+        .unwrap();
+        let rows = db
+            .execute("SELECT id FROM docs ORDER BY L2Distance(embedding, [0.1, 0.0, 0.0, 0.0]) LIMIT 1")
+            .unwrap()
+            .rows();
+        assert_eq!(rows.rows[0][0], Value::UInt64(1));
+    }
+}

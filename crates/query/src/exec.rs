@@ -1,0 +1,1265 @@
+//! The distributed hybrid-query executor (§II-C "Plan execution", §IV).
+//!
+//! Pipeline per SELECT:
+//!
+//! 1. **Bind** the AST against the schema (scalar predicate + vector query).
+//! 2. **Plan**: plan-cache lookup by parameterized signature; on miss either
+//!    the short-circuit fast path (trivial shapes) or the full rule pass,
+//!    then the cost-based strategy choice among Plans A/B/C.
+//! 3. **Schedule**: segment selection with scalar + semantic pruning and an
+//!    adaptive reserve.
+//! 4. **Execute** per segment on the owning worker (through the VW, which
+//!    adds serving and query-level retry), including the refine pass for
+//!    quantized indexes and adaptive reserve expansion when filtered results
+//!    come up short.
+//! 5. **Merge** partial top-k results globally, then **materialize** the
+//!    projection through block-granular cell reads.
+
+use crate::bind::{bind_select, BoundSelect, ProjItem, VectorQuery};
+use crate::cost::{CostInputs, CostParams, Strategy};
+use crate::plan::plan_select;
+use crate::plancache::{is_short_circuitable, plan_signature, CachedPlan, PlanCache};
+use crate::result::ResultSet;
+use bh_cluster::scheduler::{select_segments, PruneConfig, SegmentSelection};
+use bh_cluster::vw::VirtualWarehouse;
+use bh_cluster::worker::Worker;
+use bh_common::{BhError, Bitset, MetricsRegistry, Result, SegmentId, TopK};
+use bh_sql::ast::SelectStmt;
+use bh_storage::predicate::Predicate;
+use bh_storage::segment::SegmentMeta;
+use bh_storage::table::TableStore;
+use bh_storage::value::Value;
+use bh_vector::{Neighbor, SearchParams};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-query execution knobs.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Index search knobs (ef_search / nprobe).
+    pub search: SearchParams,
+    /// Refine amplification σ (> 1): candidates re-ranked with exact
+    /// distances when the index is quantized.
+    pub sigma: usize,
+    /// Use the cost-based optimizer; when off, `default_strategy` is used
+    /// for filtered searches (the paper's CBO-off baseline).
+    pub enable_cbo: bool,
+    /// Bypass the CBO with a specific strategy (tests, ablations).
+    pub forced_strategy: Option<Strategy>,
+    /// Strategy used for filtered searches when the CBO is disabled.
+    pub default_strategy: Strategy,
+    /// Use the parameterized plan cache.
+    pub enable_plan_cache: bool,
+    /// Skip full optimization for trivially-shaped queries.
+    pub enable_short_circuit: bool,
+    /// Scheduling-time segment pruning configuration.
+    pub prune: PruneConfig,
+    /// Segments pulled from the reserve per adaptive expansion.
+    pub adaptive_batch: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            search: SearchParams::default(),
+            sigma: 2,
+            enable_cbo: true,
+            forced_strategy: None,
+            default_strategy: Strategy::PreFilter,
+            enable_plan_cache: true,
+            enable_short_circuit: true,
+            prune: PruneConfig::default(),
+            adaptive_batch: 2,
+        }
+    }
+}
+
+/// The query engine: planner state (cost constants, plan cache) shared
+/// across queries of one database.
+pub struct QueryEngine {
+    cost: CostParams,
+    plan_cache: PlanCache,
+    metrics: MetricsRegistry,
+}
+
+impl QueryEngine {
+    /// An engine with default cost constants and an empty plan cache.
+    pub fn new(metrics: MetricsRegistry) -> Self {
+        Self { cost: CostParams::default(), plan_cache: PlanCache::new(), metrics }
+    }
+
+    /// Replace the cost-model constants (e.g. with calibrated ones).
+    pub fn with_cost(mut self, cost: CostParams) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The shared parameterized plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// The cost-model constants in use.
+    pub fn cost_params(&self) -> &CostParams {
+        &self.cost
+    }
+
+    /// Execute a parsed SELECT.
+    pub fn execute_select(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        stmt: &SelectStmt,
+    ) -> Result<ResultSet> {
+        let bound = bind_select(table.schema(), stmt)?;
+        self.execute_bound(table, vw, opts, &bound)
+    }
+
+    /// Produce an EXPLAIN report for a SELECT: the optimized logical plan,
+    /// the rules applied, the CBO's strategy choice, and the per-plan cost
+    /// estimates that drove it.
+    pub fn explain_select(
+        &self,
+        table: &TableStore,
+        opts: &QueryOptions,
+        stmt: &SelectStmt,
+    ) -> Result<String> {
+        let bound = bind_select(table.schema(), stmt)?;
+        let planned = plan_select(table.schema(), &bound);
+        let strategy = self.choose_strategy(table, opts, &bound)?;
+        let mut out = String::new();
+        out.push_str(&planned.logical.to_string());
+        out.push_str(&format!(
+            "rules applied: {}\n",
+            if planned.rules_applied.is_empty() {
+                "(none)".to_string()
+            } else {
+                planned.rules_applied.join(", ")
+            }
+        ));
+        out.push_str(&format!(
+            "columns read: [{}]\n",
+            planned.columns_needed.join(", ")
+        ));
+        if let Some(v) = &bound.vector {
+            let n = table.visible_rows().max(1);
+            let s = bound.predicate.estimate_selectivity(&table.sketch());
+            let beta = (opts.search.ef_search as f64 / n as f64).clamp(1e-6, 1.0);
+            let kind = table.schema().indexes.first().map(|d| d.spec.kind);
+            let inputs = CostInputs {
+                n,
+                s,
+                beta,
+                gamma: (beta * 2.0).min(1.0),
+                k: v.k.unwrap_or(100),
+                graph_index: matches!(
+                    kind,
+                    Some(bh_vector::IndexKind::Hnsw) | Some(bh_vector::IndexKind::HnswSq)
+                ),
+                quantized: matches!(
+                    kind,
+                    Some(bh_vector::IndexKind::HnswSq)
+                        | Some(bh_vector::IndexKind::IvfPq)
+                        | Some(bh_vector::IndexKind::IvfPqFs)
+                ),
+            };
+            out.push_str(&format!(
+                "estimates: n={n} selectivity={s:.4} beta={beta:.5}\n"
+            ));
+            for (plan, cost) in self.cost.all_costs(&inputs) {
+                out.push_str(&format!("  cost[{}] = {cost:.1}\n", plan.name()));
+            }
+        }
+        out.push_str(&format!("strategy: {}\n", strategy.name()));
+        Ok(out)
+    }
+
+    /// Execute an already-bound SELECT.
+    ///
+    /// Queries run against a snapshot of the segment set; a background
+    /// compaction can garbage-collect a segment (and its blobs) mid-query.
+    /// Per §II-E the system retries at the query level: the retry takes a
+    /// fresh snapshot, which the new merged segments serve.
+    pub fn execute_bound(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+    ) -> Result<ResultSet> {
+        let t = Instant::now();
+        let planned = self.plan_phase(table, opts, bound)?;
+        self.metrics.counter("query.plan_ns").add(t.elapsed().as_nanos() as u64);
+
+        let t = Instant::now();
+        let mut attempts = 0;
+        let out = loop {
+            let result = match &bound.vector {
+                Some(v) => self.exec_vector(table, vw, opts, bound, v, &planned),
+                None => self.exec_scalar(table, vw, opts, bound, &planned),
+            };
+            match result {
+                Err(e) if is_snapshot_race(&e) && attempts < 3 => {
+                    attempts += 1;
+                    self.metrics.counter("query.snapshot_retries").inc();
+                    continue;
+                }
+                other => break other,
+            }
+        };
+        self.metrics.counter("query.exec_ns").add(t.elapsed().as_nanos() as u64);
+        self.metrics.counter("query.executed").inc();
+        out
+    }
+
+    // -------------------------------------------------------------- planning
+
+    fn plan_phase(
+        &self,
+        table: &TableStore,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+    ) -> Result<CachedPlan> {
+        if opts.enable_plan_cache {
+            // The strategy choice depends on the predicate's selectivity, and
+            // selectivity is a *parameter* (filter constants change per
+            // query). The paper's "extended plan matching algorithm" handles
+            // exactly this; we fold a coarse selectivity band into the
+            // signature so one shape can cache distinct per-band strategies.
+            let mut sig = plan_signature(bound);
+            if bound.vector.is_some() && !matches!(bound.predicate, Predicate::True) {
+                let s = bound.predicate.estimate_selectivity(&table.sketch());
+                sig.push_str(&format!("|sband:{}", selectivity_band(s)));
+            }
+            if let Some(mut cached) = self.plan_cache.get(&sig) {
+                self.metrics.counter("query.plan_cache_hits").inc();
+                // A forced strategy (tests, EXPLAIN experiments) overrides
+                // whatever the cache decided.
+                if let Some(forced) = opts.forced_strategy {
+                    cached.strategy = forced;
+                }
+                return Ok(cached);
+            }
+            let plan = self.plan_uncached(table, opts, bound)?;
+            self.plan_cache.put(sig, plan.clone());
+            return Ok(plan);
+        }
+        self.plan_uncached(table, opts, bound)
+    }
+
+    fn plan_uncached(
+        &self,
+        table: &TableStore,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+    ) -> Result<CachedPlan> {
+        let (columns_needed, needs_raw_vectors) =
+            if opts.enable_short_circuit && is_short_circuitable(bound) {
+                // Fast path: skip logical-plan construction and rule matching.
+                self.metrics.counter("query.short_circuit").inc();
+                let mut cols = bound.predicate.referenced_columns();
+                for p in &bound.projection {
+                    if let ProjItem::Column(c) = p {
+                        if !cols.contains(c) {
+                            cols.push(c.clone());
+                        }
+                    }
+                }
+                let needs_raw = bound
+                    .vector
+                    .as_ref()
+                    .map(|v| cols.contains(&v.column))
+                    .unwrap_or(false);
+                if let Some(v) = &bound.vector {
+                    if !needs_raw {
+                        cols.retain(|c| c != &v.column);
+                    }
+                }
+                (cols, needs_raw)
+            } else {
+                let planned = plan_select(table.schema(), bound);
+                self.metrics
+                    .counter("query.rules_applied")
+                    .add(planned.rules_applied.len() as u64);
+                (planned.columns_needed, planned.needs_raw_vectors)
+            };
+
+        let strategy = self.choose_strategy(table, opts, bound)?;
+        Ok(CachedPlan { strategy, columns_needed, needs_raw_vectors })
+    }
+
+    fn choose_strategy(
+        &self,
+        table: &TableStore,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+    ) -> Result<Strategy> {
+        if let Some(forced) = opts.forced_strategy {
+            return Ok(forced);
+        }
+        let Some(v) = &bound.vector else {
+            // Scalar-only queries have no ANN strategy to pick.
+            return Ok(Strategy::BruteForce);
+        };
+        if !opts.enable_cbo {
+            return Ok(if matches!(bound.predicate, Predicate::True) {
+                // Without a filter even the CBO-off baseline runs plain ANN.
+                Strategy::PostFilter
+            } else {
+                opts.default_strategy
+            });
+        }
+        let n = table.visible_rows().max(1);
+        let s = bound.predicate.estimate_selectivity(&table.sketch());
+        let beta = (opts.search.ef_search as f64 / n as f64).clamp(1e-6, 1.0);
+        let kind = table.schema().indexes.first().map(|d| d.spec.kind);
+        let inputs = CostInputs {
+            n,
+            s,
+            beta,
+            gamma: (beta * 2.0).min(1.0),
+            k: v.k.unwrap_or(100),
+            graph_index: matches!(
+                kind,
+                Some(bh_vector::IndexKind::Hnsw) | Some(bh_vector::IndexKind::HnswSq)
+            ),
+            quantized: matches!(
+                kind,
+                Some(bh_vector::IndexKind::HnswSq)
+                    | Some(bh_vector::IndexKind::IvfPq)
+                    | Some(bh_vector::IndexKind::IvfPqFs)
+            ),
+        };
+        let choice = self.cost.choose(&inputs);
+        self.metrics.counter(&format!("query.cbo.{:?}", choice)).inc();
+        Ok(choice)
+    }
+
+    // ------------------------------------------------------------ vector path
+
+    fn exec_vector(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+        v: &VectorQuery,
+        plan: &CachedPlan,
+    ) -> Result<ResultSet> {
+        let segments = table.segments();
+        let mut selection =
+            select_segments(&segments, &bound.predicate, Some(&v.query), &opts.prune);
+        self.metrics
+            .counter("query.segments_pruned")
+            .add(selection.scalar_pruned as u64);
+
+        let total_rows: usize = segments.iter().map(|m| m.row_count).sum();
+        let k = v.k.unwrap_or(total_rows.max(1));
+        let mut global: TopK<(SegmentId, u32)> = TopK::new(k);
+
+        let mut pending: Vec<Arc<SegmentMeta>> = selection.scheduled.clone();
+        loop {
+            for meta in &pending {
+                let hits =
+                    self.search_one_segment(table, vw, opts, bound, v, plan.strategy, meta, k)?;
+                for nb in hits {
+                    global.push(nb.distance, (meta.id, nb.id as u32));
+                }
+            }
+            if global.len() >= k || selection.exhausted() {
+                break;
+            }
+            // Adaptive runtime adjustment (§IV-B): semantic pruning was too
+            // aggressive for this query; pull reserve segments.
+            pending = selection.expand(opts.adaptive_batch.max(1));
+            if pending.is_empty() {
+                break;
+            }
+            self.metrics.counter("query.adaptive_expansions").inc();
+        }
+
+        let mut hits = global.into_sorted();
+        if let Some(r) = v.range {
+            hits.retain(|s| s.distance <= r);
+        }
+        if let Some(limit) = bound.limit {
+            hits.truncate(limit);
+        }
+        let hit_list: Vec<(SegmentId, u32, f32)> =
+            hits.into_iter().map(|s| (s.item.0, s.item.1, s.distance)).collect();
+        self.materialize(table, vw, bound, plan, &hit_list)
+    }
+
+    /// Per-segment ANN search under the selected strategy. Returned neighbor
+    /// ids are segment row offsets; distances are exact (refine applied for
+    /// quantized indexes).
+    #[allow(clippy::too_many_arguments)]
+    fn search_one_segment(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+        v: &VectorQuery,
+        strategy: Strategy,
+        meta: &Arc<SegmentMeta>,
+        k: usize,
+    ) -> Result<Vec<Neighbor>> {
+        let vis = table.visibility(meta);
+        let has_pred = !matches!(bound.predicate, Predicate::True);
+
+        match strategy {
+            Strategy::BruteForce => with_segment_retry(vw, meta, |worker| {
+                let bits = self.filter_bits(table, &worker, meta, bound, &vis, has_pred)?;
+                if bits.is_all_clear() {
+                    return Ok(Vec::new());
+                }
+                let mut hits =
+                    worker.brute_force_segment(table, meta, &v.query, k, Some(&bits))?;
+                if let Some(r) = v.range {
+                    hits.retain(|nb| nb.distance <= r);
+                }
+                Ok(hits)
+            }),
+            Strategy::PreFilter => {
+                // Compute the bitset on the owning worker, then run the ANN
+                // bitmap scan through the VW (serving-aware).
+                let bits = with_segment_retry(vw, meta, |worker| {
+                    self.filter_bits(table, &worker, meta, bound, &vis, has_pred)
+                })?;
+                if bits.is_all_clear() {
+                    return Ok(Vec::new());
+                }
+                let fetch_k = k.saturating_mul(opts.sigma.max(1));
+                let mut hits = match v.range {
+                    Some(r) if v.k.is_none() => with_segment_retry(vw, meta, |worker| {
+                        match worker.index_handle(meta)? {
+                            Some(idx) => {
+                                idx.search_with_range(&v.query, r, &opts.search, Some(&bits))
+                            }
+                            None => {
+                                let mut all = worker.brute_force_segment(
+                                    table,
+                                    meta,
+                                    &v.query,
+                                    meta.row_count,
+                                    Some(&bits),
+                                )?;
+                                all.retain(|nb| nb.distance <= r);
+                                Ok(all)
+                            }
+                        }
+                    })?,
+                    _ => vw.search_segment(table, meta, &v.query, fetch_k, &opts.search, Some(&bits))?,
+                };
+                hits = self.maybe_refine(table, vw, meta, v, opts, hits, k)?;
+                if let Some(r) = v.range {
+                    hits.retain(|nb| nb.distance <= r);
+                }
+                Ok(hits)
+            }
+            Strategy::PostFilter => {
+                // On a cold owner the iterator would stall on a full index
+                // load; route one serving-friendly top-k through the VW
+                // instead (previous owner answers via RPC, Fig. 4), applying
+                // the predicate to the returned candidates. The owner warms
+                // in the background, so this window is transient.
+                let (_, owner) = vw.owner_of(meta)?;
+                if meta.index_kind.is_some() && owner.is_alive() && !owner.index_resident(meta) {
+                    let fetch_k = k.saturating_mul(opts.sigma.max(1)).saturating_mul(2);
+                    let hits =
+                        vw.search_segment(table, meta, &v.query, fetch_k, &opts.search, None)?;
+                    let visible: Vec<Neighbor> =
+                        hits.into_iter().filter(|nb| vis.contains(nb.id as usize)).collect();
+                    let passing = if has_pred {
+                        with_segment_retry(vw, meta, |worker| {
+                            let pred_cols = bound.predicate.referenced_columns();
+                            let offsets: Vec<u32> =
+                                visible.iter().map(|nb| nb.id as u32).collect();
+                            let mut cells: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+                            for c in &pred_cols {
+                                cells.insert(
+                                    c.clone(),
+                                    worker.read_cells(table, meta, c, &offsets)?,
+                                );
+                            }
+                            let mut out = Vec::new();
+                            for (i, nb) in visible.iter().enumerate() {
+                                let row: BTreeMap<String, Value> = pred_cols
+                                    .iter()
+                                    .map(|c| (c.clone(), cells[c][i].clone()))
+                                    .collect();
+                                if bound.predicate.eval(&row)? {
+                                    out.push(*nb);
+                                }
+                            }
+                            Ok(out)
+                        })?
+                    } else {
+                        visible
+                    };
+                    let mut hits = self.maybe_refine(table, vw, meta, v, opts, passing, k)?;
+                    if let Some(r) = v.range {
+                        hits.retain(|nb| nb.distance <= r);
+                    }
+                    hits.truncate(k);
+                    return Ok(hits);
+                }
+                with_segment_retry(vw, meta, |worker| {
+                let Some(index) = worker.index_handle(meta)? else {
+                    // No index (tiny segment) — brute force is exact anyway.
+                    let bits = self.filter_bits(table, &worker, meta, bound, &vis, has_pred)?;
+                    let mut hits =
+                        worker.brute_force_segment(table, meta, &v.query, k, Some(&bits))?;
+                    if let Some(r) = v.range {
+                        hits.retain(|nb| nb.distance <= r);
+                    }
+                    return Ok(hits);
+                };
+                if !has_pred && v.range.is_none() {
+                    // Pure top-k: nothing can be filtered away, so the plain
+                    // beam search (which honours ef_search) beats driving the
+                    // incremental iterator.
+                    let fetch = if index.needs_refine() {
+                        k.saturating_mul(opts.sigma.max(1))
+                    } else {
+                        k
+                    };
+                    let filter = if vis.is_all_set() { None } else { Some(&vis) };
+                    let hits = index.search_with_filter(&v.query, fetch, &opts.search, filter)?;
+                    let mut hits = self.maybe_refine_on(
+                        table,
+                        &worker,
+                        meta,
+                        v,
+                        opts,
+                        hits,
+                        k,
+                        index.needs_refine(),
+                    )?;
+                    hits.truncate(k);
+                    return Ok(hits);
+                }
+                let mut it = index.search_iterator(&v.query, &opts.search)?;
+                let pred_cols = bound.predicate.referenced_columns();
+                let want = k.saturating_mul(opts.sigma.max(1));
+                let mut collected: Vec<Neighbor> = Vec::with_capacity(want);
+                let batch_size = k.clamp(16, 256);
+                while collected.len() < want {
+                    let batch = it.next_batch(batch_size)?;
+                    if batch.is_empty() {
+                        break;
+                    }
+                    // If the traversal has gone far past the range bound,
+                    // stop early (range pushdown into the iterator).
+                    if let Some(r) = v.range {
+                        if batch.iter().all(|nb| nb.distance > r * 1.5) {
+                            break;
+                        }
+                    }
+                    let visible: Vec<Neighbor> = batch
+                        .into_iter()
+                        .filter(|nb| vis.contains(nb.id as usize))
+                        .collect();
+                    if visible.is_empty() {
+                        continue;
+                    }
+                    if has_pred {
+                        // Evaluate the predicate on just these rows.
+                        let offsets: Vec<u32> = visible.iter().map(|nb| nb.id as u32).collect();
+                        let mut cells: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+                        for c in &pred_cols {
+                            cells.insert(
+                                c.clone(),
+                                worker.read_cells(table, meta, c, &offsets)?,
+                            );
+                        }
+                        for (i, nb) in visible.iter().enumerate() {
+                            let row: BTreeMap<String, Value> = pred_cols
+                                .iter()
+                                .map(|c| (c.clone(), cells[c][i].clone()))
+                                .collect();
+                            if bound.predicate.eval(&row)? {
+                                collected.push(*nb);
+                            }
+                        }
+                    } else {
+                        collected.extend(visible);
+                    }
+                }
+                self.metrics.counter("query.iterator_visited").add(it.visited() as u64);
+                drop(it);
+                let mut hits = self.maybe_refine_on(
+                    table,
+                    &worker,
+                    meta,
+                    v,
+                    opts,
+                    collected,
+                    k,
+                    index.needs_refine(),
+                )?;
+                if let Some(r) = v.range {
+                    hits.retain(|nb| nb.distance <= r);
+                }
+                hits.truncate(k);
+                Ok(hits)
+                })
+            }
+        }
+    }
+
+    /// Predicate ∧ visibility bitset for one segment.
+    fn filter_bits(
+        &self,
+        table: &TableStore,
+        worker: &Arc<Worker>,
+        meta: &SegmentMeta,
+        bound: &BoundSelect,
+        vis: &Bitset,
+        has_pred: bool,
+    ) -> Result<Bitset> {
+        if !has_pred {
+            return Ok(vis.clone());
+        }
+        let mut bits = worker.eval_predicate(table, meta, &bound.predicate)?;
+        bits.intersect_with(vis);
+        Ok(bits)
+    }
+
+    /// Refine through the VW-assigned worker.
+    fn maybe_refine(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        meta: &Arc<SegmentMeta>,
+        v: &VectorQuery,
+        opts: &QueryOptions,
+        hits: Vec<Neighbor>,
+        k: usize,
+    ) -> Result<Vec<Neighbor>> {
+        let needs = table
+            .schema()
+            .indexes
+            .first()
+            .map(|d| {
+                matches!(
+                    d.spec.kind,
+                    bh_vector::IndexKind::HnswSq
+                        | bh_vector::IndexKind::IvfPq
+                        | bh_vector::IndexKind::IvfPqFs
+                )
+            })
+            .unwrap_or(false);
+        if !needs || hits.is_empty() {
+            let mut hits = hits;
+            hits.truncate(k.max(1));
+            return Ok(hits);
+        }
+        with_segment_retry(vw, meta, |worker| {
+            self.maybe_refine_on(table, &worker, meta, v, opts, hits.clone(), k, true)
+        })
+    }
+
+    /// Exact-distance re-rank of the top `σ·k` candidates (`σ·k·c_d`).
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_refine_on(
+        &self,
+        table: &TableStore,
+        worker: &Arc<Worker>,
+        meta: &SegmentMeta,
+        v: &VectorQuery,
+        opts: &QueryOptions,
+        mut hits: Vec<Neighbor>,
+        k: usize,
+        needs_refine: bool,
+    ) -> Result<Vec<Neighbor>> {
+        if !needs_refine || hits.is_empty() {
+            hits.truncate(k.max(hits.len().min(k))); // keep at most k
+            return Ok(hits);
+        }
+        hits.truncate(k.saturating_mul(opts.sigma.max(1)));
+        let mut refined = worker.refine_distances(table, meta, &v.query, v.metric, &hits)?;
+        refined.truncate(k);
+        self.metrics.counter("query.refined").add(refined.len() as u64);
+        Ok(refined)
+    }
+
+    // ------------------------------------------------------------ scalar path
+
+    fn exec_scalar(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+        plan: &CachedPlan,
+    ) -> Result<ResultSet> {
+        let segments = table.segments();
+        let selection: SegmentSelection =
+            select_segments(&segments, &bound.predicate, None, &opts.prune);
+        self.metrics
+            .counter("query.segments_pruned")
+            .add(selection.scalar_pruned as u64);
+
+        let mut out = ResultSet::new(
+            bound.projection.iter().map(|p| p.name().to_string()).collect(),
+        );
+        // (sort key, row) pairs when ordering is requested.
+        let mut keyed: Vec<(Option<Value>, Vec<Value>)> = Vec::new();
+        let has_pred = !matches!(bound.predicate, Predicate::True);
+        for meta in &selection.scheduled {
+            let vis = table.visibility(meta);
+            let rows_bits = with_segment_retry(vw, meta, |worker| {
+                self.filter_bits(table, &worker, meta, bound, &vis, has_pred)
+            })?;
+            if rows_bits.is_all_clear() {
+                continue;
+            }
+            let offsets: Vec<u32> = rows_bits.iter().map(|o| o as u32).collect();
+            // Read every needed column for the qualifying offsets.
+            let mut cells: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+            let mut needed: Vec<String> = plan.columns_needed.clone();
+            if let Some((c, _)) = &bound.scalar_order {
+                if !needed.contains(c) {
+                    needed.push(c.clone());
+                }
+            }
+            with_segment_retry(vw, meta, |worker| {
+                for c in &needed {
+                    cells.insert(c.clone(), worker.read_cells(table, meta, c, &offsets)?);
+                }
+                Ok(())
+            })?;
+            for i in 0..offsets.len() {
+                let row: Vec<Value> = bound
+                    .projection
+                    .iter()
+                    .map(|p| match p {
+                        ProjItem::Column(c) => cells[c][i].clone(),
+                        ProjItem::Distance(_) => Value::Null,
+                    })
+                    .collect();
+                let key = bound.scalar_order.as_ref().map(|(c, _)| cells[c][i].clone());
+                keyed.push((key, row));
+            }
+        }
+        if let Some((_, asc)) = &bound.scalar_order {
+            keyed.sort_by(|a, b| {
+                let ord = match (&a.0, &b.0) {
+                    (Some(x), Some(y)) => {
+                        x.partial_cmp_scalar(y).unwrap_or(std::cmp::Ordering::Equal)
+                    }
+                    _ => std::cmp::Ordering::Equal,
+                };
+                if *asc {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        if let Some(limit) = bound.limit {
+            keyed.truncate(limit);
+        }
+        out.rows = keyed.into_iter().map(|(_, r)| r).collect();
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------- materialize
+
+    /// Fetch projection columns for the winning rows and assemble the result
+    /// in ascending-distance order.
+    fn materialize(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        bound: &BoundSelect,
+        plan: &CachedPlan,
+        hits: &[(SegmentId, u32, f32)],
+    ) -> Result<ResultSet> {
+        let mut out = ResultSet::new(
+            bound.projection.iter().map(|p| p.name().to_string()).collect(),
+        );
+        if hits.is_empty() {
+            return Ok(out);
+        }
+        // Group by segment for block-granular reads.
+        let mut by_segment: BTreeMap<SegmentId, Vec<(usize, u32)>> = BTreeMap::new();
+        for (pos, (seg, off, _)) in hits.iter().enumerate() {
+            by_segment.entry(*seg).or_default().push((pos, *off));
+        }
+        let proj_cols: Vec<&str> = bound
+            .projection
+            .iter()
+            .filter_map(|p| match p {
+                ProjItem::Column(c) => Some(c.as_str()),
+                ProjItem::Distance(_) => None,
+            })
+            .collect();
+        let _ = &plan.columns_needed; // columns_needed ⊇ proj_cols by construction
+
+        let mut rows: Vec<Vec<Value>> = vec![Vec::new(); hits.len()];
+        for (seg, entries) in by_segment {
+            let meta = table.segment(seg)?;
+            let offsets: Vec<u32> = entries.iter().map(|&(_, o)| o).collect();
+            let mut cells: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+            with_segment_retry(vw, &meta, |worker| {
+                for c in &proj_cols {
+                    cells.insert(c.to_string(), worker.read_cells(table, &meta, c, &offsets)?);
+                }
+                Ok(())
+            })?;
+            for (i, &(pos, _)) in entries.iter().enumerate() {
+                let row: Vec<Value> = bound
+                    .projection
+                    .iter()
+                    .map(|p| match p {
+                        ProjItem::Column(c) => cells[c.as_str()][i].clone(),
+                        ProjItem::Distance(_) => Value::Float64(hits[pos].2 as f64),
+                    })
+                    .collect();
+                rows[pos] = row;
+            }
+        }
+        out.rows = rows;
+        Ok(out)
+    }
+}
+
+/// A failure caused by the query's segment snapshot racing a concurrent
+/// compaction: the segment or one of its blobs was garbage-collected after
+/// scheduling. Retrying against a fresh snapshot resolves it.
+fn is_snapshot_race(e: &BhError) -> bool {
+    match e {
+        BhError::NotFound(msg) => msg.contains("segment"),
+        BhError::Storage(msg) => msg.contains("blob not found"),
+        _ => false,
+    }
+}
+
+/// Coarse selectivity band for plan-cache keys: log-spaced so the bands
+/// align with the cost model's decision regions (tiny s → Plan A, mid →
+/// Plan B, near-1 → Plan C).
+fn selectivity_band(s: f64) -> u8 {
+    match s {
+        s if s < 0.001 => 0,
+        s if s < 0.01 => 1,
+        s if s < 0.05 => 2,
+        s if s < 0.2 => 3,
+        s if s < 0.5 => 4,
+        s if s < 0.8 => 5,
+        _ => 6,
+    }
+}
+
+/// Run `f` against the segment's owning worker, retrying once on a
+/// retryable failure after evicting the dead worker (§II-E).
+pub fn with_segment_retry<T>(
+    vw: &VirtualWarehouse,
+    meta: &Arc<SegmentMeta>,
+    mut f: impl FnMut(Arc<Worker>) -> Result<T>,
+) -> Result<T> {
+    let (_, worker) = vw.owner_of(meta)?;
+    match f(worker) {
+        Err(e) if e.is_retryable() => {
+            vw.metrics().counter("vw.query_retries").inc();
+            if let Ok((wid, w)) = vw.owner_of(meta) {
+                if !w.is_alive() {
+                    let _ = vw.scale_down(wid, std::slice::from_ref(meta));
+                }
+            }
+            let (_, worker) = vw.owner_of(meta)?;
+            f(worker)
+        }
+        r => r,
+    }
+}
+
+/// Convenience used by tests and examples: run one statement string.
+pub fn execute_sql_select(
+    engine: &QueryEngine,
+    table: &TableStore,
+    vw: &VirtualWarehouse,
+    opts: &QueryOptions,
+    sql: &str,
+) -> Result<ResultSet> {
+    match bh_sql::parse_statement(sql)? {
+        bh_sql::Statement::Select(sel) => engine.execute_select(table, vw, opts, &sel),
+        other => Err(BhError::Plan(format!("expected SELECT, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_cluster::vw::VwConfig;
+    use bh_common::ids::IdGenerator;
+    use bh_common::VirtualClock;
+    use bh_storage::objectstore::InMemoryObjectStore;
+    use bh_storage::schema::TableSchema;
+    use bh_storage::table::{TableStoreConfig, TableStore};
+    use bh_storage::value::ColumnType;
+    use bh_vector::{IndexKind, IndexRegistry, Metric};
+
+    /// A clustered table: rows i have embedding centered at (i%5)·6, label
+    /// l{i%2}, score i/n.
+    fn setup(
+        n: usize,
+        kind: IndexKind,
+        seg_rows: usize,
+    ) -> (Arc<TableStore>, VirtualWarehouse, QueryEngine) {
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("label", ColumnType::Str)
+            .with_column("score", ColumnType::Float64)
+            .with_column("emb", ColumnType::Vector(4))
+            .with_vector_index("i", "emb", kind, 4, Metric::L2);
+        let metrics = MetricsRegistry::new();
+        let ts = TableStore::new(
+            schema,
+            InMemoryObjectStore::for_tests(),
+            Arc::new(IndexRegistry::with_builtins()),
+            TableStoreConfig { segment_max_rows: seg_rows, ..Default::default() },
+            Arc::new(IdGenerator::new()),
+            metrics.clone(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                // Tiny per-row jitter keeps distances distinct so every
+                // strategy returns the same deterministic ordering.
+                let c = (i % 5) as f32 * 6.0 + (i as f32) * 1e-4;
+                vec![
+                    Value::UInt64(i as u64),
+                    Value::Str(format!("l{}", i % 2)),
+                    Value::Float64(i as f64 / n as f64),
+                    Value::Vector(vec![c, c + 0.1, c + 0.2, c - 0.1]),
+                ]
+            })
+            .collect();
+        ts.insert_rows(rows).unwrap();
+        let vw = VirtualWarehouse::new(
+            bh_common::VwId(0),
+            "q",
+            VwConfig::default(),
+            ts.remote_store().clone(),
+            ts.registry().clone(),
+            VirtualClock::shared(),
+            metrics.clone(),
+            Arc::new(IdGenerator::starting_at(1000)),
+        );
+        vw.scale_up(&[]);
+        vw.scale_up(&[]);
+        let engine = QueryEngine::new(metrics);
+        (Arc::new(ts), vw, engine)
+    }
+
+    fn ids_of(rs: &ResultSet) -> Vec<u64> {
+        rs.column_values("id")
+            .unwrap()
+            .into_iter()
+            .map(|v| match v {
+                Value::UInt64(x) => x,
+                other => panic!("unexpected {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pure_vector_topk_matches_ground_truth() {
+        let (ts, vw, engine) = setup(500, IndexKind::Hnsw, 200);
+        let opts = QueryOptions::default();
+        // Query at cluster 0 center: nearest rows are those with i%5==0.
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id, dist FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) AS dist LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 10);
+        for id in ids_of(&rs) {
+            assert_eq!(id % 5, 0, "row {id} not from cluster 0");
+        }
+        // Distances ascending.
+        let d = rs.column_values("dist").unwrap();
+        for w in d.windows(2) {
+            assert!(w[0].as_f64().unwrap() <= w[1].as_f64().unwrap());
+        }
+    }
+
+    #[test]
+    fn all_three_strategies_agree_on_results() {
+        let (ts, vw, engine) = setup(600, IndexKind::Hnsw, 300);
+        let sql = "SELECT id FROM t WHERE label = 'l0' \
+                   ORDER BY L2Distance(emb, [6.0, 6.1, 6.2, 5.9]) LIMIT 8";
+        let mut results = Vec::new();
+        for strategy in [Strategy::BruteForce, Strategy::PreFilter, Strategy::PostFilter] {
+            let opts = QueryOptions {
+                forced_strategy: Some(strategy),
+                search: SearchParams::default().with_ef(128),
+                ..Default::default()
+            };
+            let rs = execute_sql_select(&engine, &ts, &vw, &opts, sql).unwrap();
+            assert_eq!(rs.len(), 8, "{strategy:?}");
+            for id in ids_of(&rs) {
+                assert_eq!(id % 2, 0, "{strategy:?} returned non-l0 row {id}");
+                assert_eq!(id % 5, 1, "{strategy:?} returned row outside cluster 1: {id}");
+            }
+            results.push(ids_of(&rs));
+        }
+        // Brute force is exact; ANN strategies must match it here (clusters
+        // are well separated).
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn hybrid_filter_is_respected_with_cbo() {
+        let (ts, vw, engine) = setup(400, IndexKind::Hnsw, 200);
+        let opts = QueryOptions::default();
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id, label FROM t WHERE label = 'l1' AND id < 100 \
+             ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 5",
+        )
+        .unwrap();
+        assert!(!rs.is_empty());
+        for row in &rs.rows {
+            let Value::UInt64(id) = row[0] else { panic!() };
+            assert!(id < 100);
+            assert_eq!(row[1], Value::Str("l1".into()));
+        }
+    }
+
+    #[test]
+    fn distance_range_query() {
+        let (ts, vw, engine) = setup(500, IndexKind::Hnsw, 250);
+        let opts = QueryOptions::default();
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id, dist FROM t WHERE L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) < 1.0 \
+             ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) AS dist LIMIT 1000",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 100, "exactly the cluster-0 rows fall within 1.0");
+        for v in rs.column_values("dist").unwrap() {
+            assert!(v.as_f64().unwrap() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn quantized_index_is_refined_to_exact_distances() {
+        let (ts, vw, engine) = setup(800, IndexKind::IvfPq, 800);
+        let opts = QueryOptions {
+            search: SearchParams::default().with_nprobe(32),
+            ..Default::default()
+        };
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id, dist FROM t ORDER BY L2Distance(emb, [12.0, 12.1, 12.2, 11.9]) AS dist LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 5);
+        // Exact distance of a cluster-2 row to its own center is tiny; the
+        // refined output must carry exact (near-zero) distances, not ADC
+        // approximations of arbitrary scale.
+        let d0 = rs.column_values("dist").unwrap()[0].as_f64().unwrap();
+        assert!(d0 < 0.1, "refined distance should be exact, got {d0}");
+        assert!(engine.metrics.counter_value("query.refined") > 0);
+        for id in ids_of(&rs) {
+            assert_eq!(id % 5, 2);
+        }
+    }
+
+    #[test]
+    fn scalar_only_query_with_order_and_limit() {
+        let (ts, vw, engine) = setup(100, IndexKind::Hnsw, 100);
+        let opts = QueryOptions::default();
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id, score FROM t WHERE id >= 90 ORDER BY score DESC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(ids_of(&rs), vec![99, 98, 97]);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_shape() {
+        let (ts, vw, engine) = setup(200, IndexKind::Hnsw, 200);
+        let opts = QueryOptions::default();
+        for q in 0..5 {
+            let sql = format!(
+                "SELECT id FROM t WHERE label = 'l{}' \
+                 ORDER BY L2Distance(emb, [{}.0, 0.0, 0.0, 0.0]) LIMIT 3",
+                q % 2,
+                q % 5
+            );
+            execute_sql_select(&engine, &ts, &vw, &opts, &sql).unwrap();
+        }
+        let (hits, misses) = engine.plan_cache().stats();
+        assert_eq!(misses, 1, "one shape → one miss");
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn cbo_picks_brute_force_for_tiny_pass_fraction() {
+        let (ts, vw, engine) = setup(1000, IndexKind::Hnsw, 1000);
+        let opts = QueryOptions { enable_plan_cache: false, ..Default::default() };
+        // id < 5 passes 0.5% of rows → Plan A.
+        execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id FROM t WHERE id < 5 \
+             ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 3",
+        )
+        .unwrap();
+        assert!(engine.metrics.counter_value("query.cbo.BruteForce") >= 1);
+        // No filter → post-filter (plain ANN).
+        execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 3",
+        )
+        .unwrap();
+        assert!(engine.metrics.counter_value("query.cbo.PostFilter") >= 1);
+    }
+
+    #[test]
+    fn deleted_rows_are_invisible_to_search() {
+        let (ts, vw, engine) = setup(300, IndexKind::Hnsw, 300);
+        ts.delete_where(&Predicate::eq("id", Value::UInt64(0))).unwrap();
+        ts.delete_where(&Predicate::eq("id", Value::UInt64(5))).unwrap();
+        let opts = QueryOptions::default();
+        for strategy in [Strategy::BruteForce, Strategy::PreFilter, Strategy::PostFilter] {
+            let o = QueryOptions { forced_strategy: Some(strategy), ..opts.clone() };
+            let rs = execute_sql_select(
+                &engine,
+                &ts,
+                &vw,
+                &o,
+                "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 10",
+            )
+            .unwrap();
+            let ids = ids_of(&rs);
+            assert!(!ids.contains(&0), "{strategy:?} returned deleted row 0");
+            assert!(!ids.contains(&5), "{strategy:?} returned deleted row 5");
+        }
+    }
+
+    #[test]
+    fn semantic_pruning_with_adaptive_expansion_still_finds_k() {
+        let (ts, vw, engine) = setup(500, IndexKind::Hnsw, 50);
+        // Aggressive pruning: schedule 20% of segments; ask for more rows
+        // than one cluster bucket holds under the filter.
+        let opts = QueryOptions {
+            prune: PruneConfig::default().with_semantic(0.2),
+            ..Default::default()
+        };
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id FROM t WHERE label = 'l0' \
+             ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 60",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 60, "adaptive expansion must fill k");
+        assert!(engine.metrics.counter_value("query.adaptive_expansions") > 0);
+    }
+
+    #[test]
+    fn worker_failure_mid_query_is_retried() {
+        let (ts, vw, engine) = setup(400, IndexKind::Hnsw, 100);
+        // Kill one worker; queries must still succeed via retry-eviction.
+        let victim = vw.worker_ids()[0];
+        vw.inject_failure(victim).unwrap();
+        let opts = QueryOptions::default();
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 5);
+        assert_eq!(vw.worker_count(), 1);
+    }
+
+    #[test]
+    fn projection_with_vector_column() {
+        let (ts, vw, engine) = setup(100, IndexKind::Hnsw, 100);
+        let opts = QueryOptions::default();
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &opts,
+            "SELECT emb FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 1",
+        )
+        .unwrap();
+        let Value::Vector(v) = &rs.rows[0][0] else { panic!("expected vector") };
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn empty_table_returns_empty() {
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("emb", ColumnType::Vector(4))
+            .with_vector_index("i", "emb", IndexKind::Hnsw, 4, Metric::L2);
+        let metrics = MetricsRegistry::new();
+        let ts = TableStore::new(
+            schema,
+            InMemoryObjectStore::for_tests(),
+            Arc::new(IndexRegistry::with_builtins()),
+            TableStoreConfig::default(),
+            Arc::new(IdGenerator::new()),
+            metrics.clone(),
+        )
+        .unwrap();
+        let vw = VirtualWarehouse::new(
+            bh_common::VwId(0),
+            "q",
+            VwConfig::default(),
+            ts.remote_store().clone(),
+            ts.registry().clone(),
+            VirtualClock::shared(),
+            metrics.clone(),
+            Arc::new(IdGenerator::starting_at(1000)),
+        );
+        vw.scale_up(&[]);
+        let engine = QueryEngine::new(metrics);
+        let rs = execute_sql_select(
+            &engine,
+            &ts,
+            &vw,
+            &QueryOptions::default(),
+            "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 5",
+        )
+        .unwrap();
+        assert!(rs.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Query results.
+
+use bh_storage::value::Value;
+
+/// A materialized result set: named columns, row-major values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Row-major cell values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// An empty result set with the given output columns.
+    pub fn new(columns: Vec<String>) -> Self {
+        Self { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were returned.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All values of one column.
+    pub fn column_values(&self, name: &str) -> Option<Vec<Value>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Render as an aligned text table (examples / debugging).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut rs = ResultSet::new(vec!["id".into(), "dist".into()]);
+        rs.rows.push(vec![Value::UInt64(1), Value::Float64(0.5)]);
+        rs.rows.push(vec![Value::UInt64(2), Value::Float64(0.7)]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.column_index("dist"), Some(1));
+        assert_eq!(rs.column_index("nope"), None);
+        assert_eq!(
+            rs.column_values("id").unwrap(),
+            vec![Value::UInt64(1), Value::UInt64(2)]
+        );
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut rs = ResultSet::new(vec!["name".into()]);
+        rs.rows.push(vec![Value::Str("verylongvalue".into())]);
+        let t = rs.to_table_string();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].contains("verylongvalue"));
+    }
+}

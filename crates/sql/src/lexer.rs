@@ -1,0 +1,312 @@
+//! SQL tokenizer.
+//!
+//! Produces a token stream with byte positions for error messages. Keywords
+//! are recognized case-insensitively at parse time (the lexer only emits
+//! `Ident`), matching ClickHouse/ByteHouse behaviour where identifiers and
+//! keywords share a namespace.
+
+use bh_common::{BhError, Result};
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset in the source text (for error messages).
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // punctuation/operator variants are self-describing
+pub enum TokenKind {
+    /// Bare identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string, quotes stripped, `''` unescaped.
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword / identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a statement.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, pos });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semicolon, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            '=' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == '=' {
+                    i += 1;
+                }
+                out.push(Token { kind: TokenKind::Eq, pos });
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                out.push(Token { kind: TokenKind::Ne, pos });
+                i += 2;
+            }
+            '<' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == '=' {
+                    out.push(Token { kind: TokenKind::Le, pos });
+                    i += 1;
+                } else if i < bytes.len() && bytes[i] == '>' {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 1;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, pos });
+                }
+            }
+            '>' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == '=' {
+                    out.push(Token { kind: TokenKind::Ge, pos });
+                    i += 1;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos });
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    if bytes[i] == '\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(BhError::Parse(format!("unterminated string at byte {pos}")));
+                }
+                out.push(Token { kind: TokenKind::Str(s), pos });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && matches!(bytes[i - 1], 'e' | 'E')))
+                {
+                    if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| BhError::Parse(format!("bad float {text} at {pos}")))?;
+                    out.push(Token { kind: TokenKind::Float(v), pos });
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| BhError::Parse(format!("bad integer {text} at {pos}")))?;
+                    out.push(Token { kind: TokenKind::Int(v), pos });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Token { kind: TokenKind::Ident(text), pos });
+            }
+            other => {
+                return Err(BhError::Parse(format!("unexpected character '{other}' at byte {pos}")))
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT * FROM t;"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 -3 1e3"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Int(-3),
+                TokenKind::Float(1000.0),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("[-1.5, 2]")[1], TokenKind::Float(-1.5));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'hello' 'it''s'"),
+            vec![
+                TokenKind::Str("hello".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a >= 1 AND b != 2 OR c <> 3 AND d <= 4"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Int(1),
+                TokenKind::Ident("AND".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Int(2),
+                TokenKind::Ident("OR".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Int(3),
+                TokenKind::Ident("AND".into()),
+                TokenKind::Ident("d".into()),
+                TokenKind::Le,
+                TokenKind::Int(4),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- a comment\n 1"),
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Int(1), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn datetime_strings_pass_through() {
+        let k = kinds("'2024-10-10 10:00:00'");
+        assert_eq!(k[0], TokenKind::Str("2024-10-10 10:00:00".into()));
+    }
+
+    #[test]
+    fn unexpected_char_errors_with_position() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert!(err.to_string().contains("'?'"));
+        assert!(err.to_string().contains("2"));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(kinds("db.table")[0], TokenKind::Ident("db.table".into()));
+    }
+}

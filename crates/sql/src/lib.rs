@@ -1,0 +1,25 @@
+//! # bh-sql — the BlendHouse hybrid-query SQL dialect
+//!
+//! Implements the subset of ByteHouse SQL that the paper's Example 1 and
+//! evaluation workloads exercise:
+//!
+//! * `CREATE TABLE` with column types, `INDEX <name> <col> TYPE <kind>(…)`
+//!   vector indexes, `ORDER BY`, `PARTITION BY` (columns or simple function
+//!   wrappers), and `CLUSTER BY <col> INTO n BUCKETS`;
+//! * `INSERT INTO … VALUES (…), (…)` with array literals for embeddings;
+//! * `SELECT … FROM … WHERE … ORDER BY L2Distance(col, [q…]) LIMIT k`
+//!   hybrid queries — distance functions as ordinary expressions, so they
+//!   compose with filters exactly as §II-B requires;
+//! * `UPDATE … SET … WHERE …` and `DELETE FROM … WHERE …`.
+//!
+//! The crate stops at the AST; plan construction lives in `bh-query`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    BinaryOp, CreateTable, DeleteStmt, Expr, IndexDefAst, InsertStmt, Lit, OrderItem,
+    PartitionExpr, SelectItem, SelectStmt, Statement, UpdateStmt,
+};
+pub use parser::parse_statement;

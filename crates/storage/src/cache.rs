@@ -1,0 +1,423 @@
+//! Hierarchical caches (§II-D, §IV-C).
+//!
+//! * [`IndexCache`] — the vector-index cache every worker owns: in-memory LRU
+//!   (fastest) → local-disk blob cache (avoids repeated remote reads) →
+//!   remote shared store (source of truth). Each tier's hit/miss counters are
+//!   exported through the metrics registry, which is what the cache-miss and
+//!   elasticity experiments observe.
+//! * [`BlockCache`] — the adaptive in-memory column-block cache with the
+//!   paper's two refinements: **separate LRU spaces** for small metadata
+//!   entries vs large data blocks (so scans don't evict hot metadata), and a
+//!   **row-limit bypass** so one huge hybrid query can't thrash the cache.
+
+use crate::lru::LruCache;
+use crate::objectstore::ObjectStore;
+use crate::segment::SegmentMeta;
+use bh_common::{MetricsRegistry, Result, SegmentId};
+use bh_vector::{IndexRegistry, VectorIndex};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Per-worker hierarchical vector-index cache.
+pub struct IndexCache {
+    mem: LruCache<SegmentId, Arc<dyn VectorIndex>>,
+    /// Local disk tier; `None` disables it (memory → remote directly).
+    disk: Option<Arc<dyn ObjectStore>>,
+    remote: Arc<dyn ObjectStore>,
+    registry: Arc<IndexRegistry>,
+    metrics: MetricsRegistry,
+}
+
+impl IndexCache {
+    /// A cache with the given memory capacity over the given tiers.
+    pub fn new(
+        mem_capacity_bytes: usize,
+        disk: Option<Arc<dyn ObjectStore>>,
+        remote: Arc<dyn ObjectStore>,
+        registry: Arc<IndexRegistry>,
+        metrics: MetricsRegistry,
+    ) -> Self {
+        Self { mem: LruCache::new(mem_capacity_bytes), disk, remote, registry, metrics }
+    }
+
+    /// Is the index resident in memory right now? (Used by the scheduler's
+    /// cache-aware paths and by the cache-miss experiment.)
+    pub fn resident(&self, seg: SegmentId) -> bool {
+        self.mem.contains(&seg)
+    }
+
+    /// Fetch the index for a segment through the hierarchy, promoting on the
+    /// way up. Returns `None` if the segment has no index.
+    pub fn get(&self, meta: &SegmentMeta) -> Result<Option<Arc<dyn VectorIndex>>> {
+        let Some(kind) = meta.index_kind else { return Ok(None) };
+        if let Some(idx) = self.mem.get(&meta.id) {
+            self.metrics.counter("index_cache.mem.hit").inc();
+            return Ok(Some(idx));
+        }
+        self.metrics.counter("index_cache.mem.miss").inc();
+
+        let key = meta.index_key();
+        let blob: Bytes = match &self.disk {
+            Some(disk) if disk.exists(&key) => {
+                self.metrics.counter("index_cache.disk.hit").inc();
+                disk.get(&key)?
+            }
+            _ => {
+                if self.disk.is_some() {
+                    self.metrics.counter("index_cache.disk.miss").inc();
+                }
+                let blob = self.remote.get(&key)?;
+                self.metrics.counter("index_cache.remote.fetch").inc();
+                if let Some(disk) = &self.disk {
+                    disk.put(&key, blob.clone())?;
+                }
+                blob
+            }
+        };
+        let idx = self.registry.load(kind, &blob)?;
+        self.mem.put(meta.id, idx.clone(), idx.memory_usage());
+        Ok(Some(idx))
+    }
+
+    /// Cache-aware preload (§II-D): pull the given segments' indexes into
+    /// memory (and local disk) ahead of queries. Errors on individual
+    /// segments are returned; successfully preloaded count is the payload.
+    pub fn preload<'a>(&self, metas: impl IntoIterator<Item = &'a SegmentMeta>) -> Result<usize> {
+        let mut n = 0;
+        for meta in metas {
+            if self.get(meta)?.is_some() {
+                n += 1;
+                self.metrics.counter("index_cache.preload").inc();
+            }
+        }
+        Ok(n)
+    }
+
+    /// Drop a segment from memory and disk tiers (e.g. after compaction).
+    pub fn invalidate(&self, meta: &SegmentMeta) {
+        self.mem.remove(&meta.id);
+        if let Some(disk) = &self.disk {
+            let _ = disk.delete(&meta.index_key());
+        }
+    }
+
+    /// Drop everything from the memory tier (simulates worker restart).
+    pub fn clear_memory(&self) {
+        self.mem.clear();
+    }
+
+    /// Bytes of index currently resident in memory.
+    pub fn memory_used(&self) -> usize {
+        self.mem.used_bytes()
+    }
+}
+
+/// Cached block entry classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Small, hot entries (segment metadata, sparse index pages).
+    Meta,
+    /// Column data blocks.
+    Data,
+}
+
+/// Adaptive column-block cache with split metadata/data spaces.
+pub struct BlockCache {
+    meta_space: LruCache<String, Bytes>,
+    data_space: LruCache<String, Bytes>,
+    /// Queries reading more than this many rows bypass the data space
+    /// entirely (anti-thrashing row limit, §IV-C).
+    row_limit: usize,
+    metrics: MetricsRegistry,
+}
+
+impl BlockCache {
+    /// A cache with separate metadata/data capacities and a row limit.
+    pub fn new(
+        meta_capacity: usize,
+        data_capacity: usize,
+        row_limit: usize,
+        metrics: MetricsRegistry,
+    ) -> Self {
+        Self {
+            meta_space: LruCache::new(meta_capacity),
+            data_space: LruCache::new(data_capacity),
+            row_limit,
+            metrics,
+        }
+    }
+
+    /// The anti-thrashing row limit.
+    pub fn row_limit(&self) -> usize {
+        self.row_limit
+    }
+
+    fn space(&self, kind: BlockKind) -> &LruCache<String, Bytes> {
+        match kind {
+            BlockKind::Meta => &self.meta_space,
+            BlockKind::Data => &self.data_space,
+        }
+    }
+
+    /// Fetch a blob through the cache. `query_rows` is the number of rows the
+    /// surrounding query will touch: when it exceeds the row limit the data
+    /// space is bypassed (read-through, no insert) so bulk scans cannot evict
+    /// the working set. Metadata reads always cache.
+    pub fn get_or_fetch(
+        &self,
+        key: &str,
+        kind: BlockKind,
+        query_rows: usize,
+        fetch: impl FnOnce() -> Result<Bytes>,
+    ) -> Result<Bytes> {
+        let label = match kind {
+            BlockKind::Meta => "block_cache.meta",
+            BlockKind::Data => "block_cache.data",
+        };
+        let bypass = kind == BlockKind::Data && query_rows > self.row_limit;
+        if !bypass {
+            if let Some(b) = self.space(kind).get(&key.to_string()) {
+                self.metrics.counter(&format!("{label}.hit")).inc();
+                return Ok(b);
+            }
+            self.metrics.counter(&format!("{label}.miss")).inc();
+        } else {
+            self.metrics.counter("block_cache.bypass").inc();
+        }
+        let blob = fetch()?;
+        if !bypass {
+            self.space(kind).put(key.to_string(), blob.clone(), blob.len().max(1));
+        }
+        Ok(blob)
+    }
+
+    /// Remove every cached blob whose key starts with `prefix` (segment GC).
+    pub fn invalidate_prefix(&self, _prefix: &str) {
+        // Full clears are rare (compaction) and correctness-neutral, so the
+        // simple implementation drops both spaces.
+        self.meta_space.clear();
+        self.data_space.clear();
+    }
+
+    /// Bytes cached in the data space.
+    pub fn data_used(&self) -> usize {
+        self.data_space.used_bytes()
+    }
+
+    /// Bytes cached in the metadata space.
+    pub fn meta_used(&self) -> usize {
+        self.meta_space.used_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objectstore::InMemoryObjectStore;
+    use crate::schema::TableSchema;
+    use crate::segment::Segment;
+    use crate::value::{ColumnType, Value};
+    use bh_common::{LatencyModel, SegmentId, VirtualClock};
+    use bh_vector::{IndexKind, IndexSpec, Metric, SearchParams};
+    use std::time::Duration;
+
+    fn build_indexed_segment(
+        store: &dyn ObjectStore,
+        registry: &IndexRegistry,
+        id: u64,
+        n: usize,
+    ) -> SegmentMeta {
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("emb", ColumnType::Vector(4))
+            .with_vector_index("i", "emb", IndexKind::Flat, 4, Metric::L2);
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::UInt64(i as u64), Value::Vector(vec![i as f32; 4])])
+            .collect();
+        let mut seg = Segment::from_rows(&schema, SegmentId(id), rows, vec![], None, 0).unwrap();
+        // Build + persist the index.
+        let spec = IndexSpec::new(IndexKind::Flat, 4, Metric::L2);
+        let mut b = registry.create_builder(&spec).unwrap();
+        let (data, _) = seg.columns["emb"].vector_data().unwrap();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        b.add_with_ids(data, &ids).unwrap();
+        let idx = b.finish().unwrap();
+        let blob = idx.save_bytes().unwrap();
+        seg.meta.index_kind = Some(IndexKind::Flat);
+        seg.meta.index_bytes = blob.len() as u64;
+        store.put(&seg.meta.index_key(), blob).unwrap();
+        seg.persist(store).unwrap();
+        seg.meta
+    }
+
+    #[test]
+    fn hierarchy_promotes_and_hits() {
+        let clock = VirtualClock::shared();
+        let metrics = MetricsRegistry::new();
+        let remote = Arc::new(InMemoryObjectStore::new(
+            clock.clone(),
+            LatencyModel::fixed(Duration::from_micros(1000)),
+            metrics.clone(),
+            "remote",
+        ));
+        let disk = Arc::new(InMemoryObjectStore::new(
+            clock.clone(),
+            LatencyModel::fixed(Duration::from_micros(10)),
+            metrics.clone(),
+            "disk",
+        ));
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let meta = build_indexed_segment(remote.as_ref(), &registry, 1, 50);
+
+        let cache = IndexCache::new(
+            1 << 20,
+            Some(disk.clone() as Arc<dyn ObjectStore>),
+            remote.clone() as Arc<dyn ObjectStore>,
+            registry,
+            metrics.clone(),
+        );
+        assert!(!cache.resident(meta.id));
+
+        // First get: mem miss, disk miss, remote fetch, promoted everywhere.
+        let idx = cache.get(&meta).unwrap().unwrap();
+        assert_eq!(idx.meta().len, 50);
+        assert_eq!(metrics.counter_value("index_cache.remote.fetch"), 1);
+        assert_eq!(metrics.counter_value("index_cache.disk.miss"), 1);
+        assert!(cache.resident(meta.id));
+        assert!(disk.exists(&meta.index_key()));
+
+        // Second get: memory hit, no new remote traffic.
+        cache.get(&meta).unwrap().unwrap();
+        assert_eq!(metrics.counter_value("index_cache.mem.hit"), 1);
+        assert_eq!(metrics.counter_value("index_cache.remote.fetch"), 1);
+
+        // Clear memory (worker restart): next get hits the disk tier only.
+        cache.clear_memory();
+        cache.get(&meta).unwrap().unwrap();
+        assert_eq!(metrics.counter_value("index_cache.disk.hit"), 1);
+        assert_eq!(metrics.counter_value("index_cache.remote.fetch"), 1);
+    }
+
+    #[test]
+    fn segment_without_index_returns_none() {
+        let remote = InMemoryObjectStore::for_tests();
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let schema = TableSchema::new("t").with_column("id", ColumnType::UInt64);
+        let seg = Segment::from_rows(
+            &schema,
+            SegmentId(9),
+            vec![vec![Value::UInt64(1)]],
+            vec![],
+            None,
+            0,
+        )
+        .unwrap();
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            MetricsRegistry::new(),
+        );
+        assert!(cache.get(&seg.meta).unwrap().is_none());
+    }
+
+    #[test]
+    fn preload_warms_cache_and_invalidate_clears() {
+        let remote = InMemoryObjectStore::for_tests();
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let m1 = build_indexed_segment(remote.as_ref(), &registry, 1, 20);
+        let m2 = build_indexed_segment(remote.as_ref(), &registry, 2, 20);
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            MetricsRegistry::new(),
+        );
+        assert_eq!(cache.preload([&m1, &m2]).unwrap(), 2);
+        assert!(cache.resident(m1.id) && cache.resident(m2.id));
+        cache.invalidate(&m1);
+        assert!(!cache.resident(m1.id));
+        assert!(cache.resident(m2.id));
+    }
+
+    #[test]
+    fn loaded_index_actually_searches() {
+        let remote = InMemoryObjectStore::for_tests();
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let meta = build_indexed_segment(remote.as_ref(), &registry, 3, 30);
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            MetricsRegistry::new(),
+        );
+        let idx = cache.get(&meta).unwrap().unwrap();
+        let got = idx
+            .search_with_filter(&[5.0, 5.0, 5.0, 5.0], 1, &SearchParams::default(), None)
+            .unwrap();
+        assert_eq!(got[0].id, 5);
+    }
+
+    #[test]
+    fn block_cache_split_spaces() {
+        let metrics = MetricsRegistry::new();
+        let cache = BlockCache::new(1 << 10, 1 << 10, 100, metrics.clone());
+        let fetched = std::cell::Cell::new(0);
+        let fetch = |data: &'static [u8]| {
+            fetched.set(fetched.get() + 1);
+            Ok(Bytes::from_static(data))
+        };
+        cache.get_or_fetch("k1", BlockKind::Data, 10, || fetch(b"datablock")).unwrap();
+        cache.get_or_fetch("k1", BlockKind::Data, 10, || fetch(b"datablock")).unwrap();
+        assert_eq!(fetched.get(), 1, "second read must hit");
+        assert_eq!(metrics.counter_value("block_cache.data.hit"), 1);
+        // Meta space is independent: same key in meta space still misses.
+        cache.get_or_fetch("k1", BlockKind::Meta, 10, || fetch(b"m")).unwrap();
+        assert_eq!(fetched.get(), 2);
+        assert!(cache.meta_used() > 0 && cache.data_used() > 0);
+    }
+
+    #[test]
+    fn block_cache_row_limit_bypasses_data_space() {
+        let metrics = MetricsRegistry::new();
+        let cache = BlockCache::new(1 << 10, 1 << 10, 100, metrics.clone());
+        // Over the row limit: fetch but do not cache.
+        cache
+            .get_or_fetch("big", BlockKind::Data, 1000, || Ok(Bytes::from_static(b"x")))
+            .unwrap();
+        assert_eq!(metrics.counter_value("block_cache.bypass"), 1);
+        assert_eq!(cache.data_used(), 0);
+        // A small query for the same key misses (it was never cached).
+        cache
+            .get_or_fetch("big", BlockKind::Data, 1, || Ok(Bytes::from_static(b"x")))
+            .unwrap();
+        assert_eq!(metrics.counter_value("block_cache.data.miss"), 1);
+        assert!(cache.data_used() > 0);
+    }
+
+    #[test]
+    fn block_cache_data_eviction_does_not_touch_meta() {
+        let cache = BlockCache::new(1 << 10, 64, 10_000, MetricsRegistry::new());
+        cache.get_or_fetch("m", BlockKind::Meta, 1, || Ok(Bytes::from_static(b"meta"))).unwrap();
+        // Flood the data space well past its 64-byte capacity.
+        for i in 0..50 {
+            let key = format!("d{i}");
+            cache
+                .get_or_fetch(&key, BlockKind::Data, 1, || Ok(Bytes::from(vec![0u8; 32])))
+                .unwrap();
+        }
+        assert!(cache.data_used() <= 64);
+        // Metadata survived the flood.
+        let hit = std::cell::Cell::new(true);
+        cache
+            .get_or_fetch("m", BlockKind::Meta, 1, || {
+                hit.set(false);
+                Ok(Bytes::new())
+            })
+            .unwrap();
+        assert!(hit.get(), "metadata was evicted by data-space pressure");
+    }
+}

@@ -1,0 +1,142 @@
+//! Delete bitmaps: the mutable half of the multi-version update design
+//! (§III-B "Realtime update", Fig. 6).
+//!
+//! Segments are immutable; an UPDATE writes the new row versions into a fresh
+//! segment and records the superseded offsets here. Queries intersect every
+//! segment scan with the segment's *visibility* bitset (the complement of its
+//! delete bitmap). Compaction materializes the surviving rows and clears the
+//! bitmap.
+
+use bh_common::{Bitset, SegmentId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Table-wide map from segment to its delete bitmap.
+#[derive(Debug, Default)]
+pub struct DeleteMap {
+    bitmaps: RwLock<HashMap<SegmentId, Bitset>>,
+}
+
+impl DeleteMap {
+    /// An empty delete map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark row offsets of a segment as deleted.
+    pub fn mark_deleted(&self, seg: SegmentId, rows: usize, offsets: impl IntoIterator<Item = u32>) {
+        let mut g = self.bitmaps.write();
+        let bm = g.entry(seg).or_insert_with(|| Bitset::new(rows));
+        for o in offsets {
+            bm.set(o as usize);
+        }
+    }
+
+    /// Is a specific row deleted?
+    pub fn is_deleted(&self, seg: SegmentId, offset: u32) -> bool {
+        self.bitmaps.read().get(&seg).map(|b| b.contains(offset as usize)).unwrap_or(false)
+    }
+
+    /// Number of deleted rows in a segment.
+    pub fn deleted_count(&self, seg: SegmentId) -> usize {
+        self.bitmaps.read().get(&seg).map(|b| b.count()).unwrap_or(0)
+    }
+
+    /// Total deleted rows across all segments (compaction pressure signal).
+    pub fn total_deleted(&self) -> usize {
+        self.bitmaps.read().values().map(|b| b.count()).sum()
+    }
+
+    /// The visibility bitset of a segment: bit set ⇔ row is live.
+    pub fn visibility(&self, seg: SegmentId, rows: usize) -> Bitset {
+        match self.bitmaps.read().get(&seg) {
+            Some(bm) => {
+                let mut vis = bm.clone();
+                vis.negate();
+                vis
+            }
+            None => Bitset::full(rows),
+        }
+    }
+
+    /// Raw delete bitmap, if any deletions were recorded.
+    pub fn bitmap(&self, seg: SegmentId) -> Option<Bitset> {
+        self.bitmaps.read().get(&seg).cloned()
+    }
+
+    /// Forget a segment's bitmap (after compaction removed the segment).
+    pub fn clear(&self, seg: SegmentId) {
+        self.bitmaps.write().remove(&seg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query() {
+        let dm = DeleteMap::new();
+        let seg = SegmentId(1);
+        assert!(!dm.is_deleted(seg, 0));
+        assert_eq!(dm.deleted_count(seg), 0);
+        dm.mark_deleted(seg, 10, [2, 5]);
+        assert!(dm.is_deleted(seg, 2));
+        assert!(dm.is_deleted(seg, 5));
+        assert!(!dm.is_deleted(seg, 3));
+        assert_eq!(dm.deleted_count(seg), 2);
+    }
+
+    #[test]
+    fn visibility_is_complement() {
+        let dm = DeleteMap::new();
+        let seg = SegmentId(2);
+        dm.mark_deleted(seg, 6, [0, 3]);
+        let vis = dm.visibility(seg, 6);
+        assert_eq!(vis.iter().collect::<Vec<_>>(), vec![1, 2, 4, 5]);
+        // Untouched segment: everything visible.
+        let all = dm.visibility(SegmentId(99), 4);
+        assert!(all.is_all_set());
+    }
+
+    #[test]
+    fn incremental_marks_accumulate() {
+        let dm = DeleteMap::new();
+        let seg = SegmentId(3);
+        dm.mark_deleted(seg, 8, [1]);
+        dm.mark_deleted(seg, 8, [2, 1]);
+        assert_eq!(dm.deleted_count(seg), 2);
+        assert_eq!(dm.total_deleted(), 2);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let dm = DeleteMap::new();
+        let seg = SegmentId(4);
+        dm.mark_deleted(seg, 4, [0, 1, 2, 3]);
+        assert_eq!(dm.deleted_count(seg), 4);
+        dm.clear(seg);
+        assert_eq!(dm.deleted_count(seg), 0);
+        assert!(dm.bitmap(seg).is_none());
+        assert!(dm.visibility(seg, 4).is_all_set());
+    }
+
+    #[test]
+    fn concurrent_marking() {
+        let dm = std::sync::Arc::new(DeleteMap::new());
+        let seg = SegmentId(5);
+        let mut handles = vec![];
+        for t in 0..4u32 {
+            let dm = dm.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    dm.mark_deleted(seg, 1000, [t * 250 + i]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dm.deleted_count(seg), 1000);
+    }
+}

@@ -1,0 +1,44 @@
+//! # bh-storage — the LSM columnar storage engine under BlendHouse
+//!
+//! A from-scratch substitute for ByteHouse's storage layer, providing every
+//! property the paper's design depends on:
+//!
+//! * **Immutable sorted segments** ([`segment`]) holding column data plus a
+//!   per-segment vector index built exactly once (§III-B).
+//! * **Multi-version updates** via delete bitmaps ([`delete`], Fig. 6): an
+//!   update writes a new segment and marks old rows deleted; queries filter
+//!   through the bitmap; compaction garbage-collects.
+//! * **Background compaction** ([`table`]) that merges small segments and
+//!   rebuilds their vector index in the same task.
+//! * **Scalar + semantic partitioning** ([`partition`]): `PARTITION BY`
+//!   columns and `CLUSTER BY <vec> INTO n BUCKETS` k-means bucketing, both
+//!   recorded in segment metadata for scheduler-side pruning (§IV-B).
+//! * **Disaggregated persistence** ([`objectstore`]): all blobs live in a
+//!   (simulated) remote shared store with injectable latency; compute stays
+//!   stateless.
+//! * **Hierarchical caches** ([`cache`], [`lru`]): in-memory LRU with
+//!   separate metadata/data spaces, a local-disk tier, then remote (§II-D).
+//! * **Selectivity statistics** ([`stats`]): per-column min/max and
+//!   equi-width histograms feeding the cost-based optimizer's `s` estimate.
+
+pub mod cache;
+pub mod column;
+pub mod delete;
+pub mod lru;
+pub mod objectstore;
+pub mod partition;
+pub mod predicate;
+pub mod schema;
+pub mod segment;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use cache::{BlockCache, IndexCache};
+pub use delete::DeleteMap;
+pub use objectstore::{DiskObjectStore, InMemoryObjectStore, ObjectStore, SharedObjectStore};
+pub use predicate::Predicate;
+pub use schema::{ColumnDef, TableSchema, VectorIndexDef};
+pub use segment::{Segment, SegmentMeta};
+pub use table::{IngestMode, TableStore, TableStoreConfig};
+pub use value::{ColumnType, Value};

@@ -1,0 +1,719 @@
+//! Scalar predicates: evaluation, vectorized bitset evaluation, min/max
+//! pruning, and histogram-based selectivity estimation.
+//!
+//! Predicates are the structured half of every hybrid query. They are used
+//! in four distinct ways, all implemented here:
+//!
+//! 1. **Row evaluation** — post-filter execution tests individual rows.
+//! 2. **Bitset evaluation** — pre-filter execution materializes a qualifying
+//!    bitset over a whole segment (the input to the ANN bitmap scan).
+//! 3. **Segment pruning** — `may_match_stats` answers "could any row of a
+//!    segment with these min/max stats qualify?" for scheduler-side pruning.
+//! 4. **Selectivity estimation** — `estimate_selectivity` produces the `s`
+//!    term of the paper's cost model from table sketches.
+
+use crate::column::ColumnData;
+use crate::stats::{ColumnSketch, ColumnStats, TableSketch};
+use crate::value::Value;
+use bh_common::regex_lite::Regex;
+use bh_common::{BhError, Bitset, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A boolean predicate over scalar columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (no WHERE clause).
+    True,
+    /// `col = value`
+    Eq(String, Value),
+    /// `col` in a range with optional unbounded sides. `lo_open`/`hi_open`
+    /// make the corresponding bound exclusive (`<` / `>` comparisons).
+    Range {
+        /// Filtered column.
+        column: String,
+        /// Lower bound (`None` = unbounded).
+        lo: Option<Value>,
+        /// Upper bound (`None` = unbounded).
+        hi: Option<Value>,
+        /// Exclude the lower bound itself (`>`).
+        lo_open: bool,
+        /// Exclude the upper bound itself (`<`).
+        hi_open: bool,
+    },
+    /// `col REGEXP 'pattern'` (LAION-style caption matching).
+    RegexMatch(String, Regex),
+    /// `col IN (v1, v2, …)`
+    In(String, Vec<Value>),
+    /// Conjunction of sub-predicates.
+    And(Vec<Predicate>),
+    /// Disjunction of sub-predicates.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = v`.
+    pub fn eq(column: &str, v: Value) -> Predicate {
+        Predicate::Eq(column.into(), v)
+    }
+
+    /// Inclusive range (`BETWEEN`-style bounds).
+    pub fn range(column: &str, lo: Option<Value>, hi: Option<Value>) -> Predicate {
+        Predicate::Range { column: column.into(), lo, hi, lo_open: false, hi_open: false }
+    }
+
+    /// Range with explicit bound openness (`<` / `>` comparisons).
+    pub fn range_open(
+        column: &str,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        lo_open: bool,
+        hi_open: bool,
+    ) -> Predicate {
+        Predicate::Range { column: column.into(), lo, hi, lo_open, hi_open }
+    }
+
+    /// `column REGEXP pattern` (compiles the pattern).
+    pub fn regex(column: &str, pattern: &str) -> Result<Predicate> {
+        Ok(Predicate::RegexMatch(column.into(), Regex::new(pattern)?))
+    }
+
+    /// Conjunction, flattening the 0- and 1-element cases.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        match preds.len() {
+            0 => Predicate::True,
+            1 => preds.into_iter().next().expect("len checked"),
+            _ => Predicate::And(preds),
+        }
+    }
+
+    /// Column names this predicate references, deduplicated.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Eq(c, _) | Predicate::RegexMatch(c, _) | Predicate::In(c, _) => {
+                out.push(c.clone())
+            }
+            Predicate::Range { column, .. } => out.push(column.clone()),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Evaluate against one row given a column→value mapping.
+    pub fn eval(&self, row: &BTreeMap<String, Value>) -> Result<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(c, v) => {
+                let cell = lookup(row, c)?;
+                cell.partial_cmp_scalar(v) == Some(std::cmp::Ordering::Equal)
+            }
+            Predicate::Range { column, lo, hi, lo_open, hi_open } => {
+                let cell = lookup(row, column)?;
+                in_range(cell, lo.as_ref(), hi.as_ref(), *lo_open, *hi_open)
+            }
+            Predicate::RegexMatch(c, re) => {
+                let cell = lookup(row, c)?;
+                cell.as_str().map(|s| re.is_match(s)).unwrap_or(false)
+            }
+            Predicate::In(c, vals) => {
+                let cell = lookup(row, c)?;
+                vals.iter()
+                    .any(|v| cell.partial_cmp_scalar(v) == Some(std::cmp::Ordering::Equal))
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.eval(row)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::Or(ps) => {
+                for p in ps {
+                    if p.eval(row)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Predicate::Not(p) => !p.eval(row)?,
+        })
+    }
+
+    /// Vectorized evaluation over segment columns: bit set ⇔ row qualifies.
+    /// `columns` must contain every referenced column, each with `rows` rows.
+    pub fn eval_bitset(
+        &self,
+        columns: &BTreeMap<String, &ColumnData>,
+        rows: usize,
+    ) -> Result<Bitset> {
+        Ok(match self {
+            Predicate::True => Bitset::full(rows),
+            Predicate::Eq(c, v) => {
+                let col = col_lookup(columns, c, rows)?;
+                if let Some(fast) = eq_fast(col, v, rows) {
+                    fast
+                } else {
+                    let mut b = Bitset::new(rows);
+                    for i in 0..rows {
+                        if col.get(i).partial_cmp_scalar(v) == Some(std::cmp::Ordering::Equal) {
+                            b.set(i);
+                        }
+                    }
+                    b
+                }
+            }
+            Predicate::Range { column, lo, hi, lo_open, hi_open } => {
+                let col = col_lookup(columns, column, rows)?;
+                if let Some(fast) =
+                    range_fast(col, lo.as_ref(), hi.as_ref(), *lo_open, *hi_open, rows)
+                {
+                    fast
+                } else {
+                    let mut b = Bitset::new(rows);
+                    for i in 0..rows {
+                        if in_range(&col.get(i), lo.as_ref(), hi.as_ref(), *lo_open, *hi_open) {
+                            b.set(i);
+                        }
+                    }
+                    b
+                }
+            }
+            Predicate::RegexMatch(c, re) => {
+                let col = col_lookup(columns, c, rows)?;
+                let mut b = Bitset::new(rows);
+                match col {
+                    ColumnData::Str(v) => {
+                        for (i, s) in v.iter().enumerate() {
+                            if re.is_match(s) {
+                                b.set(i);
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(BhError::Plan(format!(
+                            "regex predicate on non-string column {c}"
+                        )))
+                    }
+                }
+                b
+            }
+            Predicate::In(c, vals) => {
+                let col = col_lookup(columns, c, rows)?;
+                let mut b = Bitset::new(rows);
+                for i in 0..rows {
+                    let cell = col.get(i);
+                    if vals
+                        .iter()
+                        .any(|v| cell.partial_cmp_scalar(v) == Some(std::cmp::Ordering::Equal))
+                    {
+                        b.set(i);
+                    }
+                }
+                b
+            }
+            Predicate::And(ps) => {
+                let mut acc = Bitset::full(rows);
+                for p in ps {
+                    acc.intersect_with(&p.eval_bitset(columns, rows)?);
+                    if acc.is_all_clear() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Predicate::Or(ps) => {
+                let mut acc = Bitset::new(rows);
+                for p in ps {
+                    acc.union_with(&p.eval_bitset(columns, rows)?);
+                }
+                acc
+            }
+            Predicate::Not(p) => {
+                let mut b = p.eval_bitset(columns, rows)?;
+                b.negate();
+                b
+            }
+        })
+    }
+
+    /// Segment pruning: could any row of a segment with these per-column
+    /// min/max stats satisfy the predicate? Conservative (never prunes
+    /// wrongly); regex and NOT answer `true`.
+    pub fn may_match_stats(&self, stats: &BTreeMap<String, ColumnStats>) -> bool {
+        match self {
+            Predicate::True | Predicate::RegexMatch(..) | Predicate::Not(_) => true,
+            Predicate::Eq(c, v) => stats.get(c).map(|s| s.may_contain(v)).unwrap_or(true),
+            // Openness is ignored for pruning — strictly conservative.
+            Predicate::Range { column, lo, hi, .. } => stats
+                .get(column)
+                .map(|s| s.range_may_overlap(lo.as_ref(), hi.as_ref()))
+                .unwrap_or(true),
+            Predicate::In(c, vals) => stats
+                .get(c)
+                .map(|s| vals.iter().any(|v| s.may_contain(v)))
+                .unwrap_or(true),
+            Predicate::And(ps) => ps.iter().all(|p| p.may_match_stats(stats)),
+            Predicate::Or(ps) => ps.is_empty() || ps.iter().any(|p| p.may_match_stats(stats)),
+        }
+    }
+
+    /// Histogram-based selectivity estimate (the cost model's `s`).
+    /// Independence is assumed across AND/OR branches; unknown shapes fall
+    /// back to conservative constants (regex 0.1, unknown column 0.3).
+    pub fn estimate_selectivity(&self, sketch: &TableSketch) -> f64 {
+        match self {
+            Predicate::True => 1.0,
+            Predicate::Eq(c, v) => match (sketch.columns.get(c), v) {
+                (Some(ColumnSketch::Numeric(h)), v) => {
+                    v.as_f64().map(|f| h.selectivity_eq(f)).unwrap_or(0.0)
+                }
+                (Some(ColumnSketch::Strings(sk)), Value::Str(s)) => sk.selectivity_eq(s),
+                _ => 0.3,
+            },
+            Predicate::Range { column, lo, hi, .. } => match sketch.columns.get(column) {
+                Some(ColumnSketch::Numeric(h)) => h.selectivity_range(
+                    lo.as_ref().and_then(|v| v.as_f64()),
+                    hi.as_ref().and_then(|v| v.as_f64()),
+                ),
+                _ => 0.3,
+            },
+            Predicate::RegexMatch(..) => 0.1,
+            Predicate::In(c, vals) => {
+                vals.iter()
+                    .map(|v| Predicate::Eq(c.clone(), v.clone()).estimate_selectivity(sketch))
+                    .sum::<f64>()
+                    .clamp(0.0, 1.0)
+            }
+            Predicate::And(ps) => ps.iter().map(|p| p.estimate_selectivity(sketch)).product(),
+            Predicate::Or(ps) => {
+                let none: f64 =
+                    ps.iter().map(|p| 1.0 - p.estimate_selectivity(sketch)).product();
+                1.0 - none
+            }
+            Predicate::Not(p) => 1.0 - p.estimate_selectivity(sketch),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Eq(c, v) => write!(f, "{c} = {v}"),
+            Predicate::Range { column, lo, hi, lo_open, hi_open } => match (lo, hi) {
+                (Some(l), Some(h)) => write!(f, "{column} BETWEEN {l} AND {h}"),
+                (Some(l), None) => {
+                    write!(f, "{column} {} {l}", if *lo_open { ">" } else { ">=" })
+                }
+                (None, Some(h)) => {
+                    write!(f, "{column} {} {h}", if *hi_open { "<" } else { "<=" })
+                }
+                (None, None) => write!(f, "{column} IS ANY"),
+            },
+            Predicate::RegexMatch(c, re) => write!(f, "{c} REGEXP '{}'", re.as_str()),
+            Predicate::In(c, vs) => {
+                write!(f, "{c} IN (")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+        }
+    }
+}
+
+/// Vectorized equality over typed columns — avoids per-cell [`Value`]
+/// boxing on the hot pre-filter path (the engine-level optimization the
+/// paper attributes to vectorized execution). Returns `None` for shapes the
+/// fast path does not cover; callers fall back to the generic loop.
+fn eq_fast(col: &ColumnData, v: &Value, rows: usize) -> Option<Bitset> {
+    let mut b = Bitset::new(rows);
+    match (col, v) {
+        (ColumnData::Str(data), Value::Str(want)) => {
+            for (i, s) in data.iter().enumerate() {
+                if s == want {
+                    b.set(i);
+                }
+            }
+        }
+        (ColumnData::UInt64(data), _) | (ColumnData::DateTime(data), _) => {
+            let want = v.as_f64()?;
+            for (i, &x) in data.iter().enumerate() {
+                if x as f64 == want {
+                    b.set(i);
+                }
+            }
+        }
+        (ColumnData::Int64(data), _) => {
+            let want = v.as_f64()?;
+            for (i, &x) in data.iter().enumerate() {
+                if x as f64 == want {
+                    b.set(i);
+                }
+            }
+        }
+        (ColumnData::Float64(data), _) => {
+            let want = v.as_f64()?;
+            for (i, &x) in data.iter().enumerate() {
+                if x == want {
+                    b.set(i);
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(b)
+}
+
+/// Vectorized numeric range test (see [`eq_fast`]). Bound comparisons go
+/// through `f64`, matching `Value::partial_cmp_scalar`'s cross-type rule.
+fn range_fast(
+    col: &ColumnData,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    lo_open: bool,
+    hi_open: bool,
+    rows: usize,
+) -> Option<Bitset> {
+    // Extract f64 bounds; a non-numeric bound (e.g. a string) disqualifies.
+    let lo_f = match lo {
+        Some(v) => Some(v.as_f64()?),
+        None => None,
+    };
+    let hi_f = match hi {
+        Some(v) => Some(v.as_f64()?),
+        None => None,
+    };
+    let test = |x: f64| {
+        if let Some(l) = lo_f {
+            if x < l || (lo_open && x == l) {
+                return false;
+            }
+        }
+        if let Some(h) = hi_f {
+            if x > h || (hi_open && x == h) {
+                return false;
+            }
+        }
+        true
+    };
+    let mut b = Bitset::new(rows);
+    match col {
+        ColumnData::UInt64(data) | ColumnData::DateTime(data) => {
+            for (i, &x) in data.iter().enumerate() {
+                if test(x as f64) {
+                    b.set(i);
+                }
+            }
+        }
+        ColumnData::Int64(data) => {
+            for (i, &x) in data.iter().enumerate() {
+                if test(x as f64) {
+                    b.set(i);
+                }
+            }
+        }
+        ColumnData::Float64(data) => {
+            for (i, &x) in data.iter().enumerate() {
+                if test(x) {
+                    b.set(i);
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(b)
+}
+
+fn lookup<'a>(row: &'a BTreeMap<String, Value>, col: &str) -> Result<&'a Value> {
+    row.get(col).ok_or_else(|| BhError::Plan(format!("predicate column {col} missing from row")))
+}
+
+fn col_lookup<'a>(
+    columns: &BTreeMap<String, &'a ColumnData>,
+    col: &str,
+    rows: usize,
+) -> Result<&'a ColumnData> {
+    let c = columns
+        .get(col)
+        .ok_or_else(|| BhError::Plan(format!("predicate column {col} not provided")))?;
+    if c.len() != rows {
+        return Err(BhError::Internal(format!(
+            "column {col} has {} rows, segment claims {rows}",
+            c.len()
+        )));
+    }
+    Ok(c)
+}
+
+fn in_range(v: &Value, lo: Option<&Value>, hi: Option<&Value>, lo_open: bool, hi_open: bool) -> bool {
+    if let Some(lo) = lo {
+        match v.partial_cmp_scalar(lo) {
+            Some(std::cmp::Ordering::Less) | None => return false,
+            Some(std::cmp::Ordering::Equal) if lo_open => return false,
+            _ => {}
+        }
+    }
+    if let Some(hi) = hi {
+        match v.partial_cmp_scalar(hi) {
+            Some(std::cmp::Ordering::Greater) | None => return false,
+            Some(std::cmp::Ordering::Equal) if hi_open => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+    use proptest::prelude::*;
+
+    fn row(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn segment_columns(n: usize) -> (ColumnData, ColumnData, ColumnData) {
+        let mut ints = ColumnData::empty(ColumnType::UInt64);
+        let mut labels = ColumnData::empty(ColumnType::Str);
+        let mut sims = ColumnData::empty(ColumnType::Float64);
+        for i in 0..n {
+            ints.push(&Value::UInt64(i as u64)).unwrap();
+            labels
+                .push(&Value::Str(if i % 2 == 0 { "animal".into() } else { "plant".into() }))
+                .unwrap();
+            sims.push(&Value::Float64(i as f64 / n as f64)).unwrap();
+        }
+        (ints, labels, sims)
+    }
+
+    #[test]
+    fn row_eval_basics() {
+        let r = row(&[("x", Value::UInt64(5)), ("s", Value::Str("animal".into()))]);
+        assert!(Predicate::eq("x", Value::UInt64(5)).eval(&r).unwrap());
+        assert!(!Predicate::eq("x", Value::UInt64(6)).eval(&r).unwrap());
+        assert!(Predicate::range("x", Some(Value::UInt64(5)), Some(Value::UInt64(9)))
+            .eval(&r)
+            .unwrap());
+        assert!(!Predicate::range("x", Some(Value::UInt64(6)), None).eval(&r).unwrap());
+        assert!(Predicate::regex("s", "^ani").unwrap().eval(&r).unwrap());
+        assert!(Predicate::In("x".into(), vec![Value::UInt64(1), Value::UInt64(5)])
+            .eval(&r)
+            .unwrap());
+        assert!(Predicate::eq("missing", Value::UInt64(1)).eval(&r).is_err());
+    }
+
+    #[test]
+    fn compound_eval() {
+        let r = row(&[("a", Value::UInt64(1)), ("b", Value::UInt64(2))]);
+        let p = Predicate::And(vec![
+            Predicate::eq("a", Value::UInt64(1)),
+            Predicate::eq("b", Value::UInt64(2)),
+        ]);
+        assert!(p.eval(&r).unwrap());
+        let q = Predicate::Or(vec![
+            Predicate::eq("a", Value::UInt64(9)),
+            Predicate::eq("b", Value::UInt64(2)),
+        ]);
+        assert!(q.eval(&r).unwrap());
+        assert!(!Predicate::Not(Box::new(q)).eval(&r).unwrap());
+    }
+
+    #[test]
+    fn bitset_matches_row_eval() {
+        let n = 100;
+        let (ints, labels, sims) = segment_columns(n);
+        let columns: BTreeMap<String, &ColumnData> = [
+            ("x".to_string(), &ints),
+            ("label".to_string(), &labels),
+            ("sim".to_string(), &sims),
+        ]
+        .into_iter()
+        .collect();
+
+        let p = Predicate::And(vec![
+            Predicate::eq("label", Value::Str("animal".into())),
+            Predicate::range("sim", Some(Value::Float64(0.5)), None),
+            Predicate::range("x", None, Some(Value::UInt64(90))),
+        ]);
+        let bits = p.eval_bitset(&columns, n).unwrap();
+        for i in 0..n {
+            let r = row(&[
+                ("x", ints.get(i)),
+                ("label", labels.get(i)),
+                ("sim", sims.get(i)),
+            ]);
+            assert_eq!(bits.contains(i), p.eval(&r).unwrap(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn regex_bitset_and_type_error() {
+        let n = 10;
+        let (ints, labels, _) = segment_columns(n);
+        let columns: BTreeMap<String, &ColumnData> =
+            [("label".to_string(), &labels), ("x".to_string(), &ints)].into_iter().collect();
+        let p = Predicate::regex("label", "^pla").unwrap();
+        let bits = p.eval_bitset(&columns, n).unwrap();
+        assert_eq!(bits.count(), 5);
+        let bad = Predicate::regex("x", "^1").unwrap();
+        assert!(bad.eval_bitset(&columns, n).is_err());
+    }
+
+    #[test]
+    fn true_predicate_selects_everything() {
+        let columns = BTreeMap::new();
+        let bits = Predicate::True.eval_bitset(&columns, 7).unwrap();
+        assert!(bits.is_all_set());
+    }
+
+    #[test]
+    fn stats_pruning() {
+        let mut st = ColumnStats::default();
+        for v in 10..20u64 {
+            st.observe(&Value::UInt64(v));
+        }
+        let stats: BTreeMap<String, ColumnStats> = [("x".to_string(), st)].into_iter().collect();
+        assert!(Predicate::eq("x", Value::UInt64(15)).may_match_stats(&stats));
+        assert!(!Predicate::eq("x", Value::UInt64(50)).may_match_stats(&stats));
+        assert!(!Predicate::range("x", Some(Value::UInt64(30)), None).may_match_stats(&stats));
+        assert!(Predicate::range("x", Some(Value::UInt64(19)), None).may_match_stats(&stats));
+        // AND prunes if any branch prunes; OR only if all prune.
+        let and = Predicate::And(vec![
+            Predicate::eq("x", Value::UInt64(15)),
+            Predicate::eq("x", Value::UInt64(50)),
+        ]);
+        assert!(!and.may_match_stats(&stats));
+        let or = Predicate::Or(vec![
+            Predicate::eq("x", Value::UInt64(15)),
+            Predicate::eq("x", Value::UInt64(50)),
+        ]);
+        assert!(or.may_match_stats(&stats));
+        // Unknown column never prunes.
+        assert!(Predicate::eq("y", Value::UInt64(0)).may_match_stats(&stats));
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let mut b = crate::stats::TableSketch::builder();
+        for i in 0..1000u64 {
+            b.observe("x", ColumnType::UInt64, &Value::UInt64(i));
+            b.observe(
+                "label",
+                ColumnType::Str,
+                &Value::Str(if i % 10 == 0 { "rare".into() } else { "common".into() }),
+            );
+        }
+        b.observe_row_count(1000);
+        let sk = b.finish();
+        let s = Predicate::range("x", Some(Value::UInt64(0)), Some(Value::UInt64(99)))
+            .estimate_selectivity(&sk);
+        assert!((s - 0.1).abs() < 0.05, "range selectivity {s}");
+        let eq = Predicate::eq("label", Value::Str("rare".into())).estimate_selectivity(&sk);
+        assert!((eq - 0.1).abs() < 0.02, "string eq selectivity {eq}");
+        let and = Predicate::And(vec![
+            Predicate::range("x", Some(Value::UInt64(0)), Some(Value::UInt64(499))),
+            Predicate::eq("label", Value::Str("common".into())),
+        ])
+        .estimate_selectivity(&sk);
+        assert!((and - 0.45).abs() < 0.1, "AND selectivity {and}");
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let p = Predicate::And(vec![
+            Predicate::eq("a", Value::UInt64(1)),
+            Predicate::Or(vec![
+                Predicate::eq("b", Value::UInt64(2)),
+                Predicate::eq("a", Value::UInt64(3)),
+            ]),
+        ]);
+        assert_eq!(p.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::And(vec![
+            Predicate::eq("label", Value::Str("animal".into())),
+            Predicate::range("t", Some(Value::DateTime(5)), None),
+        ]);
+        assert_eq!(p.to_string(), "(label = 'animal' AND t >= dt(5))");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bitset_count_matches_row_count(
+            n in 1usize..200,
+            threshold in 0u64..200,
+        ) {
+            let mut ints = ColumnData::empty(ColumnType::UInt64);
+            for i in 0..n {
+                ints.push(&Value::UInt64(i as u64)).unwrap();
+            }
+            let columns: BTreeMap<String, &ColumnData> =
+                [("x".to_string(), &ints)].into_iter().collect();
+            let p = Predicate::range("x", None, Some(Value::UInt64(threshold)));
+            let bits = p.eval_bitset(&columns, n).unwrap();
+            let expect = (0..n).filter(|&i| i as u64 <= threshold).count();
+            prop_assert_eq!(bits.count(), expect);
+        }
+
+        #[test]
+        fn prop_not_is_complement(
+            n in 1usize..100,
+            m in 1u64..50,
+        ) {
+            let mut ints = ColumnData::empty(ColumnType::UInt64);
+            for i in 0..n {
+                ints.push(&Value::UInt64(i as u64 % m)).unwrap();
+            }
+            let columns: BTreeMap<String, &ColumnData> =
+                [("x".to_string(), &ints)].into_iter().collect();
+            let p = Predicate::eq("x", Value::UInt64(0));
+            let pos = p.eval_bitset(&columns, n).unwrap();
+            let neg = Predicate::Not(Box::new(p)).eval_bitset(&columns, n).unwrap();
+            prop_assert_eq!(pos.count() + neg.count(), n);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Table schemas: columns, sort key, partitioning, and vector index
+//! definitions — the storage-side mirror of Example 1's DDL.
+
+use crate::value::{ColumnType, Value};
+use bh_common::{BhError, Result};
+use bh_vector::{IndexKind, IndexSpec, Metric};
+use serde::{Deserialize, Serialize};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// A column definition.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// A vector index declared on a column
+/// (`INDEX ann_idx embedding TYPE HNSW('DIM=960')`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorIndexDef {
+    /// Index name.
+    pub name: String,
+    /// Indexed vector column.
+    pub column: String,
+    /// Full index specification.
+    pub spec: IndexSpec,
+}
+
+/// Semantic clustering declaration (`CLUSTER BY embedding INTO n BUCKETS`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterBy {
+    /// Clustered vector column.
+    pub column: String,
+    /// Number of k-means buckets.
+    pub buckets: usize,
+}
+
+/// Full table schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Sort key (`ORDER BY`); rows inside a segment are sorted by it.
+    pub order_by: Vec<String>,
+    /// Scalar partition key columns (`PARTITION BY`).
+    pub partition_by: Vec<String>,
+    /// Semantic partitioning (`CLUSTER BY … INTO n BUCKETS`).
+    pub cluster_by: Option<ClusterBy>,
+    /// Vector indexes (at most one per vector column).
+    pub indexes: Vec<VectorIndexDef>,
+}
+
+impl TableSchema {
+    /// Start a builder-style schema with just a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            columns: Vec::new(),
+            order_by: Vec::new(),
+            partition_by: Vec::new(),
+            cluster_by: None,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Append a column.
+    pub fn with_column(mut self, name: &str, ty: ColumnType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Set the sort key.
+    pub fn with_order_by(mut self, cols: &[&str]) -> Self {
+        self.order_by = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Set the scalar partition key.
+    pub fn with_partition_by(mut self, cols: &[&str]) -> Self {
+        self.partition_by = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Enable semantic clustering on a vector column.
+    pub fn with_cluster_by(mut self, column: &str, buckets: usize) -> Self {
+        self.cluster_by = Some(ClusterBy { column: column.into(), buckets });
+        self
+    }
+
+    /// Declare a vector index; infers the metric/dim defaults from params.
+    pub fn with_vector_index(
+        mut self,
+        name: &str,
+        column: &str,
+        kind: IndexKind,
+        dim: usize,
+        metric: Metric,
+    ) -> Self {
+        self.indexes.push(VectorIndexDef {
+            name: name.into(),
+            column: column.into(),
+            spec: IndexSpec::new(kind, dim, metric),
+        });
+        self
+    }
+
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Position of a column in declaration order.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The index defined over `column`, if any.
+    pub fn index_on(&self, column: &str) -> Option<&VectorIndexDef> {
+        self.indexes.iter().find(|i| i.column == column)
+    }
+
+    /// The single vector column of the table, if exactly one exists.
+    pub fn sole_vector_column(&self) -> Option<&ColumnDef> {
+        let mut it = self.columns.iter().filter(|c| c.ty.is_vector());
+        match (it.next(), it.next()) {
+            (Some(c), None) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Validate internal consistency; called at CREATE TABLE time.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(BhError::InvalidArgument("table name must not be empty".into()));
+        }
+        if self.columns.is_empty() {
+            return Err(BhError::InvalidArgument("table must have at least one column".into()));
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(BhError::AlreadyExists(format!("duplicate column {}", c.name)));
+            }
+        }
+        for col in self.order_by.iter().chain(&self.partition_by) {
+            match self.column(col) {
+                None => return Err(BhError::NotFound(format!("key column {col}"))),
+                Some(def) if def.ty.is_vector() => {
+                    return Err(BhError::InvalidArgument(format!(
+                        "vector column {col} cannot be a sort/partition key"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        if let Some(cb) = &self.cluster_by {
+            let def = self
+                .column(&cb.column)
+                .ok_or_else(|| BhError::NotFound(format!("cluster column {}", cb.column)))?;
+            if !def.ty.is_vector() {
+                return Err(BhError::InvalidArgument(format!(
+                    "CLUSTER BY column {} must be a vector column",
+                    cb.column
+                )));
+            }
+            if cb.buckets == 0 {
+                return Err(BhError::InvalidArgument("CLUSTER BY needs >= 1 bucket".into()));
+            }
+        }
+        for (i, idx) in self.indexes.iter().enumerate() {
+            idx.spec.validate()?;
+            let col = self
+                .column(&idx.column)
+                .ok_or_else(|| BhError::NotFound(format!("index column {}", idx.column)))?;
+            match col.ty {
+                ColumnType::Vector(d) => {
+                    if d != 0 && d != idx.spec.dim {
+                        return Err(BhError::DimensionMismatch { expected: d, got: idx.spec.dim });
+                    }
+                }
+                _ => {
+                    return Err(BhError::InvalidArgument(format!(
+                        "index {} must target a vector column",
+                        idx.name
+                    )))
+                }
+            }
+            if self.indexes[..i].iter().any(|o| o.column == idx.column) {
+                return Err(BhError::AlreadyExists(format!(
+                    "multiple indexes on column {}",
+                    idx.column
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate one row against the schema (arity + per-cell type).
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(BhError::InvalidArgument(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            // Vector columns check against the index's dim when declared 0.
+            let ty = match c.ty {
+                ColumnType::Vector(0) => {
+                    let dim = self.index_on(&c.name).map(|i| i.spec.dim).unwrap_or(0);
+                    ColumnType::Vector(dim)
+                }
+                t => t,
+            };
+            if !v.conforms_to(ty) {
+                return Err(BhError::InvalidArgument(format!(
+                    "value {v} does not conform to column {} ({})",
+                    c.name,
+                    ty.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn images_schema() -> TableSchema {
+        TableSchema::new("images")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("label", ColumnType::Str)
+            .with_column("published_time", ColumnType::DateTime)
+            .with_column("embedding", ColumnType::Vector(8))
+            .with_order_by(&["published_time"])
+            .with_partition_by(&["label"])
+            .with_cluster_by("embedding", 4)
+            .with_vector_index("ann_idx", "embedding", IndexKind::Hnsw, 8, Metric::L2)
+    }
+
+    #[test]
+    fn example1_like_schema_validates() {
+        images_schema().validate().unwrap();
+    }
+
+    #[test]
+    fn lookups() {
+        let s = images_schema();
+        assert_eq!(s.column_index("label"), Some(1));
+        assert!(s.column("missing").is_none());
+        assert_eq!(s.index_on("embedding").unwrap().name, "ann_idx");
+        assert_eq!(s.sole_vector_column().unwrap().name, "embedding");
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let s = TableSchema::new("t")
+            .with_column("a", ColumnType::UInt64)
+            .with_column("a", ColumnType::Int64);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn vector_partition_key_rejected() {
+        let s = TableSchema::new("t")
+            .with_column("v", ColumnType::Vector(4))
+            .with_partition_by(&["v"]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_by_requires_vector_column() {
+        let s = TableSchema::new("t")
+            .with_column("a", ColumnType::UInt64)
+            .with_cluster_by("a", 4);
+        assert!(s.validate().is_err());
+        let s2 = TableSchema::new("t")
+            .with_column("v", ColumnType::Vector(4))
+            .with_cluster_by("v", 0);
+        assert!(s2.validate().is_err());
+    }
+
+    #[test]
+    fn index_dimension_must_match_column() {
+        let s = TableSchema::new("t")
+            .with_column("v", ColumnType::Vector(8))
+            .with_vector_index("i", "v", IndexKind::Hnsw, 16, Metric::L2);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn index_on_scalar_rejected() {
+        let s = TableSchema::new("t")
+            .with_column("a", ColumnType::UInt64)
+            .with_vector_index("i", "a", IndexKind::Hnsw, 4, Metric::L2);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = images_schema();
+        let good = vec![
+            Value::UInt64(1),
+            Value::Str("animal".into()),
+            Value::DateTime(100),
+            Value::Vector(vec![0.0; 8]),
+        ];
+        s.validate_row(&good).unwrap();
+        let bad_arity = vec![Value::UInt64(1)];
+        assert!(s.validate_row(&bad_arity).is_err());
+        let bad_dim = vec![
+            Value::UInt64(1),
+            Value::Str("x".into()),
+            Value::DateTime(100),
+            Value::Vector(vec![0.0; 4]),
+        ];
+        assert!(s.validate_row(&bad_dim).is_err());
+        let bad_type = vec![
+            Value::Str("oops".into()),
+            Value::Str("x".into()),
+            Value::DateTime(100),
+            Value::Vector(vec![0.0; 8]),
+        ];
+        assert!(s.validate_row(&bad_type).is_err());
+    }
+
+    #[test]
+    fn vector_dim_inferred_from_index_when_column_is_dimless() {
+        let s = TableSchema::new("t")
+            .with_column("v", ColumnType::Vector(0))
+            .with_vector_index("i", "v", IndexKind::Hnsw, 4, Metric::L2);
+        s.validate().unwrap();
+        assert!(s.validate_row(&[Value::Vector(vec![0.0; 4])]).is_ok());
+        assert!(s.validate_row(&[Value::Vector(vec![0.0; 5])]).is_err());
+    }
+}

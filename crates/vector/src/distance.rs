@@ -1,0 +1,236 @@
+//! Distance metrics and their scalar kernels.
+//!
+//! Kernels are written as chunked loops over fixed-width lanes so LLVM
+//! auto-vectorizes them (the Rust Performance Book's recommended approach
+//! when hand-written SIMD is not warranted). All distances are *smaller is
+//! more similar*: inner product and cosine are returned negated / inverted
+//! accordingly so every index can treat search uniformly as minimization.
+
+use bh_common::{BhError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Similarity metric for a vector column / index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance (monotone in L2; avoids the sqrt).
+    #[default]
+    L2,
+    /// Negative inner product (so that larger dot products sort first).
+    InnerProduct,
+    /// Cosine distance, `1 - cos(a, b)`.
+    Cosine,
+}
+
+impl Metric {
+    /// Parse the SQL-facing metric name.
+    pub fn parse(s: &str) -> Result<Metric> {
+        match s.to_ascii_uppercase().as_str() {
+            "L2" | "L2DISTANCE" | "EUCLIDEAN" => Ok(Metric::L2),
+            "IP" | "INNERPRODUCT" | "DOT" | "DOTPRODUCT" => Ok(Metric::InnerProduct),
+            "COSINE" | "COSINEDISTANCE" | "COS" => Ok(Metric::Cosine),
+            other => Err(BhError::InvalidArgument(format!("unknown metric: {other}"))),
+        }
+    }
+
+    /// SQL distance-function name mapped to this metric.
+    pub fn sql_function(&self) -> &'static str {
+        match self {
+            Metric::L2 => "L2Distance",
+            Metric::InnerProduct => "IPDistance",
+            Metric::Cosine => "CosineDistance",
+        }
+    }
+
+    /// Compute the (minimization-oriented) distance between two vectors.
+    ///
+    /// # Panics
+    /// Panics in debug builds if lengths differ; in release the shorter length
+    /// wins (callers validate dimensions at the API boundary).
+    #[inline]
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch in distance kernel");
+        match self {
+            Metric::L2 => l2_sq(a, b),
+            Metric::InnerProduct => -dot(a, b),
+            Metric::Cosine => cosine_distance(a, b),
+        }
+    }
+}
+
+const LANES: usize = 8;
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            let d = a[base + l] - b[base + l];
+            acc[l] += d * d;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * LANES..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner (dot) product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            acc[l] += a[base + l] * b[base + l];
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * LANES..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine distance `1 - cos(a,b)`. Zero vectors are treated as maximally
+/// distant (distance 1.0) rather than NaN.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+/// Normalize a vector in place to unit length; zero vectors are left as-is.
+pub fn normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_l2(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn l2_basic() {
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_sq(&[], &[]), 0.0);
+        let a = [1.0; 17]; // exercises the remainder loop
+        let b = [2.0; 17];
+        assert_eq!(l2_sq(&a, &b), 17.0);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metric_parse_and_sql_names() {
+        assert_eq!(Metric::parse("l2").unwrap(), Metric::L2);
+        assert_eq!(Metric::parse("CoSiNe").unwrap(), Metric::Cosine);
+        assert_eq!(Metric::parse("IP").unwrap(), Metric::InnerProduct);
+        assert!(Metric::parse("hamming").is_err());
+        assert_eq!(Metric::L2.sql_function(), "L2Distance");
+    }
+
+    #[test]
+    fn inner_product_is_negated() {
+        // Higher dot product must yield smaller distance.
+        let q = [1.0, 0.0];
+        let near = [1.0, 0.0];
+        let far = [0.1, 0.0];
+        assert!(Metric::InnerProduct.distance(&q, &near) < Metric::InnerProduct.distance(&q, &far));
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_l2_matches_naive(
+            v in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 0..64)
+        ) {
+            let a: Vec<f32> = v.iter().map(|p| p.0).collect();
+            let b: Vec<f32> = v.iter().map(|p| p.1).collect();
+            let fast = l2_sq(&a, &b);
+            let slow = naive_l2(&a, &b);
+            prop_assert!((fast - slow).abs() <= 1e-2 * (1.0 + slow.abs()));
+        }
+
+        #[test]
+        fn prop_l2_identity_and_symmetry(
+            a in proptest::collection::vec(-50.0f32..50.0, 1..40),
+            b in proptest::collection::vec(-50.0f32..50.0, 1..40),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert_eq!(l2_sq(a, a), 0.0);
+            prop_assert!((l2_sq(a, b) - l2_sq(b, a)).abs() < 1e-3);
+            prop_assert!(l2_sq(a, b) >= 0.0);
+        }
+
+        #[test]
+        fn prop_cosine_in_range(
+            a in proptest::collection::vec(-10.0f32..10.0, 2..32),
+            b in proptest::collection::vec(-10.0f32..10.0, 2..32),
+        ) {
+            let n = a.len().min(b.len());
+            let d = cosine_distance(&a[..n], &b[..n]);
+            prop_assert!((-1e-4..=2.0 + 1e-4).contains(&d), "cosine distance {d} out of [0,2]");
+        }
+
+        #[test]
+        fn prop_cosine_scale_invariant(
+            a in proptest::collection::vec(0.1f32..10.0, 4..16),
+            s in 0.5f32..4.0,
+        ) {
+            let scaled: Vec<f32> = a.iter().map(|x| x * s).collect();
+            let d = cosine_distance(&a, &scaled);
+            prop_assert!(d.abs() < 1e-3, "scaling changed cosine distance: {d}");
+        }
+    }
+}

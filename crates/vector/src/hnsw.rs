@@ -1,0 +1,929 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin), with the
+//! iterative-search extension the paper adds to hnswlib (§III-B).
+//!
+//! Two storage backends share one graph implementation:
+//!
+//! * `HNSW` — raw f32 vectors (exact distances).
+//! * `HNSWSQ` — vectors stored as 8-bit scalar-quantized codes
+//!   ([`crate::quant::sq::Sq8`]), decoded on the fly (asymmetric distance):
+//!   ~4x less memory for a small recall cost (Table VI's shape).
+//!
+//! The **native search iterator** is the feature BlendHouse's post-filter
+//! strategy relies on: a resumable best-first traversal of layer 0 whose
+//! state (candidate heap + visited set) persists across batches, so asking
+//! for "k more" costs only the incremental expansion — no doubled-k restart.
+
+use crate::codec::{Reader, Writer};
+use crate::flat::{metric_from_u8, metric_to_u8};
+use crate::iterator::SearchIterator;
+use crate::quant::sq::Sq8;
+use crate::types::{
+    check_batch, IndexBuilder, IndexMeta, IndexSpec, Neighbor, SearchParams, VectorIndex,
+};
+use crate::{IndexKind, Metric};
+use bh_common::rng::{derived_rng, DetRng};
+use bh_common::{BhError, Bitset, Result, TopK};
+use bytes::Bytes;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"BHHN";
+const VERSION: u16 = 1;
+
+/// Ordered (distance, node) pair for binary heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DistNode {
+    dist: f32,
+    node: u32,
+}
+
+impl Eq for DistNode {}
+
+impl PartialOrd for DistNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DistNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.total_cmp(&other.dist).then(self.node.cmp(&other.node))
+    }
+}
+
+/// Vector payload storage: raw or scalar-quantized.
+#[derive(Debug, Clone)]
+enum Store {
+    Raw { data: Vec<f32> },
+    Sq { sq: Sq8, codes: Vec<u8> },
+}
+
+impl Store {
+    fn len(&self, dim: usize) -> usize {
+        match self {
+            Store::Raw { data } => data.len() / dim,
+            Store::Sq { codes, .. } => codes.len() / dim,
+        }
+    }
+
+    /// Asymmetric distance from an f32 query to stored row.
+    #[inline]
+    fn distance_to(&self, metric: Metric, dim: usize, query: &[f32], row: usize) -> f32 {
+        match self {
+            Store::Raw { data } => metric.distance(query, &data[row * dim..(row + 1) * dim]),
+            Store::Sq { sq, codes } => {
+                let code = &codes[row * dim..(row + 1) * dim];
+                match metric {
+                    Metric::L2 => sq.asym_l2(query, code),
+                    Metric::InnerProduct => sq.asym_neg_ip(query, code),
+                    // Cosine over SQ: decode (rare path; HNSWSQ cosine users
+                    // normalize at ingest so L2 ordering matches).
+                    Metric::Cosine => metric.distance(query, &sq.decode(code)),
+                }
+            }
+        }
+    }
+
+    fn memory_usage(&self) -> usize {
+        match self {
+            Store::Raw { data } => data.len() * 4,
+            Store::Sq { sq, codes } => codes.len() + sq.memory_usage(),
+        }
+    }
+}
+
+/// An immutable HNSW index.
+#[derive(Debug)]
+pub struct HnswIndex {
+    dim: usize,
+    metric: Metric,
+    kind: IndexKind,
+    m: usize,
+    ids: Vec<u64>,
+    /// Per node, per level, the neighbor list. `links[n].len()` is the node's
+    /// level count + 1.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: usize,
+    store: Store,
+}
+
+impl HnswIndex {
+    fn n(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    fn dist_q(&self, query: &[f32], node: u32) -> f32 {
+        self.store.distance_to(self.metric, self.dim, query, node as usize)
+    }
+
+    /// Greedy descent through upper levels to the closest entry at `level`.
+    fn greedy_to_level(&self, query: &[f32], mut cur: u32, from: usize, to: usize) -> u32 {
+        let mut cur_d = self.dist_q(query, cur);
+        for level in (to + 1..=from).rev() {
+            let mut improved = true;
+            while improved {
+                improved = false;
+                if level < self.links[cur as usize].len() {
+                    // Clone-free iteration; adjacency is immutable post-build.
+                    for &nb in &self.links[cur as usize][level] {
+                        let d = self.dist_q(query, nb);
+                        if d < cur_d {
+                            cur_d = d;
+                            cur = nb;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+        }
+        cur
+    }
+
+    /// Beam search at one level: returns up to `ef` nearest as a max-heap
+    /// drained to ascending order. Also reports visited count.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry: u32,
+        ef: usize,
+        level: usize,
+    ) -> (Vec<DistNode>, usize) {
+        let mut visited = vec![false; self.n()];
+        visited[entry as usize] = true;
+        let d0 = self.dist_q(query, entry);
+        let mut candidates = BinaryHeap::new(); // min-heap via Reverse
+        candidates.push(Reverse(DistNode { dist: d0, node: entry }));
+        let mut results: BinaryHeap<DistNode> = BinaryHeap::new(); // max-heap
+        results.push(DistNode { dist: d0, node: entry });
+        let mut n_visited = 1usize;
+
+        while let Some(Reverse(c)) = candidates.pop() {
+            let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+            if results.len() >= ef && c.dist > worst {
+                break;
+            }
+            if level < self.links[c.node as usize].len() {
+                for &nb in &self.links[c.node as usize][level] {
+                    if visited[nb as usize] {
+                        continue;
+                    }
+                    visited[nb as usize] = true;
+                    n_visited += 1;
+                    let d = self.dist_q(query, nb);
+                    let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+                    if results.len() < ef || d < worst {
+                        candidates.push(Reverse(DistNode { dist: d, node: nb }));
+                        results.push(DistNode { dist: d, node: nb });
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<DistNode> = results.into_vec();
+        out.sort();
+        (out, n_visited)
+    }
+
+    /// Deserialize an index written by [`VectorIndex::save_bytes`].
+    pub fn load_bytes(bytes: &[u8]) -> Result<HnswIndex> {
+        let mut r = Reader::new(bytes);
+        let _v = r.expect_header(MAGIC)?;
+        let kind = match r.get_u8()? {
+            0 => IndexKind::Hnsw,
+            1 => IndexKind::HnswSq,
+            x => return Err(BhError::Serde(format!("hnsw: bad kind byte {x}"))),
+        };
+        let dim = r.get_u64()? as usize;
+        let metric = metric_from_u8(r.get_u8()?)?;
+        let m = r.get_u64()? as usize;
+        let entry = r.get_u32()?;
+        let max_level = r.get_u64()? as usize;
+        let ids = r.get_u64_vec()?;
+        let n = ids.len();
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let levels = r.get_u64()? as usize;
+            let mut per = Vec::with_capacity(levels);
+            for _ in 0..levels {
+                per.push(r.get_u32_vec()?);
+            }
+            links.push(per);
+        }
+        let store = match r.get_u8()? {
+            0 => Store::Raw { data: r.get_f32_vec()? },
+            1 => {
+                let sq = Sq8::load(&mut r)?;
+                Store::Sq { sq, codes: r.get_bytes()? }
+            }
+            x => return Err(BhError::Serde(format!("hnsw: bad store byte {x}"))),
+        };
+        let idx = HnswIndex { dim, metric, kind, m, ids, links, entry, max_level, store };
+        if dim == 0 || (idx.n() > 0 && idx.store.len(dim) != idx.n()) {
+            return Err(BhError::Serde("hnsw: corrupt geometry".into()));
+        }
+        Ok(idx)
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn meta(&self) -> IndexMeta {
+        IndexMeta { kind: self.kind, dim: self.dim, metric: self.metric, len: self.n() }
+    }
+
+    fn search_with_filter(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        if self.n() == 0 || k == 0 {
+            return Ok(Vec::new());
+        }
+        let ef = params.ef_search.max(k);
+        let entry = self.greedy_to_level(query, self.entry, self.max_level, 0);
+        // With a selective filter, widen the beam so enough filtered rows
+        // survive — the standard hnswlib filtered-search recipe.
+        let ef = if filter.is_some() { ef.saturating_mul(2) } else { ef };
+        let (cands, _) = self.search_layer(query, entry, ef, 0);
+        let mut tk = TopK::new(k);
+        for c in cands {
+            let id = self.ids[c.node as usize];
+            if let Some(f) = filter {
+                if !f.contains(id as usize) {
+                    continue;
+                }
+            }
+            tk.push(c.dist, id);
+        }
+        Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
+    }
+
+    fn search_with_range(
+        &self,
+        query: &[f32],
+        radius: f32,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        if self.n() == 0 {
+            return Ok(Vec::new());
+        }
+        // Stream the native iterator until distances exceed the radius with
+        // a slack window (the traversal order is only approximately sorted).
+        let mut it = self.search_iterator(query, params)?;
+        let slack = params.ef_search.max(16);
+        let mut out = Vec::new();
+        let mut beyond = 0usize;
+        loop {
+            let batch = it.next_batch(slack)?;
+            if batch.is_empty() {
+                break;
+            }
+            for nb in batch {
+                if nb.distance <= radius {
+                    beyond = 0;
+                    if filter.map(|f| f.contains(nb.id as usize)).unwrap_or(true) {
+                        out.push(nb);
+                    }
+                } else {
+                    beyond += 1;
+                }
+            }
+            if beyond >= slack {
+                break;
+            }
+        }
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        Ok(out)
+    }
+
+    fn search_iterator<'a>(
+        &'a self,
+        query: &[f32],
+        _params: &SearchParams,
+    ) -> Result<Box<dyn SearchIterator + 'a>> {
+        self.check_query(query)?;
+        let mut heap = BinaryHeap::new();
+        let mut visited = vec![false; self.n()];
+        if self.n() > 0 {
+            let entry = self.greedy_to_level(query, self.entry, self.max_level, 0);
+            visited[entry as usize] = true;
+            heap.push(Reverse(DistNode { dist: self.dist_q(query, entry), node: entry }));
+        }
+        Ok(Box::new(HnswIterator { index: self, query: query.to_vec(), heap, visited, n_visited: if self.n() > 0 { 1 } else { 0 } }))
+    }
+
+    fn has_native_iterator(&self) -> bool {
+        true
+    }
+
+    fn needs_refine(&self) -> bool {
+        matches!(self.kind, IndexKind::HnswSq)
+    }
+
+    fn memory_usage(&self) -> usize {
+        let link_bytes: usize = self
+            .links
+            .iter()
+            .map(|per| per.iter().map(|l| l.len() * 4 + 24).sum::<usize>() + 24)
+            .sum();
+        self.store.memory_usage() + link_bytes + self.ids.len() * 8 + std::mem::size_of::<Self>()
+    }
+
+    fn save_bytes(&self) -> Result<Bytes> {
+        let mut w = Writer::with_header(MAGIC, VERSION);
+        w.put_u8(match self.kind {
+            IndexKind::Hnsw => 0,
+            IndexKind::HnswSq => 1,
+            _ => return Err(BhError::Internal("hnsw: impossible kind".into())),
+        });
+        w.put_u64(self.dim as u64);
+        w.put_u8(metric_to_u8(self.metric));
+        w.put_u64(self.m as u64);
+        w.put_u32(self.entry);
+        w.put_u64(self.max_level as u64);
+        w.put_u64_slice(&self.ids);
+        for per in &self.links {
+            w.put_u64(per.len() as u64);
+            for l in per {
+                w.put_u32_slice(l);
+            }
+        }
+        match &self.store {
+            Store::Raw { data } => {
+                w.put_u8(0);
+                w.put_f32_slice(data);
+            }
+            Store::Sq { sq, codes } => {
+                w.put_u8(1);
+                sq.save(&mut w);
+                w.put_bytes(codes);
+            }
+        }
+        Ok(w.finish())
+    }
+}
+
+/// Resumable best-first traversal of layer 0 (the paper's hnswlib extension).
+struct HnswIterator<'a> {
+    index: &'a HnswIndex,
+    query: Vec<f32>,
+    heap: BinaryHeap<Reverse<DistNode>>,
+    visited: Vec<bool>,
+    n_visited: usize,
+}
+
+impl SearchIterator for HnswIterator<'_> {
+    fn next_batch(&mut self, n: usize) -> Result<Vec<Neighbor>> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let Some(Reverse(c)) = self.heap.pop() else { break };
+            // Expand neighbors before emitting so the frontier stays ahead.
+            if !self.index.links[c.node as usize].is_empty() {
+                for &nb in &self.index.links[c.node as usize][0] {
+                    if !self.visited[nb as usize] {
+                        self.visited[nb as usize] = true;
+                        self.n_visited += 1;
+                        let d = self.index.dist_q(&self.query, nb);
+                        self.heap.push(Reverse(DistNode { dist: d, node: nb }));
+                    }
+                }
+            }
+            out.push(Neighbor::new(self.index.ids[c.node as usize], c.dist));
+        }
+        Ok(out)
+    }
+
+    fn visited(&self) -> usize {
+        self.n_visited
+    }
+
+    fn exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Builder for `HNSW` / `HNSWSQ`.
+pub struct HnswBuilder {
+    spec: IndexSpec,
+    kind: IndexKind,
+    m: usize,
+    ef_construction: usize,
+    ml: f64,
+    rng: DetRng,
+    ids: Vec<u64>,
+    raw: Vec<f32>,
+    sq: Option<Sq8>,
+    trained: bool,
+    // Graph state grown incrementally as vectors are added.
+    links: Vec<Vec<Vec<u32>>>,
+    levels: Vec<usize>,
+    entry: u32,
+    max_level: usize,
+}
+
+impl HnswBuilder {
+    /// A builder for `HNSW` or `HNSWSQ` validated against `spec`.
+    pub fn new(spec: &IndexSpec, kind: IndexKind) -> Result<HnswBuilder> {
+        spec.validate()?;
+        if !matches!(kind, IndexKind::Hnsw | IndexKind::HnswSq) {
+            return Err(BhError::InvalidArgument(format!(
+                "HnswBuilder cannot build {}",
+                kind.name()
+            )));
+        }
+        let m = spec.param_usize("m", 16)?;
+        if m < 2 {
+            return Err(BhError::InvalidArgument("hnsw: M must be >= 2".into()));
+        }
+        let ef_construction = spec.param_usize("ef_construction", 128)?.max(m);
+        let seed = spec.param_usize("seed", 0)? as u64;
+        Ok(HnswBuilder {
+            spec: spec.clone(),
+            kind,
+            m,
+            ef_construction,
+            ml: 1.0 / (m as f64).ln(),
+            rng: derived_rng(seed, 0x686e_7377),
+            ids: Vec::new(),
+            raw: Vec::new(),
+            sq: None,
+            trained: false,
+            links: Vec::new(),
+            levels: Vec::new(),
+            entry: 0,
+            max_level: 0,
+        })
+    }
+
+    fn dim(&self) -> usize {
+        self.spec.dim
+    }
+
+    /// Distance between the pending raw vectors of two inserted nodes.
+    #[inline]
+    fn dist(&self, a: usize, b: usize) -> f32 {
+        let dim = self.dim();
+        self.spec
+            .metric
+            .distance(&self.raw[a * dim..(a + 1) * dim], &self.raw[b * dim..(b + 1) * dim])
+    }
+
+    #[inline]
+    fn dist_vec(&self, v: &[f32], node: usize) -> f32 {
+        let dim = self.dim();
+        self.spec.metric.distance(v, &self.raw[node * dim..(node + 1) * dim])
+    }
+
+    fn max_links(&self, level: usize) -> usize {
+        if level == 0 {
+            self.m * 2
+        } else {
+            self.m
+        }
+    }
+
+    /// Heuristic neighbor selection (Malkov's Algorithm 4): prefer candidates
+    /// closer to the query than to any already-selected neighbor, keeping the
+    /// graph navigable rather than clustered.
+    fn select_neighbors(&self, candidates: &[DistNode], m: usize) -> Vec<u32> {
+        let mut selected: Vec<DistNode> = Vec::with_capacity(m);
+        for &c in candidates {
+            if selected.len() >= m {
+                break;
+            }
+            let dominated = selected
+                .iter()
+                .any(|s| self.dist(s.node as usize, c.node as usize) < c.dist);
+            if !dominated {
+                selected.push(c);
+            }
+        }
+        // Backfill with nearest remaining if the heuristic was too strict.
+        if selected.len() < m {
+            for &c in candidates {
+                if selected.len() >= m {
+                    break;
+                }
+                if !selected.iter().any(|s| s.node == c.node) {
+                    selected.push(c);
+                }
+            }
+        }
+        selected.into_iter().map(|s| s.node).collect()
+    }
+
+    /// Beam search over the partially built graph.
+    fn search_layer_build(&self, query: &[f32], entry: u32, ef: usize, level: usize) -> Vec<DistNode> {
+        let mut visited = vec![false; self.links.len()];
+        visited[entry as usize] = true;
+        let d0 = self.dist_vec(query, entry as usize);
+        let mut candidates = BinaryHeap::new();
+        candidates.push(Reverse(DistNode { dist: d0, node: entry }));
+        let mut results: BinaryHeap<DistNode> = BinaryHeap::new();
+        results.push(DistNode { dist: d0, node: entry });
+        while let Some(Reverse(c)) = candidates.pop() {
+            let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+            if results.len() >= ef && c.dist > worst {
+                break;
+            }
+            if level < self.links[c.node as usize].len() {
+                for &nb in &self.links[c.node as usize][level] {
+                    if visited[nb as usize] {
+                        continue;
+                    }
+                    visited[nb as usize] = true;
+                    let d = self.dist_vec(query, nb as usize);
+                    let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+                    if results.len() < ef || d < worst {
+                        candidates.push(Reverse(DistNode { dist: d, node: nb }));
+                        results.push(DistNode { dist: d, node: nb });
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<DistNode> = results.into_vec();
+        out.sort();
+        out
+    }
+
+    fn insert(&mut self, node: usize) {
+        let level = (-self.rng.gen::<f64>().ln() * self.ml).floor() as usize;
+        self.levels.push(level);
+        self.links.push(vec![Vec::new(); level + 1]);
+
+        if node == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+
+        let dim = self.dim();
+        let query: Vec<f32> = self.raw[node * dim..(node + 1) * dim].to_vec();
+        let mut cur = self.entry;
+
+        // Greedy descent through levels above the new node's level.
+        if self.max_level > level {
+            let mut cur_d = self.dist_vec(&query, cur as usize);
+            for l in (level + 1..=self.max_level).rev() {
+                let mut improved = true;
+                while improved {
+                    improved = false;
+                    if l < self.links[cur as usize].len() {
+                        let neigh = self.links[cur as usize][l].clone();
+                        for nb in neigh {
+                            let d = self.dist_vec(&query, nb as usize);
+                            if d < cur_d {
+                                cur_d = d;
+                                cur = nb;
+                                improved = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Connect at each level from min(level, max_level) down to 0.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let cands = self.search_layer_build(&query, cur, self.ef_construction, l);
+            let m = self.max_links(l).min(self.m);
+            let neighbors = self.select_neighbors(&cands, m);
+            for &nb in &neighbors {
+                self.links[node][l].push(nb);
+                self.links[nb as usize][l].push(node as u32);
+                // Prune over-full neighbor lists with the same heuristic.
+                let cap = self.max_links(l);
+                if self.links[nb as usize][l].len() > cap {
+                    let mut cand: Vec<DistNode> = self.links[nb as usize][l]
+                        .iter()
+                        .map(|&x| DistNode { dist: self.dist(nb as usize, x as usize), node: x })
+                        .collect();
+                    cand.sort();
+                    self.links[nb as usize][l] = self.select_neighbors(&cand, cap);
+                }
+            }
+            if let Some(best) = cands.first() {
+                cur = best.node;
+            }
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = node as u32;
+        }
+    }
+}
+
+impl IndexBuilder for HnswBuilder {
+    fn train(&mut self, sample: &[f32]) -> Result<()> {
+        if self.kind == IndexKind::HnswSq {
+            self.sq = Some(Sq8::train(sample, self.dim())?);
+        }
+        self.trained = true;
+        Ok(())
+    }
+
+    fn add_with_ids(&mut self, vectors: &[f32], ids: &[u64]) -> Result<()> {
+        if self.kind == IndexKind::HnswSq && self.sq.is_none() {
+            // Auto-train on the first batch, matching faiss' convenience path.
+            self.sq = Some(Sq8::train(vectors, self.dim())?);
+        }
+        let n = check_batch(self.dim(), vectors, ids)?;
+        let start = self.ids.len();
+        self.raw.extend_from_slice(vectors);
+        self.ids.extend_from_slice(ids);
+        for i in 0..n {
+            self.insert(start + i);
+        }
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>) -> Result<Arc<dyn VectorIndex>> {
+        let dim = self.spec.dim;
+        let store = match self.kind {
+            IndexKind::Hnsw => Store::Raw { data: self.raw },
+            IndexKind::HnswSq => {
+                let sq = self
+                    .sq
+                    .ok_or_else(|| BhError::Index("hnswsq: finish before train/add".into()))?;
+                let n = self.ids.len();
+                let mut codes = Vec::with_capacity(n * dim);
+                for i in 0..n {
+                    codes.extend(sq.encode(&self.raw[i * dim..(i + 1) * dim])?);
+                }
+                Store::Sq { sq, codes }
+            }
+            _ => unreachable!("constructor validated kind"),
+        };
+        Ok(Arc::new(HnswIndex {
+            dim,
+            metric: self.spec.metric,
+            kind: self.kind,
+            m: self.m,
+            ids: self.ids,
+            links: self.links,
+            entry: self.entry,
+            max_level: self.max_level,
+            store,
+        }))
+    }
+
+    fn requires_training(&self) -> bool {
+        self.kind == IndexKind::HnswSq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatBuilder;
+    use crate::recall::recall_at_k;
+    use bh_common::rng::rng;
+    use rand::Rng;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut r = rng(seed);
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let center = (i % 8) as f32 * 4.0;
+            for _ in 0..dim {
+                data.push(center + r.gen_range(-1.0f32..1.0));
+            }
+        }
+        data
+    }
+
+    fn build_pair(
+        n: usize,
+        dim: usize,
+        kind: IndexKind,
+        seed: u64,
+    ) -> (Arc<dyn VectorIndex>, Arc<dyn VectorIndex>, Vec<f32>) {
+        let data = clustered(n, dim, seed);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let spec = IndexSpec::new(kind, dim, Metric::L2)
+            .with_param("m", 16)
+            .with_param("ef_construction", 120);
+        let mut hb = Box::new(HnswBuilder::new(&spec, kind).unwrap());
+        hb.train(&data).unwrap();
+        hb.add_with_ids(&data, &ids).unwrap();
+        let hnsw = (hb as Box<dyn IndexBuilder>).finish().unwrap();
+
+        let fspec = IndexSpec::new(IndexKind::Flat, dim, Metric::L2);
+        let mut fb = Box::new(FlatBuilder::new(&fspec).unwrap());
+        fb.add_with_ids(&data, &ids).unwrap();
+        let flat = (fb as Box<dyn IndexBuilder>).finish().unwrap();
+        (hnsw, flat, data)
+    }
+
+    #[test]
+    fn recall_floor_vs_flat_oracle() {
+        let dim = 16;
+        let n = 1500;
+        let (hnsw, flat, data) = build_pair(n, dim, IndexKind::Hnsw, 1);
+        let params = SearchParams::default().with_ef(96);
+        let mut total = 0.0;
+        let queries = 20;
+        for q in 0..queries {
+            let qv = &data[q * 37 * dim % (n * dim - dim)..][..dim];
+            let truth = flat.search_with_filter(qv, 10, &params, None).unwrap();
+            let got = hnsw.search_with_filter(qv, 10, &params, None).unwrap();
+            total += recall_at_k(&truth, &got, 10);
+        }
+        let recall = total / queries as f64;
+        assert!(recall >= 0.9, "hnsw recall {recall} below floor");
+    }
+
+    #[test]
+    fn sq_variant_recall_and_memory() {
+        let dim = 16;
+        let n = 1200;
+        let (hnswsq, flat, data) = build_pair(n, dim, IndexKind::HnswSq, 2);
+        let (hnsw, _, _) = build_pair(n, dim, IndexKind::Hnsw, 2);
+        assert!(
+            hnswsq.memory_usage() < hnsw.memory_usage(),
+            "SQ must shrink memory: {} vs {}",
+            hnswsq.memory_usage(),
+            hnsw.memory_usage()
+        );
+        assert!(hnswsq.needs_refine());
+        let params = SearchParams::default().with_ef(96);
+        let mut total = 0.0;
+        for q in 0..15 {
+            let qv = &data[q * 53 * dim % (n * dim - dim)..][..dim];
+            let truth = flat.search_with_filter(qv, 10, &params, None).unwrap();
+            let got = hnswsq.search_with_filter(qv, 10, &params, None).unwrap();
+            total += recall_at_k(&truth, &got, 10);
+        }
+        assert!(total / 15.0 >= 0.8, "hnswsq recall {} below floor", total / 15.0);
+    }
+
+    #[test]
+    fn filtered_search_respects_bitset() {
+        let dim = 8;
+        let (hnsw, _, data) = build_pair(600, dim, IndexKind::Hnsw, 3);
+        let allowed = Bitset::from_positions(600, (0..600).filter(|i| i % 7 == 0));
+        let got = hnsw
+            .search_with_filter(&data[0..dim], 10, &SearchParams::default(), Some(&allowed))
+            .unwrap();
+        assert!(!got.is_empty());
+        for nb in &got {
+            assert_eq!(nb.id % 7, 0, "row {} not allowed by filter", nb.id);
+        }
+    }
+
+    #[test]
+    fn empty_index_and_k_zero() {
+        let spec = IndexSpec::new(IndexKind::Hnsw, 4, Metric::L2);
+        let b = Box::new(HnswBuilder::new(&spec, IndexKind::Hnsw).unwrap());
+        let idx = (b as Box<dyn IndexBuilder>).finish().unwrap();
+        assert!(idx
+            .search_with_filter(&[0.0; 4], 5, &SearchParams::default(), None)
+            .unwrap()
+            .is_empty());
+        let (hnsw, _, data) = build_pair(50, 4, IndexKind::Hnsw, 4);
+        assert!(hnsw
+            .search_with_filter(&data[0..4], 0, &SearchParams::default(), None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn native_iterator_is_incremental_and_complete() {
+        let dim = 8;
+        let n = 300;
+        let (hnsw, _, data) = build_pair(n, dim, IndexKind::Hnsw, 5);
+        let q = data[0..dim].to_vec();
+        let params = SearchParams::default();
+        let mut it = hnsw.search_iterator(&q, &params).unwrap();
+        assert!(hnsw.has_native_iterator());
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            let b = it.next_batch(16).unwrap();
+            if b.is_empty() {
+                break;
+            }
+            for nb in b {
+                assert!(seen.insert(nb.id), "duplicate id {}", nb.id);
+            }
+        }
+        // Layer 0 of HNSW is connected for this data size, so the iterator
+        // reaches every node.
+        assert_eq!(seen.len(), n);
+        // Native: visited equals nodes touched once, not doubled restarts.
+        assert_eq!(it.visited(), n);
+    }
+
+    #[test]
+    fn iterator_first_batch_contains_true_nearest() {
+        let dim = 8;
+        let (hnsw, flat, data) = build_pair(500, dim, IndexKind::Hnsw, 6);
+        let q = data[40 * dim..41 * dim].to_vec();
+        let params = SearchParams::default().with_ef(64);
+        let truth = flat.search_with_filter(&q, 1, &params, None).unwrap();
+        let mut it = hnsw.search_iterator(&q, &params).unwrap();
+        let first = it.next_batch(10).unwrap();
+        assert!(
+            first.iter().any(|nb| nb.id == truth[0].id),
+            "true nearest {} missing from first batch {:?}",
+            truth[0].id,
+            first
+        );
+    }
+
+    #[test]
+    fn range_search_finds_close_cluster() {
+        let dim = 4;
+        let (hnsw, flat, data) = build_pair(800, dim, IndexKind::Hnsw, 7);
+        let q = data[0..dim].to_vec();
+        let radius = 2.0;
+        let params = SearchParams::default().with_ef(64);
+        let truth = flat.search_with_range(&q, radius, &params, None).unwrap();
+        let got = hnsw.search_with_range(&q, radius, &params, None).unwrap();
+        assert!(!truth.is_empty());
+        // ANN range search may miss a few fringe rows but must find most.
+        assert!(
+            got.len() as f64 >= truth.len() as f64 * 0.9,
+            "range recall too low: {} of {}",
+            got.len(),
+            truth.len()
+        );
+        for nb in &got {
+            assert!(nb.distance <= radius);
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_search() {
+        let dim = 8;
+        let (hnsw, _, data) = build_pair(400, dim, IndexKind::Hnsw, 8);
+        let blob = hnsw.save_bytes().unwrap();
+        let loaded = HnswIndex::load_bytes(&blob).unwrap();
+        let q = &data[0..dim];
+        let params = SearchParams::default();
+        assert_eq!(
+            hnsw.search_with_filter(q, 10, &params, None).unwrap(),
+            loaded.search_with_filter(q, 10, &params, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn sq_save_load_roundtrip() {
+        let dim = 8;
+        let (hnswsq, _, data) = build_pair(300, dim, IndexKind::HnswSq, 9);
+        let blob = hnswsq.save_bytes().unwrap();
+        let loaded = HnswIndex::load_bytes(&blob).unwrap();
+        assert_eq!(loaded.meta().kind, IndexKind::HnswSq);
+        let q = &data[0..dim];
+        let params = SearchParams::default();
+        assert_eq!(
+            hnswsq.search_with_filter(q, 5, &params, None).unwrap(),
+            loaded.search_with_filter(q, 5, &params, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_blob_rejected() {
+        let (hnsw, _, _) = build_pair(50, 4, IndexKind::Hnsw, 10);
+        let blob = hnsw.save_bytes().unwrap();
+        assert!(HnswIndex::load_bytes(&blob[..20]).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_params() {
+        let spec = IndexSpec::new(IndexKind::Hnsw, 4, Metric::L2).with_param("m", 1);
+        assert!(HnswBuilder::new(&spec, IndexKind::Hnsw).is_err());
+        let spec0 = IndexSpec::new(IndexKind::Hnsw, 0, Metric::L2);
+        assert!(HnswBuilder::new(&spec0, IndexKind::Hnsw).is_err());
+        let ok = IndexSpec::new(IndexKind::Hnsw, 4, Metric::L2);
+        assert!(HnswBuilder::new(&ok, IndexKind::IvfFlat).is_err());
+    }
+
+    #[test]
+    fn deterministic_build_given_seed() {
+        let dim = 8;
+        let data = clustered(200, dim, 11);
+        let ids: Vec<u64> = (0..200).collect();
+        let mk = || {
+            let spec =
+                IndexSpec::new(IndexKind::Hnsw, dim, Metric::L2).with_param("seed", 42);
+            let mut b = Box::new(HnswBuilder::new(&spec, IndexKind::Hnsw).unwrap());
+            b.add_with_ids(&data, &ids).unwrap();
+            (b as Box<dyn IndexBuilder>).finish().unwrap().save_bytes().unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

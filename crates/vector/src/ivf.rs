@@ -1,0 +1,687 @@
+//! Inverted-file indexes: `IVFFLAT`, `IVFPQ`, `IVFPQFS`.
+//!
+//! Vectors are partitioned into `nlist` cells by a k-means coarse quantizer;
+//! a query probes the `nprobe` nearest cells. Payload variants:
+//!
+//! * `IVFFLAT` — raw vectors per cell, exact in-cell distances.
+//! * `IVFPQ` — 8-bit product-quantized **residuals** (vector minus its cell
+//!   centroid), scanned with per-cell ADC tables.
+//! * `IVFPQFS` — 4-bit PQ residuals (fast-scan code layout): smallest memory
+//!   and fastest build of the three, lowest recall — the trade-off Table V /
+//!   Table VI / Fig. 13 characterize.
+//!
+//! PQ variants report approximate distances and set
+//! [`VectorIndex::needs_refine`], letting the executor re-rank `σ·k`
+//! candidates with exact distances (the refine term in cost Eqs. 2–3).
+
+use crate::codec::{Reader, Writer};
+use crate::flat::{metric_from_u8, metric_to_u8};
+use crate::iterator::{GenericSearchIterator, SearchIterator};
+use crate::kmeans::{train_kmeans, KMeans, KMeansParams};
+use crate::quant::pq::{CodeBits, Pq, PqParams};
+use crate::types::{
+    check_batch, IndexBuilder, IndexMeta, IndexSpec, Neighbor, SearchParams, VectorIndex,
+};
+use crate::{distance, IndexKind, Metric};
+use bh_common::{BhError, Bitset, Result, TopK};
+use bytes::Bytes;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"BHIV";
+const VERSION: u16 = 1;
+
+/// Per-cell payload.
+#[derive(Debug, Clone)]
+enum Cells {
+    Flat { vectors: Vec<Vec<f32>> },
+    Pq { pq: Pq, codes: Vec<Vec<u8>> },
+}
+
+/// An immutable IVF index.
+#[derive(Debug)]
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    kind: IndexKind,
+    coarse: KMeans,
+    /// Per-cell row labels.
+    ids: Vec<Vec<u64>>,
+    cells: Cells,
+    len: usize,
+}
+
+impl IvfIndex {
+    /// Number of coarse cells.
+    pub fn nlist(&self) -> usize {
+        self.coarse.k
+    }
+
+    /// Cosine queries are searched in normalized space; scale L2² on unit
+    /// vectors back to cosine distance (`1 - cos = l2²/2`).
+    fn post_scale(&self) -> f32 {
+        if self.metric == Metric::Cosine {
+            0.5
+        } else {
+            1.0
+        }
+    }
+
+    fn effective_metric(&self) -> Metric {
+        if self.metric == Metric::Cosine {
+            Metric::L2
+        } else {
+            self.metric
+        }
+    }
+
+    fn prep_query(&self, query: &[f32]) -> Vec<f32> {
+        let mut q = query.to_vec();
+        if self.metric == Metric::Cosine {
+            distance::normalize(&mut q);
+        }
+        q
+    }
+
+    /// Scan one cell, pushing (possibly approximate) distances into `tk`.
+    fn scan_cell(
+        &self,
+        cell: usize,
+        q: &[f32],
+        filter: Option<&Bitset>,
+        tk: &mut TopK<u64>,
+        visited: &mut usize,
+    ) {
+        let scale = self.post_scale();
+        match &self.cells {
+            Cells::Flat { vectors } => {
+                for (i, &id) in self.ids[cell].iter().enumerate() {
+                    *visited += 1;
+                    if let Some(f) = filter {
+                        if !f.contains(id as usize) {
+                            continue;
+                        }
+                    }
+                    let d = self.effective_metric().distance(q, &vectors[cell][i * self.dim..(i + 1) * self.dim]);
+                    tk.push(d * scale, id);
+                }
+            }
+            Cells::Pq { pq, codes } => {
+                // Residual ADC table for this cell.
+                let centroid = self.coarse.centroid(cell);
+                let resid: Vec<f32> = q.iter().zip(centroid).map(|(a, b)| a - b).collect();
+                let Ok(table) = pq.adc_table(&resid) else { return };
+                let cs = pq.code_size();
+                for (i, &id) in self.ids[cell].iter().enumerate() {
+                    *visited += 1;
+                    if let Some(f) = filter {
+                        if !f.contains(id as usize) {
+                            continue;
+                        }
+                    }
+                    let d = table.distance(&codes[cell][i * cs..(i + 1) * cs]);
+                    tk.push(d * scale, id);
+                }
+            }
+        }
+    }
+
+    /// Deserialize an index written by [`VectorIndex::save_bytes`].
+    pub fn load_bytes(bytes: &[u8]) -> Result<IvfIndex> {
+        let mut r = Reader::new(bytes);
+        let _v = r.expect_header(MAGIC)?;
+        let kind = match r.get_u8()? {
+            0 => IndexKind::IvfFlat,
+            1 => IndexKind::IvfPq,
+            2 => IndexKind::IvfPqFs,
+            x => return Err(BhError::Serde(format!("ivf: bad kind byte {x}"))),
+        };
+        let dim = r.get_u64()? as usize;
+        let metric = metric_from_u8(r.get_u8()?)?;
+        let nlist = r.get_u64()? as usize;
+        let centroids = r.get_f32_vec()?;
+        if dim == 0 || centroids.len() != nlist * dim {
+            return Err(BhError::Serde("ivf: corrupt centroids".into()));
+        }
+        let coarse = KMeans { dim, k: nlist, centroids };
+        let mut ids = Vec::with_capacity(nlist);
+        for _ in 0..nlist {
+            ids.push(r.get_u64_vec()?);
+        }
+        let len = ids.iter().map(|v| v.len()).sum();
+        let cells = match r.get_u8()? {
+            0 => {
+                let mut vectors = Vec::with_capacity(nlist);
+                for _ in 0..nlist {
+                    vectors.push(r.get_f32_vec()?);
+                }
+                Cells::Flat { vectors }
+            }
+            1 => {
+                let pq = Pq::load(&mut r)?;
+                let mut codes = Vec::with_capacity(nlist);
+                for _ in 0..nlist {
+                    codes.push(r.get_bytes()?);
+                }
+                Cells::Pq { pq, codes }
+            }
+            x => return Err(BhError::Serde(format!("ivf: bad payload byte {x}"))),
+        };
+        Ok(IvfIndex { dim, metric, kind, coarse, ids, cells, len })
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn meta(&self) -> IndexMeta {
+        IndexMeta { kind: self.kind, dim: self.dim, metric: self.metric, len: self.len }
+    }
+
+    fn search_with_filter(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        if self.len == 0 || k == 0 {
+            return Ok(Vec::new());
+        }
+        let q = self.prep_query(query);
+        let nprobe = params.nprobe.clamp(1, self.nlist());
+        let probes = self.coarse.nearest_centroids(&q, nprobe);
+        let mut tk = TopK::new(k);
+        let mut visited = 0usize;
+        for (cell, _) in probes {
+            self.scan_cell(cell, &q, filter, &mut tk, &mut visited);
+        }
+        Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
+    }
+
+    fn search_with_range(
+        &self,
+        query: &[f32],
+        radius: f32,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        if self.len == 0 {
+            return Ok(Vec::new());
+        }
+        let q = self.prep_query(query);
+        let nprobe = params.nprobe.clamp(1, self.nlist());
+        let probes = self.coarse.nearest_centroids(&q, nprobe);
+        // Collect everything within radius from the probed cells.
+        let mut tk = TopK::new(self.len);
+        let mut visited = 0usize;
+        for (cell, _) in probes {
+            self.scan_cell(cell, &q, filter, &mut tk, &mut visited);
+        }
+        Ok(tk
+            .into_sorted()
+            .into_iter()
+            .filter(|s| s.distance <= radius)
+            .map(|s| Neighbor::new(s.item, s.distance))
+            .collect())
+    }
+
+    fn search_iterator<'a>(
+        &'a self,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<Box<dyn SearchIterator + 'a>> {
+        self.check_query(query)?;
+        // IVF has no natural incremental order → generic doubling-k wrapper.
+        Ok(Box::new(GenericSearchIterator::new(self, query, params)))
+    }
+
+    fn needs_refine(&self) -> bool {
+        matches!(self.cells, Cells::Pq { .. })
+    }
+
+    fn memory_usage(&self) -> usize {
+        let id_bytes: usize = self.ids.iter().map(|v| v.len() * 8 + 24).sum();
+        let cell_bytes: usize = match &self.cells {
+            Cells::Flat { vectors } => vectors.iter().map(|v| v.len() * 4 + 24).sum(),
+            Cells::Pq { pq, codes } => {
+                pq.memory_usage() + codes.iter().map(|c| c.len() + 24).sum::<usize>()
+            }
+        };
+        self.coarse.centroids.len() * 4 + id_bytes + cell_bytes + std::mem::size_of::<Self>()
+    }
+
+    fn save_bytes(&self) -> Result<Bytes> {
+        let mut w = Writer::with_header(MAGIC, VERSION);
+        w.put_u8(match self.kind {
+            IndexKind::IvfFlat => 0,
+            IndexKind::IvfPq => 1,
+            IndexKind::IvfPqFs => 2,
+            _ => return Err(BhError::Internal("ivf: impossible kind".into())),
+        });
+        w.put_u64(self.dim as u64);
+        w.put_u8(metric_to_u8(self.metric));
+        w.put_u64(self.nlist() as u64);
+        w.put_f32_slice(&self.coarse.centroids);
+        for cell in &self.ids {
+            w.put_u64_slice(cell);
+        }
+        match &self.cells {
+            Cells::Flat { vectors } => {
+                w.put_u8(0);
+                for v in vectors {
+                    w.put_f32_slice(v);
+                }
+            }
+            Cells::Pq { pq, codes } => {
+                w.put_u8(1);
+                pq.save(&mut w);
+                for c in codes {
+                    w.put_bytes(c);
+                }
+            }
+        }
+        Ok(w.finish())
+    }
+}
+
+/// Builder for the three IVF variants.
+pub struct IvfBuilder {
+    spec: IndexSpec,
+    kind: IndexKind,
+    nlist: usize,
+    seed: u64,
+    coarse: Option<KMeans>,
+    pq: Option<Pq>,
+    ids: Vec<Vec<u64>>,
+    flat: Vec<Vec<f32>>,
+    codes: Vec<Vec<u8>>,
+    len: usize,
+}
+
+impl IvfBuilder {
+    /// A builder for one of the IVF variants validated against `spec`.
+    pub fn new(spec: &IndexSpec, kind: IndexKind) -> Result<IvfBuilder> {
+        spec.validate()?;
+        if !matches!(kind, IndexKind::IvfFlat | IndexKind::IvfPq | IndexKind::IvfPqFs) {
+            return Err(BhError::InvalidArgument(format!(
+                "IvfBuilder cannot build {}",
+                kind.name()
+            )));
+        }
+        // nlist = 0 means "auto-select at train time" (§III-B Auto index).
+        let nlist = spec.param_usize("nlist", 0)?;
+        let seed = spec.param_usize("seed", 0)? as u64;
+        Ok(IvfBuilder {
+            spec: spec.clone(),
+            kind,
+            nlist,
+            seed,
+            coarse: None,
+            pq: None,
+            ids: Vec::new(),
+            flat: Vec::new(),
+            codes: Vec::new(),
+            len: 0,
+        })
+    }
+
+    fn dim(&self) -> usize {
+        self.spec.dim
+    }
+
+    fn normalize_if_cosine(&self, vectors: &[f32]) -> Vec<f32> {
+        let mut out = vectors.to_vec();
+        if self.spec.metric == Metric::Cosine {
+            for chunk in out.chunks_mut(self.dim()) {
+                distance::normalize(chunk);
+            }
+        }
+        out
+    }
+
+    fn pq_m(&self) -> Result<usize> {
+        // Default: subspaces of ~4 dims, clamped to a divisor of dim.
+        let requested = self.spec.param_usize("pq_m", 0)?;
+        if requested > 0 {
+            if self.dim() % requested != 0 {
+                return Err(BhError::InvalidArgument(format!(
+                    "pq_m={requested} must divide dim={}",
+                    self.dim()
+                )));
+            }
+            return Ok(requested);
+        }
+        let target = (self.dim() / 4).max(1);
+        // Largest divisor of dim that is <= target.
+        let mut best = 1;
+        for m in 1..=target {
+            if self.dim() % m == 0 {
+                best = m;
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl IndexBuilder for IvfBuilder {
+    fn train(&mut self, sample: &[f32]) -> Result<()> {
+        let dim = self.dim();
+        if sample.is_empty() || sample.len() % dim != 0 {
+            return Err(BhError::InvalidArgument("ivf: bad training sample shape".into()));
+        }
+        let sample = self.normalize_if_cosine(sample);
+        let n = sample.len() / dim;
+        let nlist = if self.nlist > 0 {
+            self.nlist
+        } else {
+            crate::autoindex::auto_nlist(n)
+        };
+        // Sample cap scales with nlist (faiss' max_points_per_centroid idea)
+        // so coarse training cost stays proportionate to the codebook size.
+        let coarse = train_kmeans(
+            &sample,
+            dim,
+            &KMeansParams {
+                k: nlist,
+                max_iters: 6,
+                seed: self.seed,
+                sample_limit: (nlist * 24).clamp(1_024, 16_384),
+            },
+        )?;
+        let nlist = coarse.k;
+
+        if matches!(self.kind, IndexKind::IvfPq | IndexKind::IvfPqFs) {
+            // Train PQ on residuals against the coarse centroids.
+            let mut residuals = Vec::with_capacity(sample.len());
+            for i in 0..n {
+                let v = &sample[i * dim..(i + 1) * dim];
+                let c = coarse.centroid(coarse.assign(v));
+                residuals.extend(v.iter().zip(c).map(|(a, b)| a - b));
+            }
+            let bits = if self.kind == IndexKind::IvfPqFs { CodeBits::B4 } else { CodeBits::B8 };
+            let m = self.pq_m()?;
+            let metric = if self.spec.metric == Metric::Cosine { Metric::L2 } else { self.spec.metric };
+            let pq = Pq::train(
+                &residuals,
+                dim,
+                metric,
+                &PqParams { m, bits, seed: self.seed, kmeans_iters: 8 },
+            )?;
+            self.codes = vec![Vec::new(); nlist];
+            self.pq = Some(pq);
+        } else {
+            self.flat = vec![Vec::new(); nlist];
+        }
+        self.ids = vec![Vec::new(); nlist];
+        self.nlist = nlist;
+        self.coarse = Some(coarse);
+        Ok(())
+    }
+
+    fn add_with_ids(&mut self, vectors: &[f32], ids: &[u64]) -> Result<()> {
+        if self.coarse.is_none() {
+            // Auto-train on the first batch (faiss-style convenience).
+            self.train(vectors)?;
+        }
+        let dim = self.dim();
+        let n = check_batch(dim, vectors, ids)?;
+        let vectors = self.normalize_if_cosine(vectors);
+        let coarse = self.coarse.as_ref().expect("trained above");
+        for i in 0..n {
+            let v = &vectors[i * dim..(i + 1) * dim];
+            let cell = coarse.assign(v);
+            self.ids[cell].push(ids[i]);
+            match (&self.pq, self.flat.is_empty()) {
+                (Some(pq), _) => {
+                    let c = coarse.centroid(cell);
+                    let resid: Vec<f32> = v.iter().zip(c).map(|(a, b)| a - b).collect();
+                    self.codes[cell].extend(pq.encode(&resid)?);
+                }
+                (None, false) => {
+                    self.flat[cell].extend_from_slice(v);
+                }
+                (None, true) => {
+                    return Err(BhError::Internal("ivf: untrained payload".into()));
+                }
+            }
+        }
+        self.len += n;
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>) -> Result<Arc<dyn VectorIndex>> {
+        let coarse = self
+            .coarse
+            .ok_or_else(|| BhError::Index("ivf: finish before train/add".into()))?;
+        let cells = match self.pq {
+            Some(pq) => Cells::Pq { pq, codes: self.codes },
+            None => Cells::Flat { vectors: self.flat },
+        };
+        Ok(Arc::new(IvfIndex {
+            dim: self.spec.dim,
+            metric: self.spec.metric,
+            kind: self.kind,
+            coarse,
+            ids: self.ids,
+            cells,
+            len: self.len,
+        }))
+    }
+
+    fn requires_training(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatBuilder;
+    use crate::recall::recall_at_k;
+    use bh_common::rng::rng;
+    use rand::Rng;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut r = rng(seed);
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let center = (i % 10) as f32 * 5.0;
+            for _ in 0..dim {
+                data.push(center + r.gen_range(-1.0f32..1.0));
+            }
+        }
+        data
+    }
+
+    fn build(
+        kind: IndexKind,
+        n: usize,
+        dim: usize,
+        nlist: usize,
+        metric: Metric,
+        seed: u64,
+    ) -> (Arc<dyn VectorIndex>, Arc<dyn VectorIndex>, Vec<f32>) {
+        let data = clustered(n, dim, seed);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let spec = IndexSpec::new(kind, dim, metric).with_param("nlist", nlist);
+        let mut b = Box::new(IvfBuilder::new(&spec, kind).unwrap());
+        b.train(&data).unwrap();
+        b.add_with_ids(&data, &ids).unwrap();
+        let ivf = (b as Box<dyn IndexBuilder>).finish().unwrap();
+
+        let fspec = IndexSpec::new(IndexKind::Flat, dim, metric);
+        let mut fb = Box::new(FlatBuilder::new(&fspec).unwrap());
+        fb.add_with_ids(&data, &ids).unwrap();
+        let flat = (fb as Box<dyn IndexBuilder>).finish().unwrap();
+        (ivf, flat, data)
+    }
+
+    fn mean_recall(
+        ivf: &Arc<dyn VectorIndex>,
+        flat: &Arc<dyn VectorIndex>,
+        data: &[f32],
+        dim: usize,
+        params: &SearchParams,
+        queries: usize,
+    ) -> f64 {
+        let n = data.len() / dim;
+        let mut total = 0.0;
+        for q in 0..queries {
+            let row = (q * 31) % n;
+            let qv = &data[row * dim..(row + 1) * dim];
+            let truth = flat.search_with_filter(qv, 10, params, None).unwrap();
+            let got = ivf.search_with_filter(qv, 10, params, None).unwrap();
+            total += recall_at_k(&truth, &got, 10);
+        }
+        total / queries as f64
+    }
+
+    #[test]
+    fn ivfflat_recall_with_full_probe_is_exact() {
+        let dim = 8;
+        let (ivf, flat, data) = build(IndexKind::IvfFlat, 1000, dim, 16, Metric::L2, 1);
+        let params = SearchParams::default().with_nprobe(16); // all cells
+        let r = mean_recall(&ivf, &flat, &data, dim, &params, 15);
+        assert!(r > 0.999, "full-probe IVFFLAT must be exact, recall {r}");
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let dim = 8;
+        let (ivf, flat, data) = build(IndexKind::IvfFlat, 2000, dim, 32, Metric::L2, 2);
+        let r1 = mean_recall(&ivf, &flat, &data, dim, &SearchParams::default().with_nprobe(1), 20);
+        let r8 = mean_recall(&ivf, &flat, &data, dim, &SearchParams::default().with_nprobe(8), 20);
+        let r32 =
+            mean_recall(&ivf, &flat, &data, dim, &SearchParams::default().with_nprobe(32), 20);
+        assert!(r8 >= r1, "recall must not drop with more probes: {r1} -> {r8}");
+        assert!(r32 >= r8);
+        assert!(r32 > 0.99);
+    }
+
+    #[test]
+    fn ivfpq_recall_floor_on_clustered_data() {
+        let dim = 16;
+        let (ivf, flat, data) = build(IndexKind::IvfPq, 2000, dim, 16, Metric::L2, 3);
+        assert!(ivf.needs_refine());
+        let params = SearchParams::default().with_nprobe(8);
+        let r = mean_recall(&ivf, &flat, &data, dim, &params, 20);
+        assert!(r > 0.6, "IVFPQ recall {r} unreasonably low");
+    }
+
+    #[test]
+    fn ivfpqfs_smaller_than_ivfpq_smaller_than_flat() {
+        let dim = 16;
+        let (pqfs, _, _) = build(IndexKind::IvfPqFs, 1500, dim, 16, Metric::L2, 4);
+        let (pq, _, _) = build(IndexKind::IvfPq, 1500, dim, 16, Metric::L2, 4);
+        let (fl, _, _) = build(IndexKind::IvfFlat, 1500, dim, 16, Metric::L2, 4);
+        assert!(pqfs.memory_usage() < pq.memory_usage());
+        assert!(pq.memory_usage() < fl.memory_usage());
+    }
+
+    #[test]
+    fn filter_respected() {
+        let dim = 8;
+        let (ivf, _, data) = build(IndexKind::IvfFlat, 500, dim, 8, Metric::L2, 5);
+        let allowed = Bitset::from_positions(500, (0..500).filter(|i| i % 3 == 0));
+        let got = ivf
+            .search_with_filter(
+                &data[0..dim],
+                10,
+                &SearchParams::default().with_nprobe(8),
+                Some(&allowed),
+            )
+            .unwrap();
+        assert!(!got.is_empty());
+        for nb in &got {
+            assert_eq!(nb.id % 3, 0);
+        }
+    }
+
+    #[test]
+    fn range_search_within_probed_cells() {
+        let dim = 4;
+        let (ivf, flat, data) = build(IndexKind::IvfFlat, 800, dim, 8, Metric::L2, 6);
+        let q = &data[0..dim];
+        let params = SearchParams::default().with_nprobe(8);
+        let truth = flat.search_with_range(q, 3.0, &params, None).unwrap();
+        let got = ivf.search_with_range(q, 3.0, &params, None).unwrap();
+        assert_eq!(got.len(), truth.len(), "full probe range must be exact");
+        for nb in &got {
+            assert!(nb.distance <= 3.0);
+        }
+    }
+
+    #[test]
+    fn cosine_metric_normalizes_and_scales() {
+        let dim = 8;
+        let (ivf, flat, data) = build(IndexKind::IvfFlat, 600, dim, 8, Metric::Cosine, 7);
+        let q = &data[dim..2 * dim];
+        let params = SearchParams::default().with_nprobe(8);
+        let truth = flat.search_with_filter(q, 5, &params, None).unwrap();
+        let got = ivf.search_with_filter(q, 5, &params, None).unwrap();
+        let t_ids: Vec<u64> = truth.iter().map(|x| x.id).collect();
+        let g_ids: Vec<u64> = got.iter().map(|x| x.id).collect();
+        assert_eq!(t_ids, g_ids);
+        // Distances must match cosine distance values.
+        for (t, g) in truth.iter().zip(&got) {
+            assert!((t.distance - g.distance).abs() < 1e-3, "{} vs {}", t.distance, g.distance);
+        }
+    }
+
+    #[test]
+    fn auto_train_on_first_add() {
+        let dim = 8;
+        let data = clustered(300, dim, 8);
+        let ids: Vec<u64> = (0..300).collect();
+        let spec = IndexSpec::new(IndexKind::IvfFlat, dim, Metric::L2);
+        let mut b = Box::new(IvfBuilder::new(&spec, IndexKind::IvfFlat).unwrap());
+        b.add_with_ids(&data, &ids).unwrap(); // no explicit train
+        let idx = (b as Box<dyn IndexBuilder>).finish().unwrap();
+        assert_eq!(idx.meta().len, 300);
+    }
+
+    #[test]
+    fn finish_without_data_fails() {
+        let spec = IndexSpec::new(IndexKind::IvfFlat, 4, Metric::L2);
+        let b = Box::new(IvfBuilder::new(&spec, IndexKind::IvfFlat).unwrap());
+        assert!((b as Box<dyn IndexBuilder>).finish().is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip_all_variants() {
+        for kind in [IndexKind::IvfFlat, IndexKind::IvfPq, IndexKind::IvfPqFs] {
+            let dim = 8;
+            let (ivf, _, data) = build(kind, 400, dim, 8, Metric::L2, 9);
+            let blob = ivf.save_bytes().unwrap();
+            let loaded = IvfIndex::load_bytes(&blob).unwrap();
+            assert_eq!(loaded.meta().kind, kind);
+            let q = &data[0..dim];
+            let params = SearchParams::default().with_nprobe(4);
+            assert_eq!(
+                ivf.search_with_filter(q, 5, &params, None).unwrap(),
+                loaded.search_with_filter(q, 5, &params, None).unwrap(),
+                "{kind:?} roundtrip mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_blob_rejected() {
+        let (ivf, _, _) = build(IndexKind::IvfFlat, 100, 4, 4, Metric::L2, 10);
+        let blob = ivf.save_bytes().unwrap();
+        assert!(IvfIndex::load_bytes(&blob[..16]).is_err());
+    }
+
+    #[test]
+    fn pq_m_must_divide_dim() {
+        let spec = IndexSpec::new(IndexKind::IvfPq, 10, Metric::L2).with_param("pq_m", 3);
+        let mut b = IvfBuilder::new(&spec, IndexKind::IvfPq).unwrap();
+        assert!(b.train(&clustered(100, 10, 11)).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (ivf, _, _) = build(IndexKind::IvfFlat, 50, 8, 4, Metric::L2, 12);
+        assert!(ivf.search_with_filter(&[0.0; 7], 3, &SearchParams::default(), None).is_err());
+    }
+}

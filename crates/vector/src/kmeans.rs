@@ -1,0 +1,330 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Used in three places: IVF coarse quantizer training, product-quantizer
+//! codebook training, and the storage layer's semantic (`CLUSTER BY`)
+//! partitioning (§IV-B). Clustering always uses squared-L2 internally —
+//! cosine-metric callers normalize their vectors first.
+
+use crate::distance::l2_sq;
+use bh_common::rng::{derived_rng, DetRng};
+use bh_common::{BhError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Training parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansParams {
+    /// Desired number of clusters; clamped to the number of points.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for reproducible training.
+    pub seed: u64,
+    /// Train on at most this many points (uniformly sampled) — the standard
+    /// faiss-style cap that keeps training cost bounded on large segments.
+    pub sample_limit: usize,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 15, seed: 0, sample_limit: 16_384 }
+    }
+}
+
+impl KMeansParams {
+    /// Default training parameters for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self { k, ..Default::default() }
+    }
+
+    /// Set the training seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A trained codebook: `k` centroids of dimension `dim`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Dimensionality of each centroid.
+    pub dim: usize,
+    /// Number of centroids.
+    pub k: usize,
+    /// Row-major `k × dim` centroid matrix.
+    pub centroids: Vec<f32>,
+}
+
+impl KMeans {
+    /// The `i`-th centroid.
+    pub fn centroid(&self, i: usize) -> &[f32] {
+        &self.centroids[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Index of the nearest centroid.
+    pub fn assign(&self, v: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.k {
+            let d = l2_sq(v, self.centroid(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// The `m` nearest centroids with distances, ascending. Used for IVF
+    /// probe selection and semantic segment pruning.
+    pub fn nearest_centroids(&self, v: &[f32], m: usize) -> Vec<(usize, f32)> {
+        let mut all: Vec<(usize, f32)> =
+            (0..self.k).map(|c| (c, l2_sq(v, self.centroid(c)))).collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        all.truncate(m);
+        all
+    }
+}
+
+/// Train k-means over `n = data.len() / dim` row-major points.
+///
+/// `k` is clamped to `n`. Empty clusters are reseeded to the point farthest
+/// from its assigned centroid, so the returned codebook always has exactly
+/// `min(k, n)` distinct, non-empty centroids for non-degenerate input.
+pub fn train_kmeans(data: &[f32], dim: usize, params: &KMeansParams) -> Result<KMeans> {
+    if dim == 0 {
+        return Err(BhError::InvalidArgument("kmeans: dim must be > 0".into()));
+    }
+    if data.len() % dim != 0 {
+        return Err(BhError::DimensionMismatch { expected: dim, got: data.len() % dim });
+    }
+    let n = data.len() / dim;
+    if n == 0 {
+        return Err(BhError::InvalidArgument("kmeans: no training points".into()));
+    }
+    if params.k == 0 {
+        return Err(BhError::InvalidArgument("kmeans: k must be > 0".into()));
+    }
+
+    let mut rng = derived_rng(params.seed, 0x6b6d_6561_6e73);
+
+    // Optional subsampling for large inputs.
+    let (train, n_train): (Vec<f32>, usize) = if n > params.sample_limit {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(params.sample_limit);
+        let mut out = Vec::with_capacity(params.sample_limit * dim);
+        for i in &idx {
+            out.extend_from_slice(&data[i * dim..(i + 1) * dim]);
+        }
+        (out, params.sample_limit)
+    } else {
+        (data.to_vec(), n)
+    };
+
+    let k = params.k.min(n_train);
+    let point = |i: usize| &train[i * dim..(i + 1) * dim];
+
+    // k-means++ seeding.
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n_train);
+    centroids.extend_from_slice(point(first));
+    let mut min_d2: Vec<f32> = (0..n_train).map(|i| l2_sq(point(i), point(first))).collect();
+    while centroids.len() / dim < k {
+        let total: f64 = min_d2.iter().map(|&d| d as f64).sum();
+        let chosen = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..n_train)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n_train - 1;
+            for (i, &d) in min_d2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.extend_from_slice(point(chosen));
+        let cid = centroids.len() / dim - 1;
+        for i in 0..n_train {
+            let d = l2_sq(point(i), &centroids[cid * dim..(cid + 1) * dim]);
+            if d < min_d2[i] {
+                min_d2[i] = d;
+            }
+        }
+    }
+
+    let mut km = KMeans { dim, k, centroids };
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n_train];
+    for _ in 0..params.max_iters {
+        let mut moved = false;
+        for i in 0..n_train {
+            let a = km.assign(point(i));
+            if a != assignments[i] {
+                assignments[i] = a;
+                moved = true;
+            }
+        }
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n_train {
+            let c = assignments[i];
+            counts[c] += 1;
+            for d in 0..dim {
+                sums[c * dim + d] += point(i)[d] as f64;
+            }
+        }
+        reseed_empty_clusters(&mut sums, &mut counts, &train, dim, &assignments, &km, &mut rng);
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    km.centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    Ok(km)
+}
+
+/// Replace empty clusters' accumulators with the point currently farthest
+/// from its own centroid (a single point, count 1).
+fn reseed_empty_clusters(
+    sums: &mut [f64],
+    counts: &mut [usize],
+    train: &[f32],
+    dim: usize,
+    assignments: &[usize],
+    km: &KMeans,
+    _rng: &mut DetRng,
+) {
+    let n = assignments.len();
+    for c in 0..counts.len() {
+        if counts[c] > 0 {
+            continue;
+        }
+        // Farthest point from its assigned centroid.
+        let mut far_i = 0;
+        let mut far_d = -1.0f32;
+        for i in 0..n {
+            let p = &train[i * dim..(i + 1) * dim];
+            let d = l2_sq(p, km.centroid(assignments[i]));
+            if d > far_d {
+                far_d = d;
+                far_i = i;
+            }
+        }
+        counts[c] = 1;
+        for d in 0..dim {
+            sums[c * dim + d] = train[far_i * dim + d] as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_common::rng::rng as seeded;
+    use rand::Rng;
+
+    /// Three well-separated Gaussian blobs in `dim` dims.
+    fn blobs(n_per: usize, dim: usize, seed: u64) -> (Vec<f32>, Vec<usize>) {
+        let centers = [-10.0f32, 0.0, 10.0];
+        let mut r = seeded(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, &c) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                for _ in 0..dim {
+                    data.push(c + r.gen_range(-0.5..0.5));
+                }
+                labels.push(ci);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn separated_blobs_are_recovered() {
+        let dim = 4;
+        let (data, labels) = blobs(50, dim, 1);
+        let km = train_kmeans(&data, dim, &KMeansParams::new(3).with_seed(7)).unwrap();
+        assert_eq!(km.k, 3);
+        // Every pair of same-label points must land in the same cluster and
+        // different-label points in different clusters.
+        let assignment: Vec<usize> =
+            (0..150).map(|i| km.assign(&data[i * dim..(i + 1) * dim])).collect();
+        for i in 0..150 {
+            for j in 0..150 {
+                assert_eq!(
+                    labels[i] == labels[j],
+                    assignment[i] == assignment[j],
+                    "points {i},{j} clustered wrongly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let data = vec![0.0, 0.0, 1.0, 1.0]; // two 2-d points
+        let km = train_kmeans(&data, 2, &KMeansParams::new(10)).unwrap();
+        assert_eq!(km.k, 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blobs(30, 3, 2);
+        let a = train_kmeans(&data, 3, &KMeansParams::new(4).with_seed(9)).unwrap();
+        let b = train_kmeans(&data, 3, &KMeansParams::new(4).with_seed(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(train_kmeans(&[], 4, &KMeansParams::new(2)).is_err());
+        assert!(train_kmeans(&[1.0, 2.0, 3.0], 2, &KMeansParams::new(2)).is_err()); // ragged
+        assert!(train_kmeans(&[1.0, 2.0], 0, &KMeansParams::new(2)).is_err());
+        assert!(train_kmeans(&[1.0, 2.0], 2, &KMeansParams::new(0)).is_err());
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = vec![5.0f32; 40]; // 10 identical 4-d points
+        let km = train_kmeans(&data, 4, &KMeansParams::new(3)).unwrap();
+        assert_eq!(km.assign(&[5.0; 4]), km.assign(&[5.0; 4]));
+    }
+
+    #[test]
+    fn nearest_centroids_sorted_ascending() {
+        let (data, _) = blobs(40, 2, 3);
+        let km = train_kmeans(&data, 2, &KMeansParams::new(3).with_seed(1)).unwrap();
+        let q = vec![9.5, 9.5];
+        let near = km.nearest_centroids(&q, 3);
+        assert_eq!(near.len(), 3);
+        for w in near.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(near[0].0, km.assign(&q));
+    }
+
+    #[test]
+    fn sampling_cap_still_produces_usable_codebook() {
+        let (data, _) = blobs(200, 2, 4);
+        let params = KMeansParams { k: 3, max_iters: 10, seed: 5, sample_limit: 60 };
+        let km = train_kmeans(&data, 2, &params).unwrap();
+        // All three blob centers should have a centroid within 2.0.
+        for c in [-10.0f32, 0.0, 10.0] {
+            let q = vec![c, c];
+            let (_, d) = km.nearest_centroids(&q, 1)[0];
+            assert!(d < 4.0, "no centroid near blob at {c}: d={d}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # bh-vector — the pluggable vector index library
+//!
+//! A from-scratch Rust implementation of the index algorithms BlendHouse
+//! consumes from hnswlib / faiss / diskann, exposed behind the paper's
+//! "virtual vector index" abstraction (Fig. 5):
+//!
+//! * **Execution-layer interfaces**: [`VectorIndex::search_with_filter`],
+//!   [`VectorIndex::search_with_range`], and [`VectorIndex::search_iterator`].
+//! * **Storage-layer interfaces**: `CreateIndex` ([`registry::IndexRegistry::create_builder`]),
+//!   `Train` / `AddWithIds` ([`IndexBuilder`]), and `SaveIndex` / `LoadIndex`
+//!   ([`VectorIndex::save_bytes`] / [`registry::IndexRegistry::load`]).
+//!
+//! ## Index types
+//!
+//! | Kind | Group | Backing module |
+//! |------|-------|----------------|
+//! | `FLAT` | exact | [`flat`] |
+//! | `HNSW` | graph | [`hnsw`] |
+//! | `HNSWSQ` | graph + scalar quantization | [`hnsw`] over [`quant::sq`] |
+//! | `IVFFLAT` | inverted file | [`ivf`] |
+//! | `IVFPQ` | inverted file + product quantization | [`ivf`] over [`quant::pq`] |
+//! | `IVFPQFS` | inverted file + 4-bit PQ (fast-scan layout) | [`ivf`] |
+//! | `DISKANN` | disk-resident Vamana graph | [`vamana`] |
+//!
+//! Quantized indexes return *approximate* distances; the query executor
+//! optionally refines the top `σ·k` candidates with exact distances fetched
+//! from the vector column (the `σ × k × c_d` term of the paper's cost model).
+//!
+//! ## Pluggability
+//!
+//! Index implementations register [`IndexFactory`] objects in an
+//! [`registry::IndexRegistry`]; BlendHouse instantiates indexes purely through
+//! the registry, so a new library is integrated by registering one factory —
+//! exactly the extensibility claim of §III-A.
+
+pub mod autoindex;
+pub mod codec;
+pub mod distance;
+pub mod flat;
+pub mod hnsw;
+pub mod iterator;
+pub mod ivf;
+pub mod kmeans;
+pub mod quant;
+pub mod recall;
+pub mod registry;
+pub mod types;
+pub mod vamana;
+
+pub use distance::Metric;
+pub use iterator::{GenericSearchIterator, SearchIterator};
+pub use registry::{IndexFactory, IndexRegistry};
+pub use types::{
+    IndexBuilder, IndexKind, IndexMeta, IndexSpec, Neighbor, SearchParams, VectorIndex,
+};

@@ -1,0 +1,15 @@
+//! Vector quantizers.
+//!
+//! * [`sq`] — 8-bit scalar quantization (per-dimension affine), backing the
+//!   `HNSWSQ` index: ~4x memory reduction at a small recall cost.
+//! * [`pq`] — product quantization with asymmetric distance computation
+//!   (ADC, Jégou et al.), backing `IVFPQ` (8-bit codes) and `IVFPQFS`
+//!   (4-bit codes — the algorithmic content of faiss' fast-scan variant; we
+//!   substitute the hand-written SIMD kernel with the same LUT math, which
+//!   preserves the memory/recall trade-off shape the paper evaluates).
+
+pub mod pq;
+pub mod sq;
+
+pub use pq::{Pq, PqParams};
+pub use sq::Sq8;

@@ -1,0 +1,418 @@
+//! Product quantization with asymmetric distance computation (ADC).
+//!
+//! A vector is split into `m` contiguous subspaces; each subspace is encoded
+//! as the id of its nearest codebook centroid (codebooks trained with
+//! k-means). At query time a lookup table of query-subvector-to-centroid
+//! distances is built once per (query, codebook); the approximate distance of
+//! any code is then `m` table lookups — this is the `c_c` ("fetch a code and
+//! run ADC") term of the paper's cost model.
+//!
+//! Two code widths are supported:
+//!
+//! * **8-bit** (`ks = 256`), the classic IVFPQ configuration.
+//! * **4-bit** (`ks = 16`), two codes packed per byte — the layout used by
+//!   faiss' fast-scan (`PQx4fs`) indexes. We reproduce the algorithmic
+//!   memory/recall trade-off; the SIMD register-shuffle kernel is substituted
+//!   by the same LUT arithmetic (documented in DESIGN.md).
+
+use crate::codec::{Reader, Writer};
+use crate::distance::{dot, l2_sq};
+use crate::kmeans::{train_kmeans, KMeansParams};
+use crate::Metric;
+use bh_common::rng::derive_seed;
+use bh_common::{BhError, Result};
+
+/// Code width of a PQ codebook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeBits {
+    /// 256 centroids per subspace, one byte per code.
+    B8,
+    /// 16 centroids per subspace, two codes per byte ("fast-scan" layout).
+    B4,
+}
+
+impl CodeBits {
+    /// Centroids per subspace for this code width.
+    pub fn ks(self) -> usize {
+        match self {
+            CodeBits::B8 => 256,
+            CodeBits::B4 => 16,
+        }
+    }
+}
+
+/// Training parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PqParams {
+    /// Number of subspaces; must divide `dim`.
+    pub m: usize,
+    /// Code width (8-bit classic or 4-bit fast-scan).
+    pub bits: CodeBits,
+    /// Codebook-training seed.
+    pub seed: u64,
+    /// Lloyd iterations per subspace codebook.
+    pub kmeans_iters: usize,
+}
+
+impl PqParams {
+    /// Defaults for `m` subspaces at the given code width.
+    pub fn new(m: usize, bits: CodeBits) -> Self {
+        Self { m, bits, seed: 0, kmeans_iters: 12 }
+    }
+}
+
+/// A trained product quantizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pq {
+    dim: usize,
+    m: usize,
+    bits: CodeBits,
+    dsub: usize,
+    /// Codebooks: `m * ks * dsub` floats, subspace-major.
+    codebooks: Vec<f32>,
+    metric: Metric,
+}
+
+impl Pq {
+    /// Train codebooks on a row-major sample. For [`Metric::Cosine`] the
+    /// caller is expected to have normalized the sample (IVF index does).
+    pub fn train(sample: &[f32], dim: usize, metric: Metric, params: &PqParams) -> Result<Pq> {
+        if dim == 0 || params.m == 0 || dim % params.m != 0 {
+            return Err(BhError::InvalidArgument(format!(
+                "pq: m={} must divide dim={dim}",
+                params.m
+            )));
+        }
+        if sample.is_empty() || sample.len() % dim != 0 {
+            return Err(BhError::InvalidArgument("pq: bad sample shape".into()));
+        }
+        let n = sample.len() / dim;
+        let dsub = dim / params.m;
+        let ks = params.bits.ks();
+        let mut codebooks = vec![0.0f32; params.m * ks * dsub];
+        for sub in 0..params.m {
+            // Gather the subvectors of this subspace.
+            let mut subdata = Vec::with_capacity(n * dsub);
+            for i in 0..n {
+                let off = i * dim + sub * dsub;
+                subdata.extend_from_slice(&sample[off..off + dsub]);
+            }
+            let km = train_kmeans(
+                &subdata,
+                dsub,
+                &KMeansParams {
+                    k: ks,
+                    max_iters: params.kmeans_iters,
+                    seed: derive_seed(params.seed, sub as u64),
+                    sample_limit: 16_384,
+                },
+            )?;
+            // km.k may be < ks when the sample is small; replicate the last
+            // centroid so every code id stays decodable.
+            for c in 0..ks {
+                let src = km.centroid(c.min(km.k - 1));
+                let dst = (sub * ks + c) * dsub;
+                codebooks[dst..dst + dsub].copy_from_slice(src);
+            }
+        }
+        Ok(Pq { dim, m: params.m, bits: params.bits, dsub, codebooks, metric })
+    }
+
+    /// Vector dimensionality the quantizer was trained for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of subspaces.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Code width.
+    pub fn bits(&self) -> CodeBits {
+        self.bits
+    }
+
+    /// Bytes per encoded vector.
+    pub fn code_size(&self) -> usize {
+        match self.bits {
+            CodeBits::B8 => self.m,
+            CodeBits::B4 => self.m.div_ceil(2),
+        }
+    }
+
+    #[inline]
+    fn centroid(&self, sub: usize, c: usize) -> &[f32] {
+        let off = (sub * self.bits.ks() + c) * self.dsub;
+        &self.codebooks[off..off + self.dsub]
+    }
+
+    /// Encode one vector into `code_size()` bytes.
+    pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
+        if v.len() != self.dim {
+            return Err(BhError::DimensionMismatch { expected: self.dim, got: v.len() });
+        }
+        let ks = self.bits.ks();
+        let mut ids = Vec::with_capacity(self.m);
+        for sub in 0..self.m {
+            let sv = &v[sub * self.dsub..(sub + 1) * self.dsub];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..ks {
+                let d = l2_sq(sv, self.centroid(sub, c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            ids.push(best as u8);
+        }
+        Ok(match self.bits {
+            CodeBits::B8 => ids,
+            CodeBits::B4 => {
+                let mut packed = vec![0u8; self.code_size()];
+                for (i, &id) in ids.iter().enumerate() {
+                    packed[i / 2] |= (id & 0x0F) << ((i % 2) * 4);
+                }
+                packed
+            }
+        })
+    }
+
+    /// Decode a code to its reconstruction.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim);
+        for sub in 0..self.m {
+            let id = self.code_id(code, sub);
+            out.extend_from_slice(self.centroid(sub, id));
+        }
+        out
+    }
+
+    #[inline]
+    fn code_id(&self, code: &[u8], sub: usize) -> usize {
+        match self.bits {
+            CodeBits::B8 => code[sub] as usize,
+            CodeBits::B4 => ((code[sub / 2] >> ((sub % 2) * 4)) & 0x0F) as usize,
+        }
+    }
+
+    /// Build the ADC lookup table for `query`: `m * ks` partial distances.
+    pub fn adc_table(&self, query: &[f32]) -> Result<AdcTable> {
+        if query.len() != self.dim {
+            return Err(BhError::DimensionMismatch { expected: self.dim, got: query.len() });
+        }
+        let ks = self.bits.ks();
+        let mut table = vec![0.0f32; self.m * ks];
+        for sub in 0..self.m {
+            let qv = &query[sub * self.dsub..(sub + 1) * self.dsub];
+            for c in 0..ks {
+                let cent = self.centroid(sub, c);
+                table[sub * ks + c] = match self.metric {
+                    Metric::L2 | Metric::Cosine => l2_sq(qv, cent),
+                    Metric::InnerProduct => -dot(qv, cent),
+                };
+            }
+        }
+        Ok(AdcTable { table, ks, m: self.m, bits: self.bits })
+    }
+
+    /// Resident codebook size in bytes.
+    pub fn memory_usage(&self) -> usize {
+        self.codebooks.len() * 4 + std::mem::size_of::<Self>()
+    }
+
+    /// Serialize the quantizer into a codec writer.
+    pub fn save(&self, w: &mut Writer) {
+        w.put_u64(self.dim as u64);
+        w.put_u64(self.m as u64);
+        w.put_u8(match self.bits {
+            CodeBits::B8 => 8,
+            CodeBits::B4 => 4,
+        });
+        w.put_u8(match self.metric {
+            Metric::L2 => 0,
+            Metric::InnerProduct => 1,
+            Metric::Cosine => 2,
+        });
+        w.put_f32_slice(&self.codebooks);
+    }
+
+    /// Deserialize a quantizer written by [`Self::save`].
+    pub fn load(r: &mut Reader<'_>) -> Result<Pq> {
+        let dim = r.get_u64()? as usize;
+        let m = r.get_u64()? as usize;
+        let bits = match r.get_u8()? {
+            8 => CodeBits::B8,
+            4 => CodeBits::B4,
+            b => return Err(BhError::Serde(format!("pq: bad bits {b}"))),
+        };
+        let metric = match r.get_u8()? {
+            0 => Metric::L2,
+            1 => Metric::InnerProduct,
+            2 => Metric::Cosine,
+            x => return Err(BhError::Serde(format!("pq: bad metric {x}"))),
+        };
+        let codebooks = r.get_f32_vec()?;
+        if m == 0 || dim == 0 || dim % m != 0 {
+            return Err(BhError::Serde("pq: corrupt geometry".into()));
+        }
+        let dsub = dim / m;
+        if codebooks.len() != m * bits.ks() * dsub {
+            return Err(BhError::Serde("pq: corrupt codebook size".into()));
+        }
+        Ok(Pq { dim, m, bits, dsub, codebooks, metric })
+    }
+}
+
+/// Per-query ADC lookup table.
+pub struct AdcTable {
+    table: Vec<f32>,
+    ks: usize,
+    m: usize,
+    bits: CodeBits,
+}
+
+impl AdcTable {
+    /// Approximate distance of one code: `m` lookups.
+    #[inline]
+    pub fn distance(&self, code: &[u8]) -> f32 {
+        let mut sum = 0.0;
+        match self.bits {
+            CodeBits::B8 => {
+                for sub in 0..self.m {
+                    sum += self.table[sub * self.ks + code[sub] as usize];
+                }
+            }
+            CodeBits::B4 => {
+                for sub in 0..self.m {
+                    let id = ((code[sub / 2] >> ((sub % 2) * 4)) & 0x0F) as usize;
+                    sum += self.table[sub * self.ks + id];
+                }
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_common::rng::rng;
+    use rand::Rng;
+
+    fn sample(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut r = rng(seed);
+        (0..n * dim).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn adc_matches_decode_then_distance_l2() {
+        let dim = 16;
+        let data = sample(300, dim, 1);
+        let pq = Pq::train(&data, dim, Metric::L2, &PqParams::new(4, CodeBits::B8)).unwrap();
+        let q = &data[0..dim];
+        let t = pq.adc_table(q).unwrap();
+        for i in 1..20 {
+            let v = &data[i * dim..(i + 1) * dim];
+            let code = pq.encode(v).unwrap();
+            let adc = t.distance(&code);
+            let exact = l2_sq(q, &pq.decode(&code));
+            assert!((adc - exact).abs() < 1e-2 * (1.0 + exact), "adc {adc} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn four_bit_packs_two_codes_per_byte() {
+        let dim = 8;
+        let data = sample(200, dim, 2);
+        let pq = Pq::train(&data, dim, Metric::L2, &PqParams::new(4, CodeBits::B4)).unwrap();
+        assert_eq!(pq.code_size(), 2);
+        let code = pq.encode(&data[0..dim]).unwrap();
+        assert_eq!(code.len(), 2);
+        // decode/ADC agree with 8-bit-style decoding
+        let q = &data[dim..2 * dim];
+        let t = pq.adc_table(q).unwrap();
+        let adc = t.distance(&code);
+        let exact = l2_sq(q, &pq.decode(&code));
+        assert!((adc - exact).abs() < 1e-2 * (1.0 + exact));
+    }
+
+    #[test]
+    fn reconstruction_reduces_distance_error_vs_random() {
+        // PQ reconstruction of v should be much closer to v than a random
+        // other vector is — a coarse sanity bound on codebook quality.
+        let dim = 16;
+        let data = sample(500, dim, 3);
+        let pq = Pq::train(&data, dim, Metric::L2, &PqParams::new(8, CodeBits::B8)).unwrap();
+        let mut err_sum = 0.0;
+        let mut rand_sum = 0.0;
+        for i in 0..50 {
+            let v = &data[i * dim..(i + 1) * dim];
+            let rec = pq.decode(&pq.encode(v).unwrap());
+            err_sum += l2_sq(v, &rec);
+            let other = &data[(i + 100) * dim..(i + 101) * dim];
+            rand_sum += l2_sq(v, other);
+        }
+        assert!(err_sum < rand_sum * 0.5, "err {err_sum} vs random {rand_sum}");
+    }
+
+    #[test]
+    fn inner_product_adc_is_negated_dot() {
+        let dim = 8;
+        let data = sample(200, dim, 4);
+        let pq =
+            Pq::train(&data, dim, Metric::InnerProduct, &PqParams::new(4, CodeBits::B8)).unwrap();
+        let q = &data[0..dim];
+        let t = pq.adc_table(q).unwrap();
+        let v = &data[dim..2 * dim];
+        let code = pq.encode(v).unwrap();
+        let adc = t.distance(&code);
+        let exact = -dot(q, &pq.decode(&code));
+        assert!((adc - exact).abs() < 1e-2 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let data = sample(10, 6, 5);
+        assert!(Pq::train(&data, 6, Metric::L2, &PqParams::new(4, CodeBits::B8)).is_err()); // 4∤6
+        assert!(Pq::train(&data, 0, Metric::L2, &PqParams::new(1, CodeBits::B8)).is_err());
+        assert!(Pq::train(&[], 6, Metric::L2, &PqParams::new(2, CodeBits::B8)).is_err());
+        let pq = Pq::train(&data, 6, Metric::L2, &PqParams::new(2, CodeBits::B8)).unwrap();
+        assert!(pq.encode(&[0.0; 5]).is_err());
+        assert!(pq.adc_table(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn small_sample_replicates_centroids() {
+        // Fewer points than ks: every code id must still decode.
+        let data = sample(5, 4, 6);
+        let pq = Pq::train(&data, 4, Metric::L2, &PqParams::new(2, CodeBits::B8)).unwrap();
+        let code = vec![255u8, 255u8];
+        let dec = pq.decode(&code);
+        assert_eq!(dec.len(), 4);
+        assert!(dec.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let data = sample(100, 8, 7);
+        let pq = Pq::train(&data, 8, Metric::Cosine, &PqParams::new(4, CodeBits::B4)).unwrap();
+        let mut w = Writer::new();
+        pq.save(&mut w);
+        let blob = w.finish();
+        let mut r = Reader::new(&blob);
+        let pq2 = Pq::load(&mut r).unwrap();
+        assert_eq!(pq, pq2);
+    }
+
+    #[test]
+    fn memory_scales_with_bits() {
+        let data = sample(300, 16, 8);
+        let p8 = Pq::train(&data, 16, Metric::L2, &PqParams::new(4, CodeBits::B8)).unwrap();
+        let p4 = Pq::train(&data, 16, Metric::L2, &PqParams::new(4, CodeBits::B4)).unwrap();
+        assert!(p4.memory_usage() < p8.memory_usage());
+        assert_eq!(p8.code_size(), 4);
+        assert_eq!(p4.code_size(), 2);
+    }
+}

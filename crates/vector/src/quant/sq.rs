@@ -1,0 +1,277 @@
+//! 8-bit scalar quantization.
+//!
+//! Each dimension is affinely mapped onto `0..=255` using per-dimension
+//! `[min, max]` ranges fitted on a training sample. Distances are computed
+//! *asymmetrically*: the query stays in f32 and codes are decoded on the fly,
+//! which keeps the recall loss well below symmetric code-to-code distances.
+
+use crate::codec::{Reader, Writer};
+use bh_common::{BhError, Result};
+use bytes::Bytes;
+
+/// A trained per-dimension affine quantizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq8 {
+    dim: usize,
+    /// Per-dimension lower bound.
+    min: Vec<f32>,
+    /// Per-dimension step `(max - min) / 255`; zero for constant dimensions.
+    step: Vec<f32>,
+}
+
+impl Sq8 {
+    /// Fit ranges on a row-major training sample.
+    pub fn train(sample: &[f32], dim: usize) -> Result<Sq8> {
+        if dim == 0 {
+            return Err(BhError::InvalidArgument("sq8: dim must be > 0".into()));
+        }
+        if sample.is_empty() || sample.len() % dim != 0 {
+            return Err(BhError::InvalidArgument(format!(
+                "sq8: sample len {} is not a positive multiple of dim {dim}",
+                sample.len()
+            )));
+        }
+        let n = sample.len() / dim;
+        let mut min = vec![f32::INFINITY; dim];
+        let mut max = vec![f32::NEG_INFINITY; dim];
+        for i in 0..n {
+            for d in 0..dim {
+                let v = sample[i * dim + d];
+                min[d] = min[d].min(v);
+                max[d] = max[d].max(v);
+            }
+        }
+        let step = min
+            .iter()
+            .zip(&max)
+            .map(|(lo, hi)| {
+                let s = (hi - lo) / 255.0;
+                if s.is_finite() {
+                    s
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Ok(Sq8 { dim, min, step })
+    }
+
+    /// Vector dimensionality the quantizer was trained for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encode one vector into `dim` bytes. Out-of-range values clamp, so the
+    /// quantizer degrades gracefully on data drift beyond the training range.
+    pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
+        if v.len() != self.dim {
+            return Err(BhError::DimensionMismatch { expected: self.dim, got: v.len() });
+        }
+        Ok(v.iter()
+            .enumerate()
+            .map(|(d, &x)| {
+                if self.step[d] == 0.0 {
+                    0u8
+                } else {
+                    (((x - self.min[d]) / self.step[d]).round()).clamp(0.0, 255.0) as u8
+                }
+            })
+            .collect())
+    }
+
+    /// Decode a code back to an approximate vector.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        code.iter()
+            .enumerate()
+            .map(|(d, &c)| self.min[d] + c as f32 * self.step[d])
+            .collect()
+    }
+
+    /// Asymmetric squared-L2 distance between an f32 query and a code.
+    #[inline]
+    pub fn asym_l2(&self, query: &[f32], code: &[u8]) -> f32 {
+        let mut sum = 0.0;
+        for d in 0..self.dim {
+            let x = self.min[d] + code[d] as f32 * self.step[d];
+            let diff = query[d] - x;
+            sum += diff * diff;
+        }
+        sum
+    }
+
+    /// Asymmetric negative inner product.
+    #[inline]
+    pub fn asym_neg_ip(&self, query: &[f32], code: &[u8]) -> f32 {
+        let mut sum = 0.0;
+        for d in 0..self.dim {
+            let x = self.min[d] + code[d] as f32 * self.step[d];
+            sum += query[d] * x;
+        }
+        -sum
+    }
+
+    /// Worst-case per-dimension reconstruction error (half a step).
+    pub fn max_abs_error(&self, d: usize) -> f32 {
+        self.step[d] * 0.5
+    }
+
+    /// Serialized + resident size in bytes.
+    pub fn memory_usage(&self) -> usize {
+        self.dim * 8 + std::mem::size_of::<Self>()
+    }
+
+    /// Serialize into a codec writer.
+    pub fn save(&self, w: &mut Writer) {
+        w.put_u64(self.dim as u64);
+        w.put_f32_slice(&self.min);
+        w.put_f32_slice(&self.step);
+    }
+
+    /// Deserialize a quantizer written by [`Self::save`].
+    pub fn load(r: &mut Reader<'_>) -> Result<Sq8> {
+        let dim = r.get_u64()? as usize;
+        let min = r.get_f32_vec()?;
+        let step = r.get_f32_vec()?;
+        if min.len() != dim || step.len() != dim {
+            return Err(BhError::Serde("sq8: corrupt dimension data".into()));
+        }
+        Ok(Sq8 { dim, min, step })
+    }
+
+    /// Standalone blob round-trip helpers used in tests.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        self.save(&mut w);
+        w.finish()
+    }
+
+    /// Deserialize a standalone blob written by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Sq8> {
+        let mut r = Reader::new(bytes);
+        Self::load(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::l2_sq;
+    use bh_common::rng::rng;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn sample(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut r = rng(seed);
+        (0..n * dim).map(|_| r.gen_range(-3.0f32..3.0)).collect()
+    }
+
+    #[test]
+    fn encode_decode_error_bounded_by_half_step() {
+        let dim = 16;
+        let data = sample(100, dim, 1);
+        let sq = Sq8::train(&data, dim).unwrap();
+        for i in 0..100 {
+            let v = &data[i * dim..(i + 1) * dim];
+            let code = sq.encode(v).unwrap();
+            let dec = sq.decode(&code);
+            for d in 0..dim {
+                let err = (v[d] - dec[d]).abs();
+                assert!(
+                    err <= sq.max_abs_error(d) + 1e-5,
+                    "dim {d}: err {err} > bound {}",
+                    sq.max_abs_error(d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asym_l2_matches_decode_then_l2() {
+        let dim = 8;
+        let data = sample(50, dim, 2);
+        let sq = Sq8::train(&data, dim).unwrap();
+        let q = &data[0..dim];
+        let code = sq.encode(&data[dim..2 * dim]).unwrap();
+        let fast = sq.asym_l2(q, &code);
+        let slow = l2_sq(q, &sq.decode(&code));
+        assert!((fast - slow).abs() < 1e-3 * (1.0 + slow));
+    }
+
+    #[test]
+    fn constant_dimension_is_stable() {
+        // Second dimension constant → step 0 → decodes exactly.
+        let data = vec![1.0, 5.0, 2.0, 5.0, 3.0, 5.0];
+        let sq = Sq8::train(&data, 2).unwrap();
+        let code = sq.encode(&[2.0, 5.0]).unwrap();
+        let dec = sq.decode(&code);
+        assert_eq!(dec[1], 5.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let data = vec![0.0, 1.0]; // 1-d, range [0,1]
+        let sq = Sq8::train(&data, 1).unwrap();
+        let lo = sq.encode(&[-100.0]).unwrap();
+        let hi = sq.encode(&[100.0]).unwrap();
+        assert_eq!(lo[0], 0);
+        assert_eq!(hi[0], 255);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Sq8::train(&[], 4).is_err());
+        assert!(Sq8::train(&[1.0, 2.0, 3.0], 2).is_err());
+        let sq = Sq8::train(&[0.0, 1.0], 1).unwrap();
+        assert!(sq.encode(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let data = sample(20, 6, 3);
+        let sq = Sq8::train(&data, 6).unwrap();
+        let b = sq.to_bytes();
+        let sq2 = Sq8::from_bytes(&b).unwrap();
+        assert_eq!(sq, sq2);
+    }
+
+    #[test]
+    fn corrupt_blob_rejected() {
+        let data = sample(5, 4, 4);
+        let sq = Sq8::train(&data, 4).unwrap();
+        let b = sq.to_bytes();
+        assert!(Sq8::from_bytes(&b[..b.len() / 2]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruction_within_bound(
+            n in 2usize..30,
+            dim in 1usize..12,
+            seed in 0u64..100,
+        ) {
+            let data = sample(n, dim, seed);
+            let sq = Sq8::train(&data, dim).unwrap();
+            for i in 0..n {
+                let v = &data[i * dim..(i + 1) * dim];
+                let dec = sq.decode(&sq.encode(v).unwrap());
+                for d in 0..dim {
+                    prop_assert!((v[d] - dec[d]).abs() <= sq.max_abs_error(d) + 1e-4);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_neg_ip_matches_decode(
+            dim in 1usize..10,
+            seed in 0u64..50,
+        ) {
+            let data = sample(10, dim, seed);
+            let sq = Sq8::train(&data, dim).unwrap();
+            let q = &data[0..dim];
+            let code = sq.encode(&data[dim..2 * dim]).unwrap();
+            let fast = sq.asym_neg_ip(q, &code);
+            let slow = -crate::distance::dot(q, &sq.decode(&code));
+            prop_assert!((fast - slow).abs() < 1e-3 * (1.0 + slow.abs()));
+        }
+    }
+}

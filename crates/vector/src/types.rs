@@ -1,0 +1,388 @@
+//! The "virtual vector index" abstraction (paper Fig. 5).
+//!
+//! BlendHouse never talks to a concrete index algorithm directly. The storage
+//! layer builds indexes through [`IndexBuilder`] (`Train`, `AddWithIds`,
+//! `CreateIndex`) and persists them via [`VectorIndex::save_bytes`]
+//! (`SaveIndex`); the execution layer searches through
+//! [`VectorIndex::search_with_filter`], [`VectorIndex::search_with_range`] and
+//! [`VectorIndex::search_iterator`]. A new index library plugs in by
+//! implementing these traits and registering an
+//! [`crate::registry::IndexFactory`].
+
+use crate::distance::Metric;
+use crate::iterator::SearchIterator;
+use bh_common::{BhError, Bitset, Result};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One search hit: a segment-local row offset (`id`) and its distance.
+///
+/// Per-segment indexes label vectors with *row offsets* rather than primary
+/// keys (§III-B "Per segment vector index"), so mapping between vector hits
+/// and scalar columns is a direct array access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Segment-local row offset of the hit.
+    pub id: u64,
+    /// Distance under the index metric (smaller = more similar).
+    pub distance: f32,
+}
+
+impl Neighbor {
+    /// Construct a hit from a row offset and its distance.
+    pub fn new(id: u64, distance: f32) -> Self {
+        Self { id, distance }
+    }
+}
+
+/// The index algorithms BlendHouse supports, grouped as in §III-A:
+/// graph-based (HNSW, HNSWSQ), IVF-based (IVFFLAT, IVFPQ, IVFPQFS) and
+/// disk-based (DISKANN). `Flat` is the exact brute-force fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// Exact brute-force scan over raw vectors.
+    Flat,
+    /// Hierarchical navigable small world graph.
+    Hnsw,
+    /// HNSW over 8-bit scalar-quantized vectors.
+    HnswSq,
+    /// Inverted file with raw vectors per cell.
+    IvfFlat,
+    /// Inverted file with 8-bit product-quantized residuals.
+    IvfPq,
+    /// Inverted file with 4-bit PQ residuals (fast-scan layout).
+    IvfPqFs,
+    /// Disk-resident Vamana graph (DiskANN).
+    DiskAnn,
+}
+
+/// Algorithm family, used for coarse capability checks and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexGroup {
+    /// Exhaustive scan, exact results.
+    Exact,
+    /// Graph-traversal indexes (HNSW family).
+    Graph,
+    /// Inverted-file indexes.
+    Ivf,
+    /// Disk-resident indexes.
+    Disk,
+}
+
+impl IndexKind {
+    /// Parse the SQL-facing type name (`INDEX ann_idx embedding TYPE HNSW(...)`).
+    pub fn parse(s: &str) -> Result<IndexKind> {
+        match s.to_ascii_uppercase().as_str() {
+            "FLAT" => Ok(IndexKind::Flat),
+            "HNSW" => Ok(IndexKind::Hnsw),
+            "HNSWSQ" | "HNSW_SQ" => Ok(IndexKind::HnswSq),
+            "IVFFLAT" | "IVF_FLAT" => Ok(IndexKind::IvfFlat),
+            "IVFPQ" | "IVF_PQ" => Ok(IndexKind::IvfPq),
+            "IVFPQFS" | "IVF_PQ_FS" | "IVFPQ_FS" => Ok(IndexKind::IvfPqFs),
+            "DISKANN" | "DISK_ANN" => Ok(IndexKind::DiskAnn),
+            other => Err(BhError::InvalidArgument(format!("unknown index type: {other}"))),
+        }
+    }
+
+    /// Canonical SQL-facing name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Flat => "FLAT",
+            IndexKind::Hnsw => "HNSW",
+            IndexKind::HnswSq => "HNSWSQ",
+            IndexKind::IvfFlat => "IVFFLAT",
+            IndexKind::IvfPq => "IVFPQ",
+            IndexKind::IvfPqFs => "IVFPQFS",
+            IndexKind::DiskAnn => "DISKANN",
+        }
+    }
+
+    /// Algorithm family of this kind.
+    pub fn group(&self) -> IndexGroup {
+        match self {
+            IndexKind::Flat => IndexGroup::Exact,
+            IndexKind::Hnsw | IndexKind::HnswSq => IndexGroup::Graph,
+            IndexKind::IvfFlat | IndexKind::IvfPq | IndexKind::IvfPqFs => IndexGroup::Ivf,
+            IndexKind::DiskAnn => IndexGroup::Disk,
+        }
+    }
+
+    /// Whether building requires a training pass (k-means for IVF/PQ).
+    pub fn requires_training(&self) -> bool {
+        matches!(
+            self,
+            IndexKind::IvfFlat | IndexKind::IvfPq | IndexKind::IvfPqFs | IndexKind::HnswSq
+        )
+    }
+}
+
+/// Full specification of an index: algorithm, dimensionality, metric and
+/// algorithm-specific build parameters (string-keyed, mirroring the SQL
+/// `TYPE HNSW('DIM=960', 'M=32')` syntax).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexSpec {
+    /// Algorithm to build.
+    pub kind: IndexKind,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Algorithm-specific build parameters (lower-cased keys).
+    pub params: BTreeMap<String, String>,
+}
+
+impl IndexSpec {
+    /// A spec with no algorithm-specific parameters.
+    pub fn new(kind: IndexKind, dim: usize, metric: Metric) -> Self {
+        Self { kind, dim, metric, params: BTreeMap::new() }
+    }
+
+    /// Builder-style parameter setter.
+    pub fn with_param(mut self, key: &str, value: impl ToString) -> Self {
+        self.params.insert(key.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Read a numeric parameter with a default.
+    pub fn param_usize(&self, key: &str, default: usize) -> Result<usize> {
+        match self.params.get(&key.to_ascii_lowercase()) {
+            None => Ok(default),
+            Some(v) => v.parse::<usize>().map_err(|_| {
+                BhError::InvalidArgument(format!("index param {key}={v} is not an integer"))
+            }),
+        }
+    }
+
+    /// Read a float parameter with a default.
+    pub fn param_f32(&self, key: &str, default: f32) -> Result<f32> {
+        match self.params.get(&key.to_ascii_lowercase()) {
+            None => Ok(default),
+            Some(v) => v.parse::<f32>().map_err(|_| {
+                BhError::InvalidArgument(format!("index param {key}={v} is not a number"))
+            }),
+        }
+    }
+
+    /// Validate the parts every index shares.
+    pub fn validate(&self) -> Result<()> {
+        if self.dim == 0 {
+            return Err(BhError::InvalidArgument("index dim must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Immutable descriptive metadata of a built index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexMeta {
+    /// Algorithm of the built index.
+    pub kind: IndexKind,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Number of indexed vectors.
+    pub len: usize,
+}
+
+/// Runtime search knobs. Which field applies depends on the index group;
+/// unknown fields are ignored by an index (so one struct serves all kinds,
+/// mirroring faiss' search-parameter objects).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Beam width for graph indexes (HNSW `ef_search`, Vamana beam).
+    pub ef_search: usize,
+    /// Number of inverted lists probed by IVF indexes.
+    pub nprobe: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self { ef_search: 64, nprobe: 8 }
+    }
+}
+
+impl SearchParams {
+    /// Set the graph beam width.
+    pub fn with_ef(mut self, ef: usize) -> Self {
+        self.ef_search = ef;
+        self
+    }
+
+    /// Set the IVF probe count.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe;
+        self
+    }
+}
+
+/// A built, immutable, searchable vector index (execution-layer interface of
+/// Fig. 5 plus `SaveIndex`).
+///
+/// Filter semantics: when `filter` is `Some`, only rows whose bit is **set**
+/// may appear in results. The storage layer composes predicate bitsets with
+/// the segment's delete bitmap before calling.
+pub trait VectorIndex: Send + Sync {
+    /// Descriptive metadata (kind, dim, metric, length).
+    fn meta(&self) -> IndexMeta;
+
+    /// `SearchWithFilter`: top-`k` by distance among rows passing `filter`.
+    fn search_with_filter(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>>;
+
+    /// `SearchWithRange`: all rows within `radius` of `query` (by the index
+    /// metric), passing `filter`, sorted ascending by distance.
+    fn search_with_range(
+        &self,
+        query: &[f32],
+        radius: f32,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>>;
+
+    /// `SearchIterator`: incremental nearest-first traversal used by the
+    /// post-filter strategy. Indexes without native support return a
+    /// [`crate::iterator::GenericSearchIterator`] that restarts with doubled
+    /// `k` (§III-B).
+    fn search_iterator<'a>(
+        &'a self,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<Box<dyn SearchIterator + 'a>>;
+
+    /// Whether [`Self::search_iterator`] is natively incremental (true for
+    /// our extended HNSW) or a generic restart wrapper.
+    fn has_native_iterator(&self) -> bool {
+        false
+    }
+
+    /// Whether returned distances are approximate (quantized) and benefit
+    /// from exact-distance refinement on the raw vectors (the `σ·k·c_d` term
+    /// of the cost model).
+    fn needs_refine(&self) -> bool {
+        false
+    }
+
+    /// Resident memory estimate in bytes (drives Table VI and cache sizing).
+    fn memory_usage(&self) -> usize;
+
+    /// `SaveIndex`: serialize to a self-describing binary blob.
+    fn save_bytes(&self) -> Result<Bytes>;
+
+    /// Validate a query vector against the index dimension.
+    fn check_query(&self, query: &[f32]) -> Result<()> {
+        let dim = self.meta().dim;
+        if query.len() != dim {
+            return Err(BhError::DimensionMismatch { expected: dim, got: query.len() });
+        }
+        Ok(())
+    }
+}
+
+/// Storage-layer build interface of Fig. 5 (`Train`, `AddWithIds`, then
+/// `finish` seals the immutable index — per-segment indexes are built exactly
+/// once over an immutable segment).
+pub trait IndexBuilder: Send {
+    /// `Train`: fit data-dependent structures (k-means centroids, quantizer
+    /// ranges) on a row-major `dim × n` sample. No-op for indexes that do not
+    /// require training.
+    fn train(&mut self, sample: &[f32]) -> Result<()>;
+
+    /// `AddWithIds`: append vectors (row-major) with their row-offset labels.
+    fn add_with_ids(&mut self, vectors: &[f32], ids: &[u64]) -> Result<()>;
+
+    /// Seal and return the immutable index.
+    fn finish(self: Box<Self>) -> Result<Arc<dyn VectorIndex>>;
+
+    /// Whether `train` must be called before `add_with_ids`.
+    fn requires_training(&self) -> bool;
+}
+
+/// Helper shared by all builders: validate a row-major batch shape.
+pub fn check_batch(dim: usize, vectors: &[f32], ids: &[u64]) -> Result<usize> {
+    if dim == 0 {
+        return Err(BhError::InvalidArgument("dim must be > 0".into()));
+    }
+    if vectors.len() % dim != 0 {
+        return Err(BhError::DimensionMismatch { expected: dim, got: vectors.len() % dim });
+    }
+    let n = vectors.len() / dim;
+    if n != ids.len() {
+        return Err(BhError::InvalidArgument(format!(
+            "vector count {n} != id count {}",
+            ids.len()
+        )));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for k in [
+            IndexKind::Flat,
+            IndexKind::Hnsw,
+            IndexKind::HnswSq,
+            IndexKind::IvfFlat,
+            IndexKind::IvfPq,
+            IndexKind::IvfPqFs,
+            IndexKind::DiskAnn,
+        ] {
+            assert_eq!(IndexKind::parse(k.name()).unwrap(), k);
+        }
+        assert_eq!(IndexKind::parse("ivf_flat").unwrap(), IndexKind::IvfFlat);
+        assert!(IndexKind::parse("LSH").is_err());
+    }
+
+    #[test]
+    fn kind_groups() {
+        assert_eq!(IndexKind::Hnsw.group(), IndexGroup::Graph);
+        assert_eq!(IndexKind::IvfPqFs.group(), IndexGroup::Ivf);
+        assert_eq!(IndexKind::DiskAnn.group(), IndexGroup::Disk);
+        assert_eq!(IndexKind::Flat.group(), IndexGroup::Exact);
+    }
+
+    #[test]
+    fn training_requirements() {
+        assert!(IndexKind::IvfPq.requires_training());
+        assert!(IndexKind::HnswSq.requires_training());
+        assert!(!IndexKind::Hnsw.requires_training());
+        assert!(!IndexKind::Flat.requires_training());
+    }
+
+    #[test]
+    fn spec_params() {
+        let spec = IndexSpec::new(IndexKind::Hnsw, 128, Metric::L2)
+            .with_param("M", 32)
+            .with_param("ef_construction", 100);
+        assert_eq!(spec.param_usize("m", 16).unwrap(), 32);
+        assert_eq!(spec.param_usize("EF_CONSTRUCTION", 0).unwrap(), 100);
+        assert_eq!(spec.param_usize("missing", 7).unwrap(), 7);
+        let bad = IndexSpec::new(IndexKind::Hnsw, 8, Metric::L2).with_param("m", "abc");
+        assert!(bad.param_usize("m", 1).is_err());
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(IndexSpec::new(IndexKind::Flat, 0, Metric::L2).validate().is_err());
+        assert!(IndexSpec::new(IndexKind::Flat, 4, Metric::L2).validate().is_ok());
+    }
+
+    #[test]
+    fn check_batch_shapes() {
+        assert_eq!(check_batch(4, &[0.0; 8], &[1, 2]).unwrap(), 2);
+        assert!(check_batch(4, &[0.0; 7], &[1]).is_err()); // ragged
+        assert!(check_batch(4, &[0.0; 8], &[1]).is_err()); // id count mismatch
+        assert!(check_batch(0, &[], &[]).is_err());
+    }
+}

@@ -1,0 +1,3 @@
+//! Shared crate for BlendHouse-rs examples and cross-crate integration
+//! tests. The runnable binaries live next to this file; the integration
+//! tests under `/tests` are registered as test targets of this package.

@@ -1,0 +1,92 @@
+//! Quickstart: the Example-1 flow from the paper, end to end.
+//!
+//! Creates a table with a vector index, scalar partitioning and semantic
+//! clustering, ingests rows, and runs hybrid queries combining filters with
+//! nearest-neighbor search — all through SQL.
+//!
+//! Run with: `cargo run --release -p blendhouse-examples --bin quickstart`
+
+use blendhouse::{Database, QueryOutput};
+
+fn main() {
+    let db = Database::in_memory();
+
+    // 1. DDL — Example 1 of the paper (dimensions scaled down).
+    db.execute(
+        "CREATE TABLE images (
+           id UInt64,
+           label String,
+           published_time DateTime,
+           embedding Array(Float32),
+           INDEX ann_idx embedding TYPE HNSW('DIM=8', 'M=16')
+         )
+         ORDER BY published_time
+         PARTITION BY label
+         CLUSTER BY embedding INTO 4 BUCKETS",
+    )
+    .expect("create table");
+    println!("created table `images`");
+
+    // 2. Ingest: partitioning and per-segment index building are automatic.
+    let mut values = Vec::new();
+    for i in 0..2_000u64 {
+        let label = if i % 3 == 0 { "animal" } else { "landscape" };
+        let c = (i % 5) as f32 * 4.0; // five semantic clusters
+        let embedding: Vec<String> =
+            (0..8).map(|d| format!("{}", c + (d as f32) * 0.01)).collect();
+        values.push(format!(
+            "({i}, '{label}', {}, [{}])",
+            1_700_000_000 + i * 60,
+            embedding.join(", ")
+        ));
+    }
+    let QueryOutput::Affected(n) =
+        db.execute(&format!("INSERT INTO images VALUES {}", values.join(", "))).expect("insert")
+    else {
+        unreachable!()
+    };
+    println!("inserted {n} rows");
+    let table = db.table("images").unwrap();
+    println!(
+        "storage: {} segments, {} visible rows, semantic clusterer trained: {}",
+        table.segment_count(),
+        table.visible_rows(),
+        table.clusterer().is_some()
+    );
+
+    // 3. A hybrid query: filter + nearest-neighbor + top-k in one statement.
+    let sql = "SELECT id, label, dist FROM images
+               WHERE label = 'animal' AND published_time >= '2023-11-14 00:00:00'
+               ORDER BY L2Distance(embedding, [8.0, 8.01, 8.02, 8.03, 8.04, 8.05, 8.06, 8.07]) AS dist
+               LIMIT 5";
+    let rows = db.execute(sql).expect("hybrid query").rows();
+    println!("\nhybrid query results (nearest 'animal' rows to cluster 2):");
+    print!("{}", rows.to_table_string());
+
+    // 4. A distance-range query (SearchWithRange through SQL).
+    let rows = db
+        .execute(
+            "SELECT id, dist FROM images
+             WHERE L2Distance(embedding, [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]) < 1.0
+             ORDER BY L2Distance(embedding, [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]) AS dist
+             LIMIT 1000",
+        )
+        .expect("range query")
+        .rows();
+    println!("range query found {} rows within distance 1.0", rows.len());
+
+    // 5. Real-time update: new version + delete bitmap, then compaction.
+    db.execute("UPDATE images SET label = 'retired' WHERE id < 100").expect("update");
+    let report = db.compact("images").expect("compact");
+    println!(
+        "after update + compaction: merged {} segments, dropped {} dead rows",
+        report.merged_segments, report.rows_dropped
+    );
+
+    let rows = db
+        .execute("SELECT id FROM images WHERE label = 'retired' LIMIT 200")
+        .expect("select")
+        .rows();
+    assert_eq!(rows.len(), 100);
+    println!("updated rows visible under their new label: {}", rows.len());
+}

@@ -1,0 +1,163 @@
+//! Hybrid-query correctness against a brute-force oracle: every strategy,
+//! every index type, filtered and unfiltered, must agree with (or closely
+//! track) exhaustive ground truth on clustered data.
+
+use bh_bench::datasets::DatasetSpec;
+use bh_bench::setup::{build_database, recall_of, result_ids, second_attr, TableOptions};
+use bh_bench::workloads::{filtered_search, ground_truth, laion_search, vector_search};
+use blendhouse::{QueryOptions, Strategy};
+
+#[test]
+fn every_strategy_tracks_ground_truth_on_filtered_search() {
+    let data = DatasetSpec::tiny().generate();
+    let db = build_database(
+        &data,
+        blendhouse::DatabaseConfig::default(),
+        &TableOptions::default(),
+    );
+    let queries = filtered_search(&data, 8, 10, 0.5, 1);
+    for strategy in [Strategy::BruteForce, Strategy::PreFilter, Strategy::PostFilter] {
+        let opts = QueryOptions {
+            forced_strategy: Some(strategy),
+            search: bh_vector::SearchParams::default().with_ef(128),
+            ..db.default_options()
+        };
+        let mut total = 0.0;
+        for q in &queries {
+            let rs = db.execute_with(&q.to_sql("bench", "emb"), &opts).unwrap().rows();
+            let truth = ground_truth(&data, q, None);
+            total += recall_of(&result_ids(&rs), &truth);
+        }
+        let recall = total / queries.len() as f64;
+        assert!(recall >= 0.9, "{strategy:?} recall {recall} below floor");
+    }
+}
+
+#[test]
+fn brute_force_strategy_is_exact() {
+    let data = DatasetSpec::tiny().generate();
+    let db = build_database(
+        &data,
+        blendhouse::DatabaseConfig::default(),
+        &TableOptions::default(),
+    );
+    let opts = QueryOptions {
+        forced_strategy: Some(Strategy::BruteForce),
+        ..db.default_options()
+    };
+    for q in &filtered_search(&data, 10, 8, 0.3, 2) {
+        let rs = db.execute_with(&q.to_sql("bench", "emb"), &opts).unwrap().rows();
+        let truth = ground_truth(&data, q, None);
+        assert_eq!(
+            recall_of(&result_ids(&rs), &truth),
+            1.0,
+            "brute force must be exact for {q:?}"
+        );
+    }
+}
+
+#[test]
+fn all_index_kinds_answer_hybrid_queries() {
+    let data = DatasetSpec::tiny().generate();
+    for kind in ["FLAT", "HNSW", "HNSWSQ", "IVFFLAT", "IVFPQ", "IVFPQFS", "DISKANN"] {
+        let db = build_database(
+            &data,
+            blendhouse::DatabaseConfig::default(),
+            &TableOptions {
+                index_clause: Some(format!("{kind}('DIM={}')", data.dim())),
+                ..Default::default()
+            },
+        );
+        let opts = QueryOptions {
+            search: bh_vector::SearchParams { ef_search: 128, nprobe: 16 },
+            ..db.default_options()
+        };
+        let q = &filtered_search(&data, 1, 5, 0.6, 3)[0];
+        let rs = db.execute_with(&q.to_sql("bench", "emb"), &opts).unwrap().rows();
+        let truth = ground_truth(&data, q, None);
+        let recall = recall_of(&result_ids(&rs), &truth);
+        assert!(recall >= 0.6, "{kind}: recall {recall} unreasonably low");
+        // Filter semantics must hold exactly regardless of index.
+        let (_, lo, hi) = &q.ranges[0];
+        for id in result_ids(&rs) {
+            let x = data.rand_int[id as usize];
+            assert!(x >= *lo && x <= *hi, "{kind} returned row outside filter");
+        }
+    }
+}
+
+#[test]
+fn multi_predicate_laion_style_queries() {
+    let data = DatasetSpec::tiny().generate().with_captions();
+    let db = build_database(
+        &data,
+        blendhouse::DatabaseConfig::default(),
+        &TableOptions::default(),
+    );
+    let queries = laion_search(&data, 6, 5, 4);
+    for q in &queries {
+        let rs = db.execute(&q.to_sql("bench", "emb")).unwrap().rows();
+        let truth = ground_truth(&data, q, None);
+        if truth.is_empty() {
+            assert!(rs.is_empty());
+            continue;
+        }
+        // Exact filter semantics: regex + similarity floor hold on results.
+        let re = bh_common::regex_lite::Regex::new(q.regex.as_ref().unwrap()).unwrap();
+        for id in result_ids(&rs) {
+            assert!(re.is_match(&data.captions[id as usize]));
+            assert!(data.similarity[id as usize] >= q.similarity_floor.unwrap());
+        }
+    }
+}
+
+#[test]
+fn second_attribute_conjunction() {
+    let data = DatasetSpec::tiny().generate();
+    let db = build_database(
+        &data,
+        blendhouse::DatabaseConfig::default(),
+        &TableOptions::default(),
+    );
+    let ys = second_attr(&data);
+    let mut q = vector_search(&data, 1, 10, 5)[0].clone();
+    q.ranges.push(("x".into(), 0, 600_000));
+    q.ranges.push(("y".into(), 200_000, 900_000));
+    let rs = db.execute(&q.to_sql("bench", "emb")).unwrap().rows();
+    for id in result_ids(&rs) {
+        assert!((0..=600_000).contains(&data.rand_int[id as usize]));
+        assert!((200_000..=900_000).contains(&ys[id as usize]));
+    }
+    let truth = ground_truth(&data, &q, Some(&ys));
+    assert!(recall_of(&result_ids(&rs), &truth) >= 0.8);
+}
+
+#[test]
+fn semantic_pruning_preserves_correctness_via_adaptive_expansion() {
+    let data = DatasetSpec::tiny().generate();
+    let mut cfg = blendhouse::DatabaseConfig::default();
+    cfg.table.segment_max_rows = 64;
+    let db = build_database(
+        &data,
+        cfg,
+        &TableOptions {
+            cluster_clause: "CLUSTER BY emb INTO 4 BUCKETS".into(),
+            ..Default::default()
+        },
+    );
+    let opts = QueryOptions {
+        prune: bh_cluster::scheduler::PruneConfig {
+            scalar: true,
+            semantic_fraction: 0.25,
+            min_segments: 1,
+        },
+        ..db.default_options()
+    };
+    for q in &vector_search(&data, 6, 10, 6) {
+        let rs = db.execute_with(&q.to_sql("bench", "emb"), &opts).unwrap().rows();
+        assert_eq!(rs.len(), 10, "pruning must not shrink the result set");
+        let truth = ground_truth(&data, q, None);
+        let recall = recall_of(&result_ids(&rs), &truth);
+        assert!(recall >= 0.8, "pruned recall {recall}");
+    }
+}
