@@ -306,14 +306,37 @@ impl Worker {
         if query.len() != dim {
             return Err(BhError::DimensionMismatch { expected: dim, got: query.len() });
         }
-        for row in 0..meta.row_count {
-            if let Some(f) = filter {
-                if !f.contains(row) {
-                    continue;
+        match filter {
+            Some(f) => {
+                for row in 0..meta.row_count {
+                    if !f.contains(row) {
+                        continue;
+                    }
+                    let d = metric.distance(query, &data[row * dim..(row + 1) * dim]);
+                    tk.push(d, row as u64);
                 }
             }
-            let d = metric.distance(query, &data[row * dim..(row + 1) * dim]);
-            tk.push(d, row as u64);
+            None => {
+                // Unfiltered brute force: batched kernel over the contiguous
+                // column, in blocks that keep the distance output in L1.
+                let mut dists = [0.0f32; 256];
+                let mut row = 0;
+                while row < meta.row_count {
+                    let rows = 256.min(meta.row_count - row);
+                    let block = &data[row * dim..(row + rows) * dim];
+                    bh_vector::distance::distance_batch(
+                        metric,
+                        query,
+                        block,
+                        dim,
+                        &mut dists[..rows],
+                    )?;
+                    for (r, &d) in dists[..rows].iter().enumerate() {
+                        tk.push(d, (row + r) as u64);
+                    }
+                    row += rows;
+                }
+            }
         }
         Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
     }
@@ -476,7 +499,7 @@ impl Worker {
                 .as_vector()
                 .ok_or_else(|| BhError::Internal("refine on non-vector cell".into()))?
                 .to_vec();
-            out.push(Neighbor::new(nb.id, metric.distance(query, &v)));
+            out.push(Neighbor::new(nb.id, metric.distance_checked(query, &v)?));
         }
         out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         Ok(out)

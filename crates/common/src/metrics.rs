@@ -34,6 +34,25 @@ impl Counter {
     }
 }
 
+/// A last-value-wins gauge (e.g. "which kernel tier is active", "current
+/// parallelism"). Unlike [`Counter`] it can be set to any value at any time.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// A fixed-bucket log2 latency histogram (nanosecond resolution, buckets up
 /// to ~73 minutes). Lock-free recording.
 #[derive(Debug)]
@@ -108,6 +127,7 @@ pub struct MetricsRegistry {
 #[derive(Debug, Default)]
 struct Inner {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -130,6 +150,19 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.inner
+            .gauges
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::default()))
+            .clone()
+    }
+
     /// Get or create the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         if let Some(h) = self.inner.histograms.read().get(name) {
@@ -146,6 +179,11 @@ impl MetricsRegistry {
     /// Current value of a counter (0 if never created).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.inner.counters.read().get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0 if never created).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.inner.gauges.read().get(name).map(|g| g.get()).unwrap_or(0)
     }
 
     /// Snapshot of all counter values, sorted by name.
@@ -178,6 +216,15 @@ mod tests {
         let m2 = m.clone();
         m.counter("x").inc();
         assert_eq!(m2.counter_value("x"), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_share() {
+        let m = MetricsRegistry::new();
+        m.gauge("kernel.tier").set(2);
+        m.gauge("kernel.tier").set(1);
+        assert_eq!(m.gauge_value("kernel.tier"), 1);
+        assert_eq!(m.gauge_value("unset"), 0);
     }
 
     #[test]

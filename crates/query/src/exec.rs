@@ -57,6 +57,10 @@ pub struct QueryOptions {
     pub prune: PruneConfig,
     /// Segments pulled from the reserve per adaptive expansion.
     pub adaptive_batch: usize,
+    /// Maximum worker threads searching segments of one query concurrently
+    /// (the paper's intra-query fan-out, Fig. 9–12). `1` disables the
+    /// fan-out; the default is the machine's available parallelism.
+    pub intra_query_parallelism: usize,
 }
 
 impl Default for QueryOptions {
@@ -71,6 +75,9 @@ impl Default for QueryOptions {
             enable_short_circuit: true,
             prune: PruneConfig::default(),
             adaptive_batch: 2,
+            intra_query_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -86,6 +93,10 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// An engine with default cost constants and an empty plan cache.
     pub fn new(metrics: MetricsRegistry) -> Self {
+        // Record which distance-kernel tier runtime detection selected, once
+        // per engine (`kernel.tier.avx2|neon|scalar` = 1).
+        let tier = bh_vector::distance::KernelTier::current();
+        metrics.gauge(&format!("kernel.tier.{}", tier.name())).set(1);
         Self { cost: CostParams::default(), plan_cache: PlanCache::new(), metrics }
     }
 
@@ -361,9 +372,13 @@ impl QueryEngine {
 
         let mut pending: Vec<Arc<SegmentMeta>> = selection.scheduled.clone();
         loop {
-            for meta in &pending {
-                let hits =
-                    self.search_one_segment(table, vw, opts, bound, v, plan.strategy, meta, k)?;
+            // Fan the batch out across threads; per-segment hit lists come
+            // back in `pending` order so the global merge is bit-identical
+            // to the sequential path. Adaptive expansion below keeps its
+            // barrier semantics: expand only after the whole batch merged.
+            let per_segment =
+                self.search_segments_parallel(table, vw, opts, bound, v, plan.strategy, &pending, k)?;
+            for (meta, hits) in pending.iter().zip(per_segment) {
                 for nb in hits {
                     global.push(nb.distance, (meta.id, nb.id as u32));
                 }
@@ -390,6 +405,105 @@ impl QueryEngine {
         let hit_list: Vec<(SegmentId, u32, f32)> =
             hits.into_iter().map(|s| (s.item.0, s.item.1, s.distance)).collect();
         self.materialize(table, vw, bound, plan, &hit_list)
+    }
+
+    /// Search one batch of scheduled segments, fanning out across up to
+    /// `opts.intra_query_parallelism` threads (scoped, work-stealing by
+    /// atomic cursor). Returns per-segment hit lists in `pending` order; a
+    /// worker panic becomes `BhError::Internal` and the first per-segment
+    /// `Err` (in `pending` order) is propagated, matching the sequential
+    /// path's error behaviour.
+    #[allow(clippy::too_many_arguments)]
+    fn search_segments_parallel(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+        v: &VectorQuery,
+        strategy: Strategy,
+        pending: &[Arc<SegmentMeta>],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let par = opts.intra_query_parallelism.max(1).min(pending.len());
+        if par <= 1 {
+            return pending
+                .iter()
+                .map(|meta| self.search_one_segment(table, vw, opts, bound, v, strategy, meta, k))
+                .collect();
+        }
+        self.metrics.counter("query.parallel_segments").add(pending.len() as u64);
+        self.metrics.counter("query.fanout_batches").inc();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let merged: Vec<Option<Result<Vec<Neighbor>>>> = std::thread::scope(|scope| {
+            let next = &next;
+            let handles: Vec<_> = (0..par)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= pending.len() {
+                                break;
+                            }
+                            let r = self.search_one_segment(
+                                table,
+                                vw,
+                                opts,
+                                bound,
+                                v,
+                                strategy,
+                                &pending[i],
+                                k,
+                            );
+                            let failed = r.is_err();
+                            local.push((i, r));
+                            if failed {
+                                // This worker stops pulling segments; peers
+                                // drain theirs and the error surfaces below.
+                                break;
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut merged: Vec<Option<Result<Vec<Neighbor>>>> =
+                (0..pending.len()).map(|_| None).collect();
+            let mut panicked = false;
+            for h in handles {
+                match h.join() {
+                    Ok(local) => {
+                        for (i, r) in local {
+                            merged[i] = Some(r);
+                        }
+                    }
+                    Err(_) => panicked = true,
+                }
+            }
+            if panicked {
+                merged.clear();
+            }
+            merged
+        });
+        if merged.is_empty() {
+            return Err(BhError::Internal("segment search worker panicked".into()));
+        }
+        // First error in pending order wins (deterministic, like sequential).
+        let mut out = Vec::with_capacity(pending.len());
+        for slot in merged {
+            match slot {
+                Some(Ok(hits)) => out.push(hits),
+                Some(Err(e)) => return Err(e),
+                // Unreached segments exist only when some worker errored.
+                None => {
+                    return Err(BhError::Internal(
+                        "segment search aborted by peer failure".into(),
+                    ))
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Per-segment ANN search under the selected strategy. Returned neighbor
@@ -1187,6 +1301,38 @@ mod tests {
         .unwrap();
         assert_eq!(rs.len(), 60, "adaptive expansion must fill k");
         assert!(engine.metrics.counter_value("query.adaptive_expansions") > 0);
+    }
+
+    #[test]
+    fn parallel_fanout_matches_sequential_results() {
+        // 12 segments, deletes in two of them: the fan-out must return the
+        // same ids AND bit-identical sorted distances as sequential search.
+        let (ts, vw, engine) = setup(600, IndexKind::Hnsw, 50);
+        ts.delete_where(&Predicate::eq("id", Value::UInt64(0))).unwrap();
+        ts.delete_where(&Predicate::eq("id", Value::UInt64(45))).unwrap();
+        let sql = "SELECT id, dist FROM t \
+                   ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) AS dist LIMIT 25";
+        let seq_opts = QueryOptions { intra_query_parallelism: 1, ..Default::default() };
+        let par_opts = QueryOptions { intra_query_parallelism: 8, ..Default::default() };
+        let seq = execute_sql_select(&engine, &ts, &vw, &seq_opts, sql).unwrap();
+        let par = execute_sql_select(&engine, &ts, &vw, &par_opts, sql).unwrap();
+        assert_eq!(ids_of(&seq), ids_of(&par));
+        assert!(!ids_of(&par).contains(&0));
+        assert!(!ids_of(&par).contains(&45));
+        let ds: Vec<f64> =
+            seq.column_values("dist").unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
+        let dp: Vec<f64> =
+            par.column_values("dist").unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
+        assert_eq!(ds, dp, "parallel distances must be bit-identical to sequential");
+        for w in dp.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(engine.metrics.counter_value("query.parallel_segments") >= 12);
+        assert!(engine.metrics.counter_value("query.fanout_batches") >= 1);
+        // Exactly one kernel-tier gauge is set.
+        let tiers = ["kernel.tier.avx2", "kernel.tier.neon", "kernel.tier.scalar"];
+        let set: u64 = tiers.iter().map(|t| engine.metrics.gauge_value(t)).sum();
+        assert_eq!(set, 1);
     }
 
     #[test]

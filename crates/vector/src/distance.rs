@@ -1,13 +1,32 @@
-//! Distance metrics and their scalar kernels.
+//! Distance metrics and their kernels, with runtime SIMD dispatch.
 //!
-//! Kernels are written as chunked loops over fixed-width lanes so LLVM
-//! auto-vectorizes them (the Rust Performance Book's recommended approach
-//! when hand-written SIMD is not warranted). All distances are *smaller is
-//! more similar*: inner product and cosine are returned negated / inverted
-//! accordingly so every index can treat search uniformly as minimization.
+//! Three kernel tiers back every metric:
+//!
+//! * **AVX2+FMA** (`x86_64`, selected at runtime via
+//!   `is_x86_feature_detected!`) — 8-wide fused multiply-add loops, unrolled
+//!   ×2 so two independent accumulators hide FMA latency.
+//! * **NEON** (`aarch64`, baseline for the architecture) — 4-wide `vfmaq`
+//!   loops, unrolled ×2.
+//! * **Scalar fallback** — chunked fixed-width-lane loops that LLVM
+//!   auto-vectorizes to whatever the build target allows (SSE2 on stock
+//!   `x86_64`), so even the fallback is not a naive element loop.
+//!
+//! The tier is detected once per process ([`KernelTier::current`]) and every
+//! public kernel dispatches on it. [`distance_batch`] amortizes the dispatch
+//! across a contiguous row-major block — the layout the FLAT scan, IVF
+//! posting lists, k-means centroid tables and PQ codebooks all share.
+//!
+//! Cosine is computed in a **single fused pass** accumulating `a·b`, `‖a‖²`
+//! and `‖b‖²` together (the former three-pass formulation paid for three
+//! traversals of both vectors).
+//!
+//! All distances are *smaller is more similar*: inner product and cosine are
+//! returned negated / inverted accordingly so every index can treat search
+//! uniformly as minimization.
 
 use bh_common::{BhError, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Similarity metric for a vector column / index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -45,7 +64,9 @@ impl Metric {
     ///
     /// # Panics
     /// Panics in debug builds if lengths differ; in release the shorter length
-    /// wins (callers validate dimensions at the API boundary).
+    /// wins. Callers that cannot guarantee matched dimensions must use
+    /// [`Metric::distance_checked`] — every index search entry point validates
+    /// through `check_query`/`check_batch` before reaching this.
     #[inline]
     pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len(), "dimension mismatch in distance kernel");
@@ -55,50 +76,107 @@ impl Metric {
             Metric::Cosine => cosine_distance(a, b),
         }
     }
+
+    /// [`Metric::distance`] with an explicit dimension check, for API
+    /// boundaries where the two sides come from different sources (e.g.
+    /// refining candidates against stored cells). Release builds of the
+    /// unchecked kernels silently truncate to the shorter length, which can
+    /// produce plausible-but-wrong distances — this returns an error instead.
+    #[inline]
+    pub fn distance_checked(&self, a: &[f32], b: &[f32]) -> Result<f32> {
+        if a.len() != b.len() {
+            return Err(BhError::InvalidArgument(format!(
+                "distance kernel dimension mismatch: {} vs {}",
+                a.len(),
+                b.len()
+            )));
+        }
+        Ok(self.distance(a, b))
+    }
 }
 
-const LANES: usize = 8;
+/// The SIMD tier the process dispatches distance kernels to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// AVX2 + FMA intrinsics (x86_64, runtime-detected).
+    Avx2,
+    /// NEON intrinsics (aarch64).
+    Neon,
+    /// Auto-vectorized scalar fallback.
+    Scalar,
+}
 
-/// Squared Euclidean distance.
+static TIER: OnceLock<KernelTier> = OnceLock::new();
+
+impl KernelTier {
+    /// The tier selected for this process (detected once, then cached).
+    #[inline]
+    pub fn current() -> KernelTier {
+        *TIER.get_or_init(Self::detect)
+    }
+
+    fn detect() -> KernelTier {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return KernelTier::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return KernelTier::Neon;
+            }
+        }
+        KernelTier::Scalar
+    }
+
+    /// Lower-case tier name for metrics/logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Neon => "neon",
+            KernelTier::Scalar => "scalar",
+        }
+    }
+}
+
+// ---------------------------------------------------------------- dispatch
+
+/// Squared Euclidean distance (runtime-dispatched).
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let chunks = n / LANES;
-    let mut acc = [0.0f32; LANES];
-    for c in 0..chunks {
-        let base = c * LANES;
-        for l in 0..LANES {
-            let d = a[base + l] - b[base + l];
-            acc[l] += d * d;
-        }
+    match KernelTier::current() {
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { avx2::l2_sq(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => unsafe { neon::l2_sq(a, b) },
+        _ => scalar::l2_sq(a, b),
     }
-    let mut sum: f32 = acc.iter().sum();
-    for i in chunks * LANES..n {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
 }
 
-/// Inner (dot) product.
+/// Inner (dot) product (runtime-dispatched).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let chunks = n / LANES;
-    let mut acc = [0.0f32; LANES];
-    for c in 0..chunks {
-        let base = c * LANES;
-        for l in 0..LANES {
-            acc[l] += a[base + l] * b[base + l];
-        }
+    match KernelTier::current() {
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { avx2::dot(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => unsafe { neon::dot(a, b) },
+        _ => scalar::dot(a, b),
     }
-    let mut sum: f32 = acc.iter().sum();
-    for i in chunks * LANES..n {
-        sum += a[i] * b[i];
+}
+
+/// Fused cosine terms `(a·b, ‖a‖², ‖b‖²)` in one pass (runtime-dispatched).
+#[inline]
+pub fn cosine_terms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    match KernelTier::current() {
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { avx2::cosine_terms(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => unsafe { neon::cosine_terms(a, b) },
+        _ => scalar::cosine_terms(a, b),
     }
-    sum
 }
 
 /// Euclidean norm.
@@ -107,16 +185,15 @@ pub fn norm(a: &[f32]) -> f32 {
     dot(a, a).sqrt()
 }
 
-/// Cosine distance `1 - cos(a,b)`. Zero vectors are treated as maximally
-/// distant (distance 1.0) rather than NaN.
+/// Cosine distance `1 - cos(a,b)`, computed in a single fused pass. Zero
+/// vectors are treated as maximally distant (distance 1.0) rather than NaN.
 #[inline]
 pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm(a);
-    let nb = norm(b);
-    if na == 0.0 || nb == 0.0 {
+    let (ab, na2, nb2) = cosine_terms(a, b);
+    if na2 == 0.0 || nb2 == 0.0 {
         return 1.0;
     }
-    1.0 - dot(a, b) / (na * nb)
+    1.0 - ab / (na2.sqrt() * nb2.sqrt())
 }
 
 /// Normalize a vector in place to unit length; zero vectors are left as-is.
@@ -126,6 +203,393 @@ pub fn normalize(v: &mut [f32]) {
         for x in v.iter_mut() {
             *x /= n;
         }
+    }
+}
+
+// ------------------------------------------------------------------- batch
+
+/// Distances from `query` to every row of a contiguous row-major `block`,
+/// written into `out` (one slot per row).
+///
+/// This is the preferred shape for exhaustive scans: the tier dispatch
+/// happens once per block instead of once per row, the query stays hot in
+/// registers/L1, and the block is walked sequentially (prefetch-friendly).
+/// For [`Metric::Cosine`] the query norm is computed once for the whole
+/// block.
+///
+/// Errors with [`BhError::InvalidArgument`] on any shape mismatch — no
+/// silent truncation.
+pub fn distance_batch(
+    metric: Metric,
+    query: &[f32],
+    block: &[f32],
+    dim: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    if dim == 0 {
+        return Err(BhError::InvalidArgument("distance_batch: dim must be > 0".into()));
+    }
+    if query.len() != dim {
+        return Err(BhError::InvalidArgument(format!(
+            "distance_batch: query len {} != dim {dim}",
+            query.len()
+        )));
+    }
+    if block.len() % dim != 0 {
+        return Err(BhError::InvalidArgument(format!(
+            "distance_batch: block len {} is not a multiple of dim {dim}",
+            block.len()
+        )));
+    }
+    let rows = block.len() / dim;
+    if out.len() != rows {
+        return Err(BhError::InvalidArgument(format!(
+            "distance_batch: out len {} != row count {rows}",
+            out.len()
+        )));
+    }
+    let tier = KernelTier::current();
+    match metric {
+        Metric::L2 => {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let row = &block[r * dim..(r + 1) * dim];
+                *slot = match tier {
+                    #[cfg(target_arch = "x86_64")]
+                    KernelTier::Avx2 => unsafe { avx2::l2_sq(query, row) },
+                    #[cfg(target_arch = "aarch64")]
+                    KernelTier::Neon => unsafe { neon::l2_sq(query, row) },
+                    _ => scalar::l2_sq(query, row),
+                };
+            }
+        }
+        Metric::InnerProduct => {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let row = &block[r * dim..(r + 1) * dim];
+                *slot = -match tier {
+                    #[cfg(target_arch = "x86_64")]
+                    KernelTier::Avx2 => unsafe { avx2::dot(query, row) },
+                    #[cfg(target_arch = "aarch64")]
+                    KernelTier::Neon => unsafe { neon::dot(query, row) },
+                    _ => scalar::dot(query, row),
+                };
+            }
+        }
+        Metric::Cosine => {
+            // Query norm once per block, not once per row.
+            let na2 = match tier {
+                #[cfg(target_arch = "x86_64")]
+                KernelTier::Avx2 => unsafe { avx2::dot(query, query) },
+                #[cfg(target_arch = "aarch64")]
+                KernelTier::Neon => unsafe { neon::dot(query, query) },
+                _ => scalar::dot(query, query),
+            };
+            let na = na2.sqrt();
+            for (r, slot) in out.iter_mut().enumerate() {
+                let row = &block[r * dim..(r + 1) * dim];
+                let (ab, _, nb2) = match tier {
+                    #[cfg(target_arch = "x86_64")]
+                    KernelTier::Avx2 => unsafe { avx2::cosine_terms(query, row) },
+                    #[cfg(target_arch = "aarch64")]
+                    KernelTier::Neon => unsafe { neon::cosine_terms(query, row) },
+                    _ => scalar::cosine_terms(query, row),
+                };
+                *slot = if na == 0.0 || nb2 == 0.0 { 1.0 } else { 1.0 - ab / (na * nb2.sqrt()) };
+            }
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------ scalar
+
+/// Auto-vectorized scalar reference kernels. Public so benchmarks and parity
+/// tests can compare the dispatched tiers against this baseline.
+pub mod scalar {
+    const LANES: usize = 8;
+
+    /// Squared Euclidean distance.
+    #[inline]
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let chunks = n / LANES;
+        let mut acc = [0.0f32; LANES];
+        for c in 0..chunks {
+            let base = c * LANES;
+            for l in 0..LANES {
+                let d = a[base + l] - b[base + l];
+                acc[l] += d * d;
+            }
+        }
+        let mut sum: f32 = acc.iter().sum();
+        for i in chunks * LANES..n {
+            let d = a[i] - b[i];
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// Inner (dot) product.
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let chunks = n / LANES;
+        let mut acc = [0.0f32; LANES];
+        for c in 0..chunks {
+            let base = c * LANES;
+            for l in 0..LANES {
+                acc[l] += a[base + l] * b[base + l];
+            }
+        }
+        let mut sum: f32 = acc.iter().sum();
+        for i in chunks * LANES..n {
+            sum += a[i] * b[i];
+        }
+        sum
+    }
+
+    /// One-pass `(a·b, ‖a‖², ‖b‖²)`.
+    #[inline]
+    pub fn cosine_terms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let chunks = n / LANES;
+        let mut acc_ab = [0.0f32; LANES];
+        let mut acc_aa = [0.0f32; LANES];
+        let mut acc_bb = [0.0f32; LANES];
+        for c in 0..chunks {
+            let base = c * LANES;
+            for l in 0..LANES {
+                let (x, y) = (a[base + l], b[base + l]);
+                acc_ab[l] += x * y;
+                acc_aa[l] += x * x;
+                acc_bb[l] += y * y;
+            }
+        }
+        let mut ab: f32 = acc_ab.iter().sum();
+        let mut aa: f32 = acc_aa.iter().sum();
+        let mut bb: f32 = acc_bb.iter().sum();
+        for i in chunks * LANES..n {
+            let (x, y) = (a[i], b[i]);
+            ab += x * y;
+            aa += x * x;
+            bb += y * y;
+        }
+        (ab, aa, bb)
+    }
+
+    /// Three-pass cosine distance kept as the parity oracle for the fused
+    /// kernels (tests only reference it).
+    #[inline]
+    pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+        let na = dot(a, a).sqrt();
+        let nb = dot(b, b).sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        1.0 - dot(a, b) / (na * nb)
+    }
+}
+
+// ------------------------------------------------------------------- avx2
+
+/// AVX2+FMA kernels. 8-wide, unrolled ×2 (two independent accumulators) so
+/// back-to-back FMAs from different chains overlap.
+///
+/// # Safety
+/// Callers must ensure the CPU supports AVX2 and FMA
+/// ([`KernelTier::current`] gates every dispatch site).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            let d1 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i + 8)), _mm256_loadu_ps(pb.add(i + 8)));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            i += 8;
+        }
+        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            sum += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn cosine_terms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc_ab = _mm256_setzero_ps();
+        let mut acc_aa = _mm256_setzero_ps();
+        let mut acc_bb = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let va = _mm256_loadu_ps(pa.add(i));
+            let vb = _mm256_loadu_ps(pb.add(i));
+            acc_ab = _mm256_fmadd_ps(va, vb, acc_ab);
+            acc_aa = _mm256_fmadd_ps(va, va, acc_aa);
+            acc_bb = _mm256_fmadd_ps(vb, vb, acc_bb);
+            i += 8;
+        }
+        let mut ab = hsum(acc_ab);
+        let mut aa = hsum(acc_aa);
+        let mut bb = hsum(acc_bb);
+        while i < n {
+            let (x, y) = (*pa.add(i), *pb.add(i));
+            ab += x * y;
+            aa += x * x;
+            bb += y * y;
+            i += 1;
+        }
+        (ab, aa, bb)
+    }
+}
+
+// ------------------------------------------------------------------- neon
+
+/// NEON kernels (aarch64 baseline). 4-wide `vfmaq`, unrolled ×2.
+///
+/// # Safety
+/// NEON is mandatory on aarch64, but dispatch still goes through
+/// [`KernelTier::current`] for uniformity.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let d0 = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+            let d1 = vsubq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+            acc0 = vfmaq_f32(acc0, d0, d0);
+            acc1 = vfmaq_f32(acc1, d1, d1);
+            i += 8;
+        }
+        if i + 4 <= n {
+            let d = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+            acc0 = vfmaq_f32(acc0, d, d);
+            i += 4;
+        }
+        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+            acc1 = vfmaq_f32(acc1, vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+            i += 8;
+        }
+        if i + 4 <= n {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+            i += 4;
+        }
+        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while i < n {
+            sum += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn cosine_terms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc_ab = vdupq_n_f32(0.0);
+        let mut acc_aa = vdupq_n_f32(0.0);
+        let mut acc_bb = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let va = vld1q_f32(pa.add(i));
+            let vb = vld1q_f32(pb.add(i));
+            acc_ab = vfmaq_f32(acc_ab, va, vb);
+            acc_aa = vfmaq_f32(acc_aa, va, va);
+            acc_bb = vfmaq_f32(acc_bb, vb, vb);
+            i += 4;
+        }
+        let mut ab = vaddvq_f32(acc_ab);
+        let mut aa = vaddvq_f32(acc_aa);
+        let mut bb = vaddvq_f32(acc_bb);
+        while i < n {
+            let (x, y) = (*pa.add(i), *pb.add(i));
+            ab += x * y;
+            aa += x * x;
+            bb += y * y;
+            i += 1;
+        }
+        (ab, aa, bb)
     }
 }
 
@@ -189,6 +653,72 @@ mod tests {
         assert_eq!(z, vec![0.0, 0.0]);
     }
 
+    #[test]
+    fn distance_checked_rejects_mismatch() {
+        assert!(Metric::L2.distance_checked(&[1.0, 2.0], &[1.0]).is_err());
+        assert_eq!(Metric::L2.distance_checked(&[1.0], &[2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn tier_is_stable_and_named() {
+        let t = KernelTier::current();
+        assert_eq!(t, KernelTier::current());
+        assert!(["avx2", "neon", "scalar"].contains(&t.name()));
+    }
+
+    /// Every remainder-lane shape from 1 to 257 (covers 8/16-wide main loops
+    /// plus tails) must agree with the scalar reference on the dispatched
+    /// tier within 1e-3 relative tolerance.
+    #[test]
+    fn dispatched_matches_scalar_all_remainder_dims() {
+        for dim in 1usize..=257 {
+            let a: Vec<f32> = (0..dim).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
+            let b: Vec<f32> = (0..dim).map(|i| ((i as f32) * 0.53).cos() * 3.0 - 0.5).collect();
+            let rel = |x: f32, y: f32| (x - y).abs() / (1.0 + y.abs());
+            assert!(
+                rel(l2_sq(&a, &b), scalar::l2_sq(&a, &b)) < 1e-3,
+                "l2 mismatch at dim {dim}"
+            );
+            assert!(rel(dot(&a, &b), scalar::dot(&a, &b)) < 1e-3, "dot mismatch at dim {dim}");
+            assert!(
+                rel(cosine_distance(&a, &b), scalar::cosine_distance(&a, &b)) < 1e-3,
+                "cosine mismatch at dim {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_row() {
+        let dim = 27; // deliberately awkward remainder
+        let rows = 19;
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).sin()).collect();
+        let block: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.07).cos()).collect();
+        for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            let mut out = vec![0.0f32; rows];
+            distance_batch(metric, &query, &block, dim, &mut out).unwrap();
+            for r in 0..rows {
+                let d = metric.distance(&query, &block[r * dim..(r + 1) * dim]);
+                assert!(
+                    (out[r] - d).abs() < 1e-4 * (1.0 + d.abs()),
+                    "{metric:?} row {r}: batch {} vs single {d}",
+                    out[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_shapes() {
+        let q = [0.0f32; 4];
+        let block = [0.0f32; 12];
+        let mut out = [0.0f32; 3];
+        assert!(distance_batch(Metric::L2, &q, &block, 0, &mut out).is_err());
+        assert!(distance_batch(Metric::L2, &q[..3], &block, 4, &mut out).is_err());
+        assert!(distance_batch(Metric::L2, &q, &block[..11], 4, &mut out).is_err());
+        assert!(distance_batch(Metric::L2, &q, &block, 4, &mut out[..2]).is_err());
+        assert!(distance_batch(Metric::L2, &q, &block, 4, &mut out).is_ok());
+    }
+
     proptest! {
         #[test]
         fn prop_l2_matches_naive(
@@ -231,6 +761,28 @@ mod tests {
             let scaled: Vec<f32> = a.iter().map(|x| x * s).collect();
             let d = cosine_distance(&a, &scaled);
             prop_assert!(d.abs() < 1e-3, "scaling changed cosine distance: {d}");
+        }
+
+        /// Satellite requirement: every tier available on this machine agrees
+        /// with the scalar reference within 1e-3 relative tolerance across
+        /// dims 1..=257 (all remainder lanes of the 4/8/16-wide loops).
+        #[test]
+        fn prop_kernel_tiers_match_scalar_reference(
+            dim in 1usize..=257,
+            seed in 0u32..1000,
+        ) {
+            let a: Vec<f32> = (0..dim)
+                .map(|i| (((i as u32).wrapping_mul(2654435761).wrapping_add(seed)) as f32 / u32::MAX as f32 - 0.5) * 20.0)
+                .collect();
+            let b: Vec<f32> = (0..dim)
+                .map(|i| (((i as u32).wrapping_mul(40503).wrapping_add(seed * 7)) as f32 / u32::MAX as f32 - 0.5) * 20.0)
+                .collect();
+            let rel = |x: f32, y: f32| (x - y).abs() / (1.0 + y.abs());
+            prop_assert!(rel(l2_sq(&a, &b), scalar::l2_sq(&a, &b)) < 1e-3);
+            prop_assert!(rel(dot(&a, &b), scalar::dot(&a, &b)) < 1e-3);
+            let (ab, aa, bb) = cosine_terms(&a, &b);
+            let (sab, saa, sbb) = scalar::cosine_terms(&a, &b);
+            prop_assert!(rel(ab, sab) < 1e-3 && rel(aa, saa) < 1e-3 && rel(bb, sbb) < 1e-3);
         }
     }
 }

@@ -8,6 +8,7 @@
 //! * the exact-distance source for refine steps on quantized indexes.
 
 use crate::codec::{Reader, Writer};
+use crate::distance::distance_batch;
 use crate::iterator::SearchIterator;
 use crate::types::{check_batch, IndexBuilder, IndexMeta, IndexSpec, Neighbor, SearchParams, VectorIndex};
 use crate::{IndexKind, Metric};
@@ -17,6 +18,11 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"BHFL";
 const VERSION: u16 = 1;
+
+/// Rows per `distance_batch` call on the unfiltered scan path. Large enough
+/// to amortize kernel dispatch, small enough that a block of distances stays
+/// in L1.
+const SCAN_BLOCK_ROWS: usize = 256;
 
 /// Exact scan index over raw `f32` vectors.
 #[derive(Debug, Clone)]
@@ -37,6 +43,24 @@ impl FlatIndex {
     /// table; used only by refine paths on small candidate sets).
     pub fn vector_by_id(&self, id: u64) -> Option<&[f32]> {
         self.ids.iter().position(|&x| x == id).map(|row| self.vector(row))
+    }
+
+    /// Run `visit(row, distance)` over every stored row using the batched
+    /// kernel; used by the unfiltered scan paths.
+    fn scan_all(&self, query: &[f32], mut visit: impl FnMut(usize, f32)) -> Result<()> {
+        let n = self.ids.len();
+        let mut out = [0.0f32; SCAN_BLOCK_ROWS];
+        let mut row = 0;
+        while row < n {
+            let rows = SCAN_BLOCK_ROWS.min(n - row);
+            let block = &self.data[row * self.dim..(row + rows) * self.dim];
+            distance_batch(self.metric, query, block, self.dim, &mut out[..rows])?;
+            for (r, &d) in out[..rows].iter().enumerate() {
+                visit(row + r, d);
+            }
+            row += rows;
+        }
+        Ok(())
     }
 
     /// Deserialize an index written by [`VectorIndex::save_bytes`].
@@ -85,14 +109,21 @@ impl VectorIndex for FlatIndex {
     ) -> Result<Vec<Neighbor>> {
         self.check_query(query)?;
         let mut tk = TopK::new(k);
-        for row in 0..self.ids.len() {
-            if let Some(f) = filter {
-                if !f.contains(self.ids[row] as usize) {
-                    continue;
+        match filter {
+            Some(f) => {
+                // Selective path: skip excluded rows before paying for the
+                // distance, one row at a time.
+                for row in 0..self.ids.len() {
+                    if !f.contains(self.ids[row] as usize) {
+                        continue;
+                    }
+                    let d = self.metric.distance(query, self.vector(row));
+                    tk.push(d, self.ids[row]);
                 }
             }
-            let d = self.metric.distance(query, self.vector(row));
-            tk.push(d, self.ids[row]);
+            None => self.scan_all(query, |row, d| {
+                tk.push(d, self.ids[row]);
+            })?,
         }
         Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
     }
@@ -106,16 +137,23 @@ impl VectorIndex for FlatIndex {
     ) -> Result<Vec<Neighbor>> {
         self.check_query(query)?;
         let mut out = Vec::new();
-        for row in 0..self.ids.len() {
-            if let Some(f) = filter {
-                if !f.contains(self.ids[row] as usize) {
-                    continue;
+        match filter {
+            Some(f) => {
+                for row in 0..self.ids.len() {
+                    if !f.contains(self.ids[row] as usize) {
+                        continue;
+                    }
+                    let d = self.metric.distance(query, self.vector(row));
+                    if d <= radius {
+                        out.push(Neighbor::new(self.ids[row], d));
+                    }
                 }
             }
-            let d = self.metric.distance(query, self.vector(row));
-            if d <= radius {
-                out.push(Neighbor::new(self.ids[row], d));
-            }
+            None => self.scan_all(query, |row, d| {
+                if d <= radius {
+                    out.push(Neighbor::new(self.ids[row], d));
+                }
+            })?,
         }
         out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         Ok(out)
@@ -166,14 +204,10 @@ struct FlatIterator<'a> {
 impl SearchIterator for FlatIterator<'_> {
     fn next_batch(&mut self, n: usize) -> Result<Vec<Neighbor>> {
         if self.sorted.is_none() {
-            let mut all: Vec<Neighbor> = (0..self.index.ids.len())
-                .map(|row| {
-                    Neighbor::new(
-                        self.index.ids[row],
-                        self.index.metric.distance(&self.query, self.index.vector(row)),
-                    )
-                })
-                .collect();
+            let mut all: Vec<Neighbor> = Vec::with_capacity(self.index.ids.len());
+            self.index.scan_all(&self.query, |row, d| {
+                all.push(Neighbor::new(self.index.ids[row], d));
+            })?;
             all.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             self.sorted = Some(all);
         }

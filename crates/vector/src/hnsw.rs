@@ -69,6 +69,10 @@ impl Store {
     }
 
     /// Asymmetric distance from an f32 query to stored row.
+    ///
+    /// Graph traversal is pointer-chasing, so there is no contiguous block to
+    /// hand to `distance_batch`; per-pair calls still hit the runtime-
+    /// dispatched SIMD kernels (`Metric::distance`, `Sq8::asym_*`).
     #[inline]
     fn distance_to(&self, metric: Metric, dim: usize, query: &[f32], row: usize) -> f32 {
         match self {

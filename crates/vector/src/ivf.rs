@@ -22,6 +22,7 @@ use crate::quant::pq::{CodeBits, Pq, PqParams};
 use crate::types::{
     check_batch, IndexBuilder, IndexMeta, IndexSpec, Neighbor, SearchParams, VectorIndex,
 };
+use crate::distance::distance_batch;
 use crate::{distance, IndexKind, Metric};
 use bh_common::{BhError, Bitset, Result, TopK};
 use bytes::Bytes;
@@ -94,7 +95,23 @@ impl IvfIndex {
         let scale = self.post_scale();
         match &self.cells {
             Cells::Flat { vectors } => {
-                for (i, &id) in self.ids[cell].iter().enumerate() {
+                let cell_ids = &self.ids[cell];
+                if filter.is_none() && !cell_ids.is_empty() {
+                    // The whole posting list is scanned: use the batched
+                    // kernel over the cell's contiguous row-major block.
+                    *visited += cell_ids.len();
+                    let mut out = vec![0.0f32; cell_ids.len()];
+                    if distance_batch(self.effective_metric(), q, &vectors[cell], self.dim, &mut out)
+                        .is_ok()
+                    {
+                        for (&d, &id) in out.iter().zip(cell_ids) {
+                            tk.push(d * scale, id);
+                        }
+                        return;
+                    }
+                    *visited -= cell_ids.len();
+                }
+                for (i, &id) in cell_ids.iter().enumerate() {
                     *visited += 1;
                     if let Some(f) = filter {
                         if !f.contains(id as usize) {
@@ -427,9 +444,10 @@ impl IndexBuilder for IvfBuilder {
         let n = check_batch(dim, vectors, ids)?;
         let vectors = self.normalize_if_cosine(vectors);
         let coarse = self.coarse.as_ref().expect("trained above");
+        let mut dist_scratch = Vec::new();
         for i in 0..n {
             let v = &vectors[i * dim..(i + 1) * dim];
-            let cell = coarse.assign(v);
+            let cell = coarse.assign_into(v, &mut dist_scratch);
             self.ids[cell].push(ids[i]);
             match (&self.pq, self.flat.is_empty()) {
                 (Some(pq), _) => {

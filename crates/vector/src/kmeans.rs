@@ -5,7 +5,7 @@
 //! partitioning (§IV-B). Clustering always uses squared-L2 internally —
 //! cosine-metric callers normalize their vectors first.
 
-use crate::distance::l2_sq;
+use crate::distance::{distance_batch, l2_sq, Metric};
 use bh_common::rng::{derived_rng, DetRng};
 use bh_common::{BhError, Result};
 use rand::seq::SliceRandom;
@@ -63,6 +63,27 @@ impl KMeans {
 
     /// Index of the nearest centroid.
     pub fn assign(&self, v: &[f32]) -> usize {
+        let mut dists = Vec::new();
+        self.assign_into(v, &mut dists)
+    }
+
+    /// As [`KMeans::assign`], reusing a caller-provided distance buffer so
+    /// tight loops (Lloyd iterations, IVF `add_with_ids`) do not allocate per
+    /// point. The batched kernel scans the whole `k × dim` centroid table.
+    pub fn assign_into(&self, v: &[f32], dists: &mut Vec<f32>) -> usize {
+        dists.resize(self.k, 0.0);
+        if v.len() == self.dim
+            && distance_batch(Metric::L2, v, &self.centroids, self.dim, dists).is_ok()
+        {
+            let mut best = 0;
+            for c in 1..self.k {
+                if dists[c] < dists[best] {
+                    best = c;
+                }
+            }
+            return best;
+        }
+        // Out-of-contract query shape: keep the legacy truncating scan.
         let mut best = 0;
         let mut best_d = f32::INFINITY;
         for c in 0..self.k {
@@ -78,8 +99,14 @@ impl KMeans {
     /// The `m` nearest centroids with distances, ascending. Used for IVF
     /// probe selection and semantic segment pruning.
     pub fn nearest_centroids(&self, v: &[f32], m: usize) -> Vec<(usize, f32)> {
-        let mut all: Vec<(usize, f32)> =
-            (0..self.k).map(|c| (c, l2_sq(v, self.centroid(c)))).collect();
+        let mut dists = vec![0.0f32; self.k];
+        let mut all: Vec<(usize, f32)> = if v.len() == self.dim
+            && distance_batch(Metric::L2, v, &self.centroids, self.dim, &mut dists).is_ok()
+        {
+            dists.iter().copied().enumerate().collect()
+        } else {
+            (0..self.k).map(|c| (c, l2_sq(v, self.centroid(c)))).collect()
+        };
         all.sort_by(|a, b| a.1.total_cmp(&b.1));
         all.truncate(m);
         all
@@ -161,10 +188,11 @@ pub fn train_kmeans(data: &[f32], dim: usize, params: &KMeansParams) -> Result<K
 
     // Lloyd iterations.
     let mut assignments = vec![0usize; n_train];
+    let mut dist_scratch = Vec::new();
     for _ in 0..params.max_iters {
         let mut moved = false;
         for i in 0..n_train {
-            let a = km.assign(point(i));
+            let a = km.assign_into(point(i), &mut dist_scratch);
             if a != assignments[i] {
                 assignments[i] = a;
                 moved = true;

@@ -16,7 +16,7 @@
 //!   by the same LUT arithmetic (documented in DESIGN.md).
 
 use crate::codec::{Reader, Writer};
-use crate::distance::{dot, l2_sq};
+use crate::distance::distance_batch;
 use crate::kmeans::{train_kmeans, KMeansParams};
 use crate::Metric;
 use bh_common::rng::derive_seed;
@@ -147,6 +147,13 @@ impl Pq {
         &self.codebooks[off..off + self.dsub]
     }
 
+    /// The contiguous `ks × dsub` codebook slab of one subspace.
+    #[inline]
+    fn codebook(&self, sub: usize) -> &[f32] {
+        let ks = self.bits.ks();
+        &self.codebooks[sub * ks * self.dsub..(sub + 1) * ks * self.dsub]
+    }
+
     /// Encode one vector into `code_size()` bytes.
     pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
         if v.len() != self.dim {
@@ -154,14 +161,13 @@ impl Pq {
         }
         let ks = self.bits.ks();
         let mut ids = Vec::with_capacity(self.m);
+        let mut dists = vec![0.0f32; ks];
         for sub in 0..self.m {
             let sv = &v[sub * self.dsub..(sub + 1) * self.dsub];
+            distance_batch(Metric::L2, sv, self.codebook(sub), self.dsub, &mut dists)?;
             let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for c in 0..ks {
-                let d = l2_sq(sv, self.centroid(sub, c));
-                if d < best_d {
-                    best_d = d;
+            for c in 1..ks {
+                if dists[c] < dists[best] {
                     best = c;
                 }
             }
@@ -203,16 +209,17 @@ impl Pq {
             return Err(BhError::DimensionMismatch { expected: self.dim, got: query.len() });
         }
         let ks = self.bits.ks();
+        // Cosine rides the L2 batch kernel (IVF searches normalized space);
+        // the InnerProduct batch already returns negated dot.
+        let bm = match self.metric {
+            Metric::InnerProduct => Metric::InnerProduct,
+            Metric::L2 | Metric::Cosine => Metric::L2,
+        };
         let mut table = vec![0.0f32; self.m * ks];
         for sub in 0..self.m {
             let qv = &query[sub * self.dsub..(sub + 1) * self.dsub];
-            for c in 0..ks {
-                let cent = self.centroid(sub, c);
-                table[sub * ks + c] = match self.metric {
-                    Metric::L2 | Metric::Cosine => l2_sq(qv, cent),
-                    Metric::InnerProduct => -dot(qv, cent),
-                };
-            }
+            let out = &mut table[sub * ks..(sub + 1) * ks];
+            distance_batch(bm, qv, self.codebook(sub), self.dsub, out)?;
         }
         Ok(AdcTable { table, ks, m: self.m, bits: self.bits })
     }
@@ -298,6 +305,7 @@ impl AdcTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distance::{dot, l2_sq};
     use bh_common::rng::rng;
     use rand::Rng;
 

@@ -6,6 +6,8 @@
 //! which keeps the recall loss well below symmetric code-to-code distances.
 
 use crate::codec::{Reader, Writer};
+#[cfg(target_arch = "x86_64")]
+use crate::distance::KernelTier;
 use bh_common::{BhError, Result};
 use bytes::Bytes;
 
@@ -88,8 +90,19 @@ impl Sq8 {
     }
 
     /// Asymmetric squared-L2 distance between an f32 query and a code.
+    ///
+    /// On x86_64 with AVX2+FMA the codes are widened u8→f32 in-register
+    /// (`cvtepu8` + `cvtepi32_ps`) and decoded with one FMA against the
+    /// per-dimension `min`/`step` tables; other tiers decode scalar-wise.
     #[inline]
     pub fn asym_l2(&self, query: &[f32], code: &[u8]) -> f32 {
+        #[cfg(target_arch = "x86_64")]
+        if matches!(KernelTier::current(), KernelTier::Avx2)
+            && query.len() >= self.dim
+            && code.len() >= self.dim
+        {
+            return unsafe { self.asym_l2_avx2(query, code) };
+        }
         let mut sum = 0.0;
         for d in 0..self.dim {
             let x = self.min[d] + code[d] as f32 * self.step[d];
@@ -102,10 +115,75 @@ impl Sq8 {
     /// Asymmetric negative inner product.
     #[inline]
     pub fn asym_neg_ip(&self, query: &[f32], code: &[u8]) -> f32 {
+        #[cfg(target_arch = "x86_64")]
+        if matches!(KernelTier::current(), KernelTier::Avx2)
+            && query.len() >= self.dim
+            && code.len() >= self.dim
+        {
+            return unsafe { self.asym_neg_ip_avx2(query, code) };
+        }
         let mut sum = 0.0;
         for d in 0..self.dim {
             let x = self.min[d] + code[d] as f32 * self.step[d];
             sum += query[d] * x;
+        }
+        -sum
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA and `query.len() >= dim && code.len() >= dim`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn asym_l2_avx2(&self, query: &[f32], code: &[u8]) -> f32 {
+        use std::arch::x86_64::*;
+        let n = self.dim;
+        let mut acc = _mm256_setzero_ps();
+        let mut d = 0;
+        while d + 8 <= n {
+            let cf = load_u8x8_as_f32(code.as_ptr().add(d));
+            let x = _mm256_fmadd_ps(
+                cf,
+                _mm256_loadu_ps(self.step.as_ptr().add(d)),
+                _mm256_loadu_ps(self.min.as_ptr().add(d)),
+            );
+            let diff = _mm256_sub_ps(_mm256_loadu_ps(query.as_ptr().add(d)), x);
+            acc = _mm256_fmadd_ps(diff, diff, acc);
+            d += 8;
+        }
+        let mut sum = hsum256(acc);
+        while d < n {
+            let x = self.min[d] + code[d] as f32 * self.step[d];
+            let diff = query[d] - x;
+            sum += diff * diff;
+            d += 1;
+        }
+        sum
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA and `query.len() >= dim && code.len() >= dim`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn asym_neg_ip_avx2(&self, query: &[f32], code: &[u8]) -> f32 {
+        use std::arch::x86_64::*;
+        let n = self.dim;
+        let mut acc = _mm256_setzero_ps();
+        let mut d = 0;
+        while d + 8 <= n {
+            let cf = load_u8x8_as_f32(code.as_ptr().add(d));
+            let x = _mm256_fmadd_ps(
+                cf,
+                _mm256_loadu_ps(self.step.as_ptr().add(d)),
+                _mm256_loadu_ps(self.min.as_ptr().add(d)),
+            );
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(query.as_ptr().add(d)), x, acc);
+            d += 8;
+        }
+        let mut sum = hsum256(acc);
+        while d < n {
+            let x = self.min[d] + code[d] as f32 * self.step[d];
+            sum += query[d] * x;
+            d += 1;
         }
         -sum
     }
@@ -152,6 +230,34 @@ impl Sq8 {
     }
 }
 
+/// Load 8 `u8` codes and widen to a `f32x8` register.
+///
+/// # Safety
+/// Requires AVX2 and 8 readable bytes at `p`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn load_u8x8_as_f32(p: *const u8) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    let raw = _mm_loadl_epi64(p as *const __m128i);
+    _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw))
+}
+
+/// Horizontal sum of a `f32x8` register.
+///
+/// # Safety
+/// Requires AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256(v: std::arch::x86_64::__m256) -> f32 {
+    use std::arch::x86_64::*;
+    let hi = _mm256_extractf128_ps(v, 1);
+    let lo = _mm256_castps256_ps128(v);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    _mm_cvtss_f32(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +301,24 @@ mod tests {
         let fast = sq.asym_l2(q, &code);
         let slow = l2_sq(q, &sq.decode(&code));
         assert!((fast - slow).abs() < 1e-3 * (1.0 + slow));
+    }
+
+    #[test]
+    fn asym_kernels_match_scalar_decode_path() {
+        // Exercises the dispatched u8→f32 kernels on every remainder shape.
+        for dim in [1usize, 7, 8, 9, 16, 31, 64, 100] {
+            let data = sample(30, dim, dim as u64);
+            let sq = Sq8::train(&data, dim).unwrap();
+            let q = &data[0..dim];
+            for i in 1..10 {
+                let code = sq.encode(&data[i * dim..(i + 1) * dim]).unwrap();
+                let dec = sq.decode(&code);
+                let l2_ref = l2_sq(q, &dec);
+                assert!((sq.asym_l2(q, &code) - l2_ref).abs() < 1e-3 * (1.0 + l2_ref));
+                let ip_ref = -crate::distance::dot(q, &dec);
+                assert!((sq.asym_neg_ip(q, &code) - ip_ref).abs() < 1e-3 * (1.0 + ip_ref.abs()));
+            }
+        }
     }
 
     #[test]
