@@ -1,0 +1,141 @@
+//! Batched multi-query execution (DESIGN.md §7): `execute_batch` with the
+//! shared atomic top-k pruning bound vs looping `execute_bound` per query,
+//! over a 32-segment table at k=10 for batch sizes 1 / 8 / 64.
+//!
+//! The acceptance shape for the batched path is ≥ 2x aggregate throughput
+//! at batch 64: the batch amortizes planning, scheduling, segment pinning
+//! and thread fan-out, and bound sharing skips candidates that cannot beat
+//! the k-th distance already found.
+
+use bh_common::ids::IdGenerator;
+use bh_common::{MetricsRegistry, VirtualClock};
+use bh_cluster::vw::{VirtualWarehouse, VwConfig};
+use bh_query::bind::{bind_select, BoundSelect};
+use bh_query::exec::{QueryEngine, QueryOptions};
+use bh_storage::objectstore::InMemoryObjectStore;
+use bh_storage::schema::TableSchema;
+use bh_storage::table::{TableStore, TableStoreConfig};
+use bh_storage::value::{ColumnType, Value};
+use bh_vector::{IndexKind, IndexRegistry, Metric};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DIM: usize = 32;
+const SEGMENTS: usize = 32;
+const ROWS_PER_SEGMENT: usize = 200;
+const K: usize = 10;
+
+struct Fixture {
+    table: Arc<TableStore>,
+    vw: VirtualWarehouse,
+    engine: QueryEngine,
+    queries: Vec<BoundSelect>,
+}
+
+fn fixture() -> Fixture {
+    let schema = TableSchema::new("t")
+        .with_column("id", ColumnType::UInt64)
+        .with_column("emb", ColumnType::Vector(DIM))
+        .with_vector_index("ann", "emb", IndexKind::Hnsw, DIM, Metric::L2);
+    let metrics = MetricsRegistry::new();
+    let table = TableStore::new(
+        schema,
+        InMemoryObjectStore::for_tests(),
+        Arc::new(IndexRegistry::with_builtins()),
+        TableStoreConfig { segment_max_rows: ROWS_PER_SEGMENT, ..Default::default() },
+        Arc::new(IdGenerator::new()),
+        metrics.clone(),
+    )
+    .unwrap();
+    let n = SEGMENTS * ROWS_PER_SEGMENT;
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            let c = (i % 8) as f32 * 4.0;
+            let v: Vec<f32> =
+                (0..DIM).map(|d| c + ((i * DIM + d) as f32 * 0.37).sin() * 0.5).collect();
+            vec![Value::UInt64(i as u64), Value::Vector(v)]
+        })
+        .collect();
+    table.insert_rows(rows).unwrap();
+    let vw = VirtualWarehouse::new(
+        bh_common::VwId(0),
+        "bench",
+        VwConfig::default(),
+        table.remote_store().clone(),
+        table.registry().clone(),
+        VirtualClock::shared(),
+        metrics.clone(),
+        Arc::new(IdGenerator::starting_at(10_000)),
+    );
+    vw.scale_up(&[]);
+    vw.scale_up(&[]);
+    vw.preload(&table.segments()).unwrap();
+    let engine = QueryEngine::new(metrics);
+
+    // 64 distinct pure top-k statements cycling through the clusters.
+    let queries: Vec<BoundSelect> = (0..64)
+        .map(|qi| {
+            let c = (qi % 8) as f32 * 4.0;
+            let coords: Vec<String> =
+                (0..DIM).map(|d| format!("{:.4}", c + (d as f32 * 0.21).cos() * 0.3)).collect();
+            let sql = format!(
+                "SELECT id, dist FROM t ORDER BY L2Distance(emb, [{}]) AS dist LIMIT {K}",
+                coords.join(", ")
+            );
+            let stmt = match bh_sql::parse_statement(&sql).unwrap() {
+                bh_sql::Statement::Select(sel) => sel,
+                other => panic!("expected SELECT, got {other:?}"),
+            };
+            bind_select(table.schema(), &stmt).unwrap()
+        })
+        .collect();
+    Fixture { table: Arc::new(table), vw, engine, queries }
+}
+
+fn bench_batch_exec(c: &mut Criterion) {
+    let fix = fixture();
+    let mut g = c.benchmark_group("batch_exec");
+    for batch in [1usize, 8, 64] {
+        let stmts = &fix.queries[..batch];
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("looped_execute", batch), &batch, |b, _| {
+            b.iter(|| {
+                for q in stmts {
+                    black_box(
+                        fix.engine
+                            .execute_bound(&fix.table, &fix.vw, &QueryOptions::default(), q)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("execute_batch", batch), &batch, |b, _| {
+            b.iter(|| {
+                black_box(
+                    fix.engine
+                        .execute_batch(&fix.table, &fix.vw, &QueryOptions::default(), stmts)
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("execute_batch_no_bound", batch),
+            &batch,
+            |b, _| {
+                let opts = QueryOptions { share_bound: false, ..Default::default() };
+                b.iter(|| {
+                    black_box(fix.engine.execute_batch(&fix.table, &fix.vw, &opts, stmts).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_batch_exec
+}
+criterion_main!(benches);

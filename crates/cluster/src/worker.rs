@@ -13,7 +13,9 @@
 //! column. `serve_remote_search` is the RPC-exposed entry other workers call
 //! during scaling — it only answers from the local memory cache.
 
-use bh_common::{BhError, Bitset, LatencyModel, MetricsRegistry, Result, SharedClock, WorkerId};
+use bh_common::{
+    BhError, Bitset, LatencyModel, MetricsRegistry, Result, SharedBound, SharedClock, WorkerId,
+};
 use bh_storage::cache::{BlockCache, BlockKind, IndexCache};
 use bh_storage::column::ColumnData;
 use bh_storage::objectstore::ObjectStore;
@@ -56,6 +58,22 @@ impl Default for WorkerConfig {
             compute_per_segment: bh_common::LatencyModel::ZERO,
         }
     }
+}
+
+/// One query of a batched per-segment search request: the unit shipped B at
+/// a time through the batch RPC entries so multi-node scatter sends one
+/// request per worker instead of B.
+#[derive(Clone, Copy)]
+pub struct SegmentQuery<'a> {
+    /// Query vector.
+    pub query: &'a [f32],
+    /// Candidates requested (already σ-amplified by the caller if needed).
+    pub k: usize,
+    /// Row filter (visibility ∧ predicate), if any.
+    pub filter: Option<&'a Bitset>,
+    /// Shared k-th-distance pruning bound for this query, if batched
+    /// execution enabled it.
+    pub bound: Option<&'a SharedBound>,
 }
 
 /// One compute worker.
@@ -198,6 +216,22 @@ impl Worker {
         params: &SearchParams,
         filter: Option<&Bitset>,
     ) -> Result<Vec<Neighbor>> {
+        self.search_segment_bounded(table, meta, query, k, params, filter, None)
+    }
+
+    /// [`Self::search_segment`] with an optional shared pruning bound
+    /// threaded through to the index scan (batched execution, DESIGN.md §7).
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_segment_bounded(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
         self.check_alive()?;
         self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
         if self.index_cache.resident(meta.id) {
@@ -206,12 +240,63 @@ impl Worker {
                 .get(meta)?
                 .ok_or_else(|| BhError::Internal("resident index vanished".into()))?;
             self.metrics.counter("worker.local_search").inc();
-            return idx.search_with_filter(query, k, params, filter);
+            return idx.search_with_bound(query, k, params, filter, bound);
         }
         // Cache miss → brute force over the raw vector column (§II-D), so
         // the query is served immediately instead of stalling on index load.
         self.metrics.counter("worker.brute_force").inc();
-        self.brute_force_segment(table, meta, query, k, filter)
+        self.brute_force_segment_bounded(table, meta, query, k, filter, bound)
+    }
+
+    /// Batched variant of [`Self::search_segment`]: one aliveness check, one
+    /// per-segment compute charge, and one cache traversal cover the whole
+    /// query batch. Residency is re-checked per query so a mid-batch warm
+    /// upgrades later queries to the index, exactly like a sequential loop.
+    pub fn search_segment_batch(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        queries: &[SegmentQuery<'_>],
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        self.check_alive()?;
+        self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        let mut handle: Option<Arc<dyn bh_vector::VectorIndex>> = None;
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            if handle.is_none() && self.index_cache.resident(meta.id) {
+                handle = self.index_cache.get(meta)?;
+            }
+            match &handle {
+                Some(idx) => {
+                    self.metrics.counter("worker.local_search").inc();
+                    out.push(idx.search_with_bound(q.query, q.k, params, q.filter, q.bound)?);
+                }
+                None => {
+                    self.metrics.counter("worker.brute_force").inc();
+                    out.push(self.brute_force_inner(table, meta, q.query, q.k, q.filter, q.bound)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Search a pre-pinned index handle on behalf of this worker. The caller
+    /// already paid the cache traversal and per-segment compute charge when
+    /// it pinned the handle (once per batch), so only aliveness and the
+    /// search itself remain.
+    pub fn search_pinned(
+        &self,
+        idx: &Arc<dyn bh_vector::VectorIndex>,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_alive()?;
+        self.metrics.counter("worker.local_search").inc();
+        idx.search_with_bound(query, k, params, filter, bound)
     }
 
     /// Serving RPC entry (Fig. 4): answer only from the memory cache; callers
@@ -224,6 +309,24 @@ impl Worker {
         params: &SearchParams,
         filter: Option<&Bitset>,
     ) -> Result<Vec<Neighbor>> {
+        let mut out = self.serve_remote_search_batch(
+            meta,
+            &[SegmentQuery { query, k, filter, bound: None }],
+            params,
+        )?;
+        Ok(out.pop().unwrap_or_default())
+    }
+
+    /// Batched serving RPC: a whole batch's worth of sub-queries against one
+    /// segment arrives as a single request — one aliveness check, one compute
+    /// charge, one residency check, one handle fetch — instead of B
+    /// round-trips. Callers charge the (single) RPC latency themselves.
+    pub fn serve_remote_search_batch(
+        &self,
+        meta: &SegmentMeta,
+        queries: &[SegmentQuery<'_>],
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
         self.check_alive()?;
         self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
         if !self.index_cache.resident(meta.id) {
@@ -236,8 +339,11 @@ impl Worker {
             .index_cache
             .get(meta)?
             .ok_or_else(|| BhError::Internal("resident index vanished".into()))?;
-        self.metrics.counter("worker.served_remote").inc();
-        idx.search_with_filter(query, k, params, filter)
+        self.metrics.counter("worker.served_remote").add(queries.len() as u64);
+        queries
+            .iter()
+            .map(|q| idx.search_with_bound(q.query, q.k, params, q.filter, q.bound))
+            .collect()
     }
 
     /// Fetch the segment's index through the cache hierarchy (used by the
@@ -261,8 +367,37 @@ impl Worker {
         k: usize,
         filter: Option<&Bitset>,
     ) -> Result<Vec<Neighbor>> {
+        self.brute_force_segment_bounded(table, meta, query, k, filter, None)
+    }
+
+    /// [`Self::brute_force_segment`] with an optional shared pruning bound:
+    /// brute-force distances are exact, so rows beaten by the bound are
+    /// skipped and the local k-th distance is published back.
+    pub fn brute_force_segment_bounded(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        query: &[f32],
+        k: usize,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
         self.check_alive()?;
         self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        self.brute_force_inner(table, meta, query, k, filter, bound)
+    }
+
+    /// Scan body shared by the charged entry points and the batch path
+    /// (which pays the aliveness check and compute charge once per batch).
+    fn brute_force_inner(
+        &self,
+        table: &TableStore,
+        meta: &SegmentMeta,
+        query: &[f32],
+        k: usize,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
         let idx_def = table
             .schema()
             .indexes
@@ -270,6 +405,7 @@ impl Worker {
             .ok_or_else(|| BhError::Plan("table has no vector column/index".into()))?;
         let metric = idx_def.spec.metric;
         let mut tk = bh_common::TopK::new(k);
+        let mut skipped = 0u64;
         // Plan A's cost is s·n·c_d: with a selective filter, fetch only the
         // qualifying vectors (block-granular) instead of the whole column —
         // the "skip rows via primary keys/indices" behaviour of §II-C.
@@ -291,7 +427,21 @@ impl Worker {
                         got: query.len(),
                     });
                 }
-                tk.push(metric.distance(query, &v), *o as u64);
+                let d = metric.distance(query, &v);
+                if let Some(b) = bound {
+                    if d > b.get() {
+                        skipped += 1;
+                        continue;
+                    }
+                }
+                if tk.push(d, *o as u64) && tk.is_full() {
+                    if let Some(b) = bound {
+                        b.update(tk.threshold());
+                    }
+                }
+            }
+            if let Some(b) = bound {
+                b.record_skips(skipped);
             }
             return Ok(tk
                 .into_sorted()
@@ -313,7 +463,17 @@ impl Worker {
                         continue;
                     }
                     let d = metric.distance(query, &data[row * dim..(row + 1) * dim]);
-                    tk.push(d, row as u64);
+                    if let Some(b) = bound {
+                        if d > b.get() {
+                            skipped += 1;
+                            continue;
+                        }
+                    }
+                    if tk.push(d, row as u64) && tk.is_full() {
+                        if let Some(b) = bound {
+                            b.update(tk.threshold());
+                        }
+                    }
                 }
             }
             None => {
@@ -332,11 +492,24 @@ impl Worker {
                         &mut dists[..rows],
                     )?;
                     for (r, &d) in dists[..rows].iter().enumerate() {
-                        tk.push(d, (row + r) as u64);
+                        if let Some(b) = bound {
+                            if d > b.get() {
+                                skipped += 1;
+                                continue;
+                            }
+                        }
+                        if tk.push(d, (row + r) as u64) && tk.is_full() {
+                            if let Some(b) = bound {
+                                b.update(tk.threshold());
+                            }
+                        }
                     }
                     row += rows;
                 }
             }
+        }
+        if let Some(b) = bound {
+            b.record_skips(skipped);
         }
         Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
     }

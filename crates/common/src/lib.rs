@@ -8,6 +8,8 @@
 //! * [`bitset`] — a compact fixed-size bitset used for delete bitmaps and
 //!   pre-filter row masks.
 //! * [`topk`] — a bounded max-heap top-k collector used by every search path.
+//! * [`bound`] — an atomic shared k-th-distance upper bound that lets
+//!   batched/fanned-out scans skip candidates which cannot reach the top-k.
 //! * [`clock`] — real and virtual clocks plus latency models, so the
 //!   disaggregated-architecture simulation can inject remote-storage and RPC
 //!   latencies deterministically in tests and realistically in benchmarks.
@@ -16,6 +18,7 @@
 //! * [`rng`] — seeded RNG construction helpers for reproducible experiments.
 
 pub mod bitset;
+pub mod bound;
 pub mod clock;
 pub mod error;
 pub mod ids;
@@ -25,6 +28,7 @@ pub mod rng;
 pub mod topk;
 
 pub use bitset::Bitset;
+pub use bound::SharedBound;
 pub use clock::{Clock, DeploymentLatencies, LatencyModel, RealClock, SharedClock, VirtualClock};
 pub use error::{BhError, Result};
 pub use ids::{RowId, SegmentId, TableId, VwId, WorkerId};

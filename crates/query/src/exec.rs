@@ -23,7 +23,7 @@ use crate::result::ResultSet;
 use bh_cluster::scheduler::{select_segments, PruneConfig, SegmentSelection};
 use bh_cluster::vw::VirtualWarehouse;
 use bh_cluster::worker::Worker;
-use bh_common::{BhError, Bitset, MetricsRegistry, Result, SegmentId, TopK};
+use bh_common::{BhError, Bitset, MetricsRegistry, Result, SegmentId, SharedBound, TopK};
 use bh_sql::ast::SelectStmt;
 use bh_storage::predicate::Predicate;
 use bh_storage::segment::SegmentMeta;
@@ -61,6 +61,12 @@ pub struct QueryOptions {
     /// (the paper's intra-query fan-out, Fig. 9–12). `1` disables the
     /// fan-out; the default is the machine's available parallelism.
     pub intra_query_parallelism: usize,
+    /// Share a per-query atomic k-th-distance bound across the segments of a
+    /// batched query ([`QueryEngine::execute_batch`]) so segments searched
+    /// later can skip candidates that cannot enter the final top-k. Exact
+    /// (DESIGN.md §7); only applies to pure top-k queries (`k` set, no
+    /// distance range).
+    pub share_bound: bool,
 }
 
 impl Default for QueryOptions {
@@ -78,8 +84,36 @@ impl Default for QueryOptions {
             intra_query_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            share_bound: true,
         }
     }
+}
+
+/// Per-(segment, query) context threaded into [`QueryEngine`]'s segment
+/// search by the batched path: the query's shared pruning bound (when
+/// eligible) and the segment's index handle pinned once per batch task
+/// (only when it was already memory-resident on a live owner, so pinning
+/// never changes the residency evolution a sequential loop would see).
+/// Sequential execution passes `SegCtx::default()` — no bound, no pin.
+#[derive(Clone, Copy, Default)]
+struct SegCtx<'a> {
+    bound: Option<&'a SharedBound>,
+    pin: Option<&'a (Arc<Worker>, Arc<dyn bh_vector::VectorIndex>)>,
+}
+
+/// Per-statement progress of a batch ([`QueryEngine::execute_batch`]):
+/// mirrors the locals of the sequential `exec_vector` loop, plus the
+/// query's shared pruning bound when it is eligible for one.
+struct BatchQueryState<'q> {
+    sel: &'q BoundSelect,
+    v: &'q VectorQuery,
+    plan: &'q CachedPlan,
+    selection: SegmentSelection,
+    pending: Vec<Arc<SegmentMeta>>,
+    global: TopK<(SegmentId, u32)>,
+    k: usize,
+    bound: Option<SharedBound>,
+    done: bool,
 }
 
 /// The query engine: planner state (cost constants, plan cache) shared
@@ -223,6 +257,318 @@ impl QueryEngine {
         self.metrics.counter("query.exec_ns").add(t.elapsed().as_nanos() as u64);
         self.metrics.counter("query.executed").inc();
         out
+    }
+
+    /// Convenience wrapper over [`Self::execute_batch`]: bind and run a
+    /// batch of parsed SELECTs, returning results in statement order.
+    pub fn execute_select_batch(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        stmts: &[SelectStmt],
+    ) -> Result<Vec<ResultSet>> {
+        let batch: Vec<BoundSelect> = stmts
+            .iter()
+            .map(|s| bind_select(table.schema(), s))
+            .collect::<Result<_>>()?;
+        self.execute_batch(table, vw, opts, &batch)
+    }
+
+    /// Execute a batch of bound SELECTs as one scheduling unit (DESIGN.md
+    /// §7). Results come back in batch order and are bit-identical to
+    /// running [`Self::execute_bound`] on each statement sequentially.
+    ///
+    /// The segment snapshot is taken once for the whole batch. Each round
+    /// fans out one work-stealing task per distinct pending segment; a task
+    /// pins the segment's index handle once (only if already resident on a
+    /// live owner) and then runs every query that scheduled the segment *in
+    /// batch order*, so per-segment side effects (warming, serving
+    /// upgrades) replay exactly as the sequential loop would. Pure top-k
+    /// queries additionally carry a [`SharedBound`]: segments searched
+    /// later skip candidates that provably cannot enter the final top-k.
+    pub fn execute_batch(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        batch: &[BoundSelect],
+    ) -> Result<Vec<ResultSet>> {
+        self.metrics.counter("query.batch_size").add(batch.len() as u64);
+        let t = Instant::now();
+        let plans: Vec<CachedPlan> = batch
+            .iter()
+            .map(|b| self.plan_phase(table, opts, b))
+            .collect::<Result<_>>()?;
+        self.metrics.counter("query.plan_ns").add(t.elapsed().as_nanos() as u64);
+
+        let t = Instant::now();
+        let mut attempts = 0;
+        let out = loop {
+            match self.exec_batch_inner(table, vw, opts, batch, &plans) {
+                Err(e) if is_snapshot_race(&e) && attempts < 3 => {
+                    attempts += 1;
+                    self.metrics.counter("query.snapshot_retries").inc();
+                    continue;
+                }
+                other => break other,
+            }
+        };
+        self.metrics.counter("query.exec_ns").add(t.elapsed().as_nanos() as u64);
+        self.metrics.counter("query.executed").add(batch.len() as u64);
+        out
+    }
+
+    fn exec_batch_inner(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        batch: &[BoundSelect],
+        plans: &[CachedPlan],
+    ) -> Result<Vec<ResultSet>> {
+        let segments = table.segments();
+        let total_rows: usize = segments.iter().map(|m| m.row_count).sum();
+
+        let mut results: Vec<Option<ResultSet>> = (0..batch.len()).map(|_| None).collect();
+        let mut states: Vec<Option<BatchQueryState<'_>>> = Vec::with_capacity(batch.len());
+        for (i, sel) in batch.iter().enumerate() {
+            let Some(v) = &sel.vector else {
+                // Scalar statements don't participate in the vector fan-out.
+                results[i] = Some(self.exec_scalar(table, vw, opts, sel, &plans[i])?);
+                states.push(None);
+                continue;
+            };
+            let selection =
+                select_segments(&segments, &sel.predicate, Some(&v.query), &opts.prune);
+            self.metrics
+                .counter("query.segments_pruned")
+                .add(selection.scalar_pruned as u64);
+            let k = v.k.unwrap_or(total_rows.max(1));
+            // The bound is exact only for pure top-k queries: a range query
+            // must return everything within the range, and an unbounded k
+            // never prunes anyway.
+            let share = opts.share_bound && v.k.is_some() && v.range.is_none();
+            let pending = selection.scheduled.clone();
+            states.push(Some(BatchQueryState {
+                sel,
+                v,
+                plan: &plans[i],
+                selection,
+                pending,
+                global: TopK::new(k),
+                k,
+                bound: share.then(SharedBound::new),
+                done: false,
+            }));
+        }
+
+        loop {
+            // Distinct segments still pending for any live query, each with
+            // the (batch-ordered) list of queries that scheduled it.
+            let mut seg_tasks: Vec<(Arc<SegmentMeta>, Vec<usize>)> = Vec::new();
+            let mut seg_slot: BTreeMap<SegmentId, usize> = BTreeMap::new();
+            for (qi, st) in states.iter().enumerate() {
+                let Some(st) = st.as_ref() else { continue };
+                if st.done {
+                    continue;
+                }
+                for meta in &st.pending {
+                    let slot = *seg_slot.entry(meta.id).or_insert_with(|| {
+                        seg_tasks.push((meta.clone(), Vec::new()));
+                        seg_tasks.len() - 1
+                    });
+                    seg_tasks[slot].1.push(qi);
+                }
+            }
+            if seg_tasks.is_empty() {
+                break;
+            }
+            let per_task = self.run_segment_tasks(table, vw, opts, &states, &seg_tasks)?;
+
+            // Move task outputs into a (segment, query)-keyed map so each
+            // query can merge in its own pending order.
+            let mut by_seg_query: BTreeMap<(SegmentId, usize), Result<Vec<Neighbor>>> =
+                BTreeMap::new();
+            for ((meta, _), task_out) in seg_tasks.iter().zip(per_task) {
+                for (qi, r) in task_out {
+                    by_seg_query.insert((meta.id, qi), r);
+                }
+            }
+            for (qi, st) in states.iter_mut().enumerate() {
+                let Some(st) = st.as_mut() else { continue };
+                if st.done {
+                    continue;
+                }
+                for meta in &st.pending {
+                    // First error in (batch, pending) order wins, matching
+                    // the deterministic error the sequential loop reports.
+                    match by_seg_query.remove(&(meta.id, qi)) {
+                        Some(Ok(hits)) => {
+                            for nb in hits {
+                                st.global.push(nb.distance, (meta.id, nb.id as u32));
+                            }
+                        }
+                        Some(Err(e)) => return Err(e),
+                        None => {
+                            return Err(BhError::Internal(
+                                "batched segment search missing a result".into(),
+                            ))
+                        }
+                    }
+                }
+                if st.global.len() >= st.k || st.selection.exhausted() {
+                    st.done = true;
+                    st.pending.clear();
+                    continue;
+                }
+                // Adaptive runtime adjustment (§IV-B), per query.
+                st.pending = st.selection.expand(opts.adaptive_batch.max(1));
+                if st.pending.is_empty() {
+                    st.done = true;
+                } else {
+                    self.metrics.counter("query.adaptive_expansions").inc();
+                }
+            }
+        }
+
+        for (qi, st) in states.into_iter().enumerate() {
+            let Some(st) = st else { continue };
+            if let Some(b) = &st.bound {
+                self.metrics.counter("query.bound_skips").add(b.skips());
+            }
+            let mut hits = st.global.into_sorted();
+            if let Some(r) = st.v.range {
+                hits.retain(|s| s.distance <= r);
+            }
+            if let Some(limit) = st.sel.limit {
+                hits.truncate(limit);
+            }
+            let hit_list: Vec<(SegmentId, u32, f32)> =
+                hits.into_iter().map(|s| (s.item.0, s.item.1, s.distance)).collect();
+            results[qi] = Some(self.materialize(table, vw, st.sel, st.plan, &hit_list)?);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every batch statement produced a result"))
+            .collect())
+    }
+
+    /// One round of the batched fan-out: segment-major tasks over the
+    /// work-stealing pool. Returns, per task, `(query index, result)` pairs.
+    /// A panicked worker thread becomes `BhError::Internal`, like
+    /// [`Self::search_segments_parallel`].
+    fn run_segment_tasks(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        states: &[Option<BatchQueryState<'_>>],
+        seg_tasks: &[(Arc<SegmentMeta>, Vec<usize>)],
+    ) -> Result<Vec<Vec<(usize, Result<Vec<Neighbor>>)>>> {
+        let par = opts.intra_query_parallelism.max(1).min(seg_tasks.len());
+        if par <= 1 {
+            return Ok(seg_tasks
+                .iter()
+                .map(|(meta, qis)| self.run_segment_task(table, vw, opts, states, meta, qis))
+                .collect());
+        }
+        self.metrics.counter("query.parallel_segments").add(seg_tasks.len() as u64);
+        self.metrics.counter("query.fanout_batches").inc();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let merged: Vec<Option<Vec<(usize, Result<Vec<Neighbor>>)>>> =
+            std::thread::scope(|scope| {
+                let next = &next;
+                let handles: Vec<_> = (0..par)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i =
+                                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= seg_tasks.len() {
+                                    break;
+                                }
+                                let (meta, qis) = &seg_tasks[i];
+                                local.push((
+                                    i,
+                                    self.run_segment_task(table, vw, opts, states, meta, qis),
+                                ));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                let mut merged: Vec<Option<Vec<(usize, Result<Vec<Neighbor>>)>>> =
+                    (0..seg_tasks.len()).map(|_| None).collect();
+                let mut panicked = false;
+                for h in handles {
+                    match h.join() {
+                        Ok(local) => {
+                            for (i, r) in local {
+                                merged[i] = Some(r);
+                            }
+                        }
+                        Err(_) => panicked = true,
+                    }
+                }
+                if panicked {
+                    merged.clear();
+                }
+                merged
+            });
+        if merged.is_empty() {
+            return Err(BhError::Internal("segment search worker panicked".into()));
+        }
+        merged
+            .into_iter()
+            .map(|slot| {
+                slot.ok_or_else(|| {
+                    BhError::Internal("segment search aborted by peer failure".into())
+                })
+            })
+            .collect()
+    }
+
+    /// One segment's task: pin the index handle once (only when already
+    /// memory-resident on a live owner — pinning must never force a load,
+    /// or the residency evolution would diverge from the sequential loop),
+    /// then run every assigned query against this segment in batch order.
+    fn run_segment_task(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        states: &[Option<BatchQueryState<'_>>],
+        meta: &Arc<SegmentMeta>,
+        qis: &[usize],
+    ) -> Vec<(usize, Result<Vec<Neighbor>>)> {
+        let pin: Option<(Arc<Worker>, Arc<dyn bh_vector::VectorIndex>)> = (|| {
+            let (_, owner) = vw.owner_of(meta).ok()?;
+            if !owner.is_alive() || !owner.index_resident(meta) {
+                return None;
+            }
+            let idx = owner.index_handle(meta).ok()??;
+            Some((owner, idx))
+        })();
+        qis.iter()
+            .map(|&qi| {
+                let st = states[qi].as_ref().expect("segment task assigned to scalar query");
+                let ctx = SegCtx { bound: st.bound.as_ref(), pin: pin.as_ref() };
+                let r = self.search_one_segment(
+                    table,
+                    vw,
+                    opts,
+                    st.sel,
+                    st.v,
+                    st.plan.strategy,
+                    meta,
+                    st.k,
+                    ctx,
+                );
+                (qi, r)
+            })
+            .collect()
     }
 
     // -------------------------------------------------------------- planning
@@ -429,7 +775,19 @@ impl QueryEngine {
         if par <= 1 {
             return pending
                 .iter()
-                .map(|meta| self.search_one_segment(table, vw, opts, bound, v, strategy, meta, k))
+                .map(|meta| {
+                    self.search_one_segment(
+                        table,
+                        vw,
+                        opts,
+                        bound,
+                        v,
+                        strategy,
+                        meta,
+                        k,
+                        SegCtx::default(),
+                    )
+                })
                 .collect();
         }
         self.metrics.counter("query.parallel_segments").add(pending.len() as u64);
@@ -455,6 +813,7 @@ impl QueryEngine {
                                 strategy,
                                 &pending[i],
                                 k,
+                                SegCtx::default(),
                             );
                             let failed = r.is_err();
                             local.push((i, r));
@@ -520,6 +879,7 @@ impl QueryEngine {
         strategy: Strategy,
         meta: &Arc<SegmentMeta>,
         k: usize,
+        ctx: SegCtx<'_>,
     ) -> Result<Vec<Neighbor>> {
         let vis = table.visibility(meta);
         let has_pred = !matches!(bound.predicate, Predicate::True);
@@ -530,8 +890,14 @@ impl QueryEngine {
                 if bits.is_all_clear() {
                     return Ok(Vec::new());
                 }
-                let mut hits =
-                    worker.brute_force_segment(table, meta, &v.query, k, Some(&bits))?;
+                let mut hits = worker.brute_force_segment_bounded(
+                    table,
+                    meta,
+                    &v.query,
+                    k,
+                    Some(&bits),
+                    ctx.bound,
+                )?;
                 if let Some(r) = v.range {
                     hits.retain(|nb| nb.distance <= r);
                 }
@@ -566,7 +932,28 @@ impl QueryEngine {
                             }
                         }
                     })?,
-                    _ => vw.search_segment(table, meta, &v.query, fetch_k, &opts.search, Some(&bits))?,
+                    // A live pin skips the per-query owner resolution and
+                    // cache lookup; the index Arc is the one the sequential
+                    // path would have fetched, so results are identical.
+                    _ => match ctx.pin {
+                        Some((w, idx)) if w.is_alive() => w.search_pinned(
+                            idx,
+                            &v.query,
+                            fetch_k,
+                            &opts.search,
+                            Some(&bits),
+                            ctx.bound,
+                        )?,
+                        _ => vw.search_segment_bounded(
+                            table,
+                            meta,
+                            &v.query,
+                            fetch_k,
+                            &opts.search,
+                            Some(&bits),
+                            ctx.bound,
+                        )?,
+                    },
                 };
                 hits = self.maybe_refine(table, vw, meta, v, opts, hits, k)?;
                 if let Some(r) = v.range {
@@ -622,11 +1009,23 @@ impl QueryEngine {
                     return Ok(hits);
                 }
                 with_segment_retry(vw, meta, |worker| {
-                let Some(index) = worker.index_handle(meta)? else {
+                // Use the batch task's pinned handle when it belongs to this
+                // same owner — one cache lookup for the whole batch.
+                let handle = match ctx.pin {
+                    Some((w, idx)) if Arc::ptr_eq(w, &worker) => Some(idx.clone()),
+                    _ => worker.index_handle(meta)?,
+                };
+                let Some(index) = handle else {
                     // No index (tiny segment) — brute force is exact anyway.
                     let bits = self.filter_bits(table, &worker, meta, bound, &vis, has_pred)?;
-                    let mut hits =
-                        worker.brute_force_segment(table, meta, &v.query, k, Some(&bits))?;
+                    let mut hits = worker.brute_force_segment_bounded(
+                        table,
+                        meta,
+                        &v.query,
+                        k,
+                        Some(&bits),
+                        ctx.bound,
+                    )?;
                     if let Some(r) = v.range {
                         hits.retain(|nb| nb.distance <= r);
                     }
@@ -642,7 +1041,8 @@ impl QueryEngine {
                         k
                     };
                     let filter = if vis.is_all_set() { None } else { Some(&vis) };
-                    let hits = index.search_with_filter(&v.query, fetch, &opts.search, filter)?;
+                    let hits =
+                        index.search_with_bound(&v.query, fetch, &opts.search, filter, ctx.bound)?;
                     let mut hits = self.maybe_refine_on(
                         table,
                         &worker,
@@ -1333,6 +1733,87 @@ mod tests {
         let tiers = ["kernel.tier.avx2", "kernel.tier.neon", "kernel.tier.scalar"];
         let set: u64 = tiers.iter().map(|t| engine.metrics.gauge_value(t)).sum();
         assert_eq!(set, 1);
+    }
+
+    #[test]
+    fn batched_execution_matches_sequential() {
+        // 12 segments, deletes, a mix of filtered / unfiltered / scalar
+        // statements: execute_batch must return, per statement, exactly what
+        // a sequential execute loop returns — ids AND bit-identical
+        // distances — with the shared bound on and off.
+        let (ts, vw, engine) = setup(600, IndexKind::Hnsw, 50);
+        ts.delete_where(&Predicate::eq("id", Value::UInt64(0))).unwrap();
+        ts.delete_where(&Predicate::eq("id", Value::UInt64(45))).unwrap();
+        let sqls = [
+            "SELECT id, dist FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) AS dist LIMIT 25",
+            "SELECT id FROM t WHERE label = 'l0' \
+             ORDER BY L2Distance(emb, [6.0, 6.1, 6.2, 5.9]) LIMIT 8",
+            "SELECT id, score FROM t WHERE id >= 90 ORDER BY score DESC LIMIT 3",
+            "SELECT id, dist FROM t ORDER BY L2Distance(emb, [12.0, 12.1, 12.2, 11.9]) AS dist LIMIT 7",
+        ];
+        let stmts: Vec<SelectStmt> = sqls
+            .iter()
+            .map(|s| match bh_sql::parse_statement(s).unwrap() {
+                bh_sql::Statement::Select(sel) => sel,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        for share_bound in [true, false] {
+            let opts = QueryOptions { share_bound, ..Default::default() };
+            let seq: Vec<ResultSet> = stmts
+                .iter()
+                .map(|s| engine.execute_select(&ts, &vw, &opts, s).unwrap())
+                .collect();
+            let batched = engine.execute_select_batch(&ts, &vw, &opts, &stmts).unwrap();
+            assert_eq!(batched.len(), stmts.len());
+            for (i, (s, b)) in seq.iter().zip(&batched).enumerate() {
+                assert_eq!(s.rows, b.rows, "statement {i} (share_bound={share_bound})");
+            }
+        }
+        assert!(engine.metrics.counter_value("query.batch_size") >= 8);
+    }
+
+    #[test]
+    fn batched_execution_single_statement_and_empty_batch() {
+        let (ts, vw, engine) = setup(200, IndexKind::Hnsw, 100);
+        let opts = QueryOptions::default();
+        assert!(engine.execute_select_batch(&ts, &vw, &opts, &[]).unwrap().is_empty());
+        let sql = "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 5";
+        let stmt = match bh_sql::parse_statement(sql).unwrap() {
+            bh_sql::Statement::Select(sel) => sel,
+            other => panic!("unexpected {other:?}"),
+        };
+        let one = engine.execute_select_batch(&ts, &vw, &opts, &[stmt]).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(ids_of(&one[0]).len(), 5);
+    }
+
+    #[test]
+    fn shared_bound_prunes_across_segments() {
+        // Pure top-k statements in a batch each carry a shared bound: once
+        // a query's early segments publish their k-th distance, its scans
+        // of later segments must record skipped candidates. BruteForce is
+        // forced so every candidate row consults the bound.
+        let (ts, vw, engine) = setup(500, IndexKind::Flat, 50);
+        let sql = "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 5";
+        let stmt = match bh_sql::parse_statement(sql).unwrap() {
+            bh_sql::Statement::Select(sel) => sel,
+            other => panic!("unexpected {other:?}"),
+        };
+        let opts = QueryOptions {
+            forced_strategy: Some(Strategy::BruteForce),
+            intra_query_parallelism: 1,
+            ..Default::default()
+        };
+        let stmts: Vec<SelectStmt> = (0..4).map(|_| stmt.clone()).collect();
+        let rs = engine.execute_select_batch(&ts, &vw, &opts, &stmts).unwrap();
+        for r in &rs {
+            assert_eq!(ids_of(r), ids_of(&rs[0]));
+        }
+        assert!(
+            engine.metrics.counter_value("query.bound_skips") > 0,
+            "shared bound should have skipped candidates in later segments"
+        );
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct TableStoreConfig {
     pub compact_target_rows: usize,
     /// Seed for semantic clustering.
     pub semantic_seed: u64,
+    /// Maximum threads rebuilding merged segments (row gather + index
+    /// build) concurrently during [`TableStore::compact`]. `1` keeps the
+    /// rebuild sequential; the default is the machine's parallelism.
+    pub compact_parallelism: usize,
 }
 
 impl Default for TableStoreConfig {
@@ -74,6 +78,9 @@ impl Default for TableStoreConfig {
             auto_index: true,
             compact_target_rows: 64 * 1024,
             semantic_seed: 0,
+            compact_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -86,6 +93,11 @@ fn is_snapshot_race(e: &BhError) -> bool {
         _ => false,
     }
 }
+
+/// One compacted group staged by the parallel rebuild phase: rows dropped
+/// plus the merged segment and its index blob, ready to commit (`None` when
+/// every row of the group was deleted).
+type RebuiltGroup = (usize, Option<(Segment, Option<(Bytes, bh_vector::IndexKind)>)>);
 
 /// Outcome of one compaction run.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -518,6 +530,13 @@ impl TableStore {
 
     /// Merge small segments group-by-group, dropping dead rows and building a
     /// fresh vector index per merged segment.
+    ///
+    /// The per-group rebuild (row gather, merged-segment construction, index
+    /// build, blob upload) is the expensive part and touches only that
+    /// group's disjoint segment set, so it fans out across up to
+    /// `compact_parallelism` scoped threads. Catalog mutations — registering
+    /// the merged segment, dropping the old ones, garbage-collecting blobs —
+    /// commit afterwards in group order, exactly as the sequential loop did.
     pub fn compact(&self) -> Result<CompactionReport> {
         let _guard = self.compaction_lock.lock();
         let snapshot = self.segments();
@@ -532,7 +551,10 @@ impl TableStore {
             groups.entry(key).or_default().push(meta);
         }
 
-        let mut report = CompactionReport::default();
+        // Phase 1: pick the eligible groups and pre-assign each merged
+        // segment's id, so id allocation stays in deterministic group order
+        // regardless of which rebuild finishes first.
+        let mut jobs: Vec<(Vec<Arc<SegmentMeta>>, SegmentId)> = Vec::new();
         for (_, metas) in groups {
             let has_deletes = metas.iter().any(|m| self.deletes.deleted_count(m.id) > 0);
             if metas.len() < 2 && !has_deletes {
@@ -543,55 +565,138 @@ impl TableStore {
             if visible > self.cfg.compact_target_rows {
                 continue;
             }
-            // Gather visible rows of the whole group.
-            let mut rows: Vec<Row> = Vec::with_capacity(visible);
-            let mut dropped = 0;
-            for meta in &metas {
-                let seg = self.load_segment(meta)?;
-                let vis = self.visibility(meta);
-                dropped += meta.row_count - vis.count();
-                for o in vis.iter() {
-                    rows.push(seg.row(&self.schema, o));
+            jobs.push((metas, self.ids.next_segment()));
+        }
+        if jobs.is_empty() {
+            self.metrics.counter("table.compactions").inc();
+            return Ok(CompactionReport::default());
+        }
+
+        // Phase 2: rebuild groups concurrently (scoped fan-out, atomic
+        // cursor). A worker that hits an error stops pulling jobs; peers
+        // drain theirs and the first error in group order surfaces below.
+        let par = self.cfg.compact_parallelism.max(1).min(jobs.len());
+        let rebuilt: Vec<Option<Result<RebuiltGroup>>> = if par <= 1 {
+            jobs.iter().map(|(metas, id)| Some(self.rebuild_group(metas, *id))).collect()
+        } else {
+            self.metrics.counter("table.parallel_compact_groups").add(jobs.len() as u64);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let next = &next;
+                let jobs = &jobs;
+                let handles: Vec<_> = (0..par)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i =
+                                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= jobs.len() {
+                                    break;
+                                }
+                                let (metas, id) = &jobs[i];
+                                let r = self.rebuild_group(metas, *id);
+                                let failed = r.is_err();
+                                local.push((i, r));
+                                if failed {
+                                    break;
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                let mut merged: Vec<Option<Result<RebuiltGroup>>> =
+                    (0..jobs.len()).map(|_| None).collect();
+                let mut panicked = false;
+                for h in handles {
+                    match h.join() {
+                        Ok(local) => {
+                            for (i, r) in local {
+                                merged[i] = Some(r);
+                            }
+                        }
+                        Err(_) => panicked = true,
+                    }
                 }
-            }
-            let level = metas.iter().map(|m| m.level).max().unwrap_or(0).saturating_add(1);
-            let partition_key = metas[0].partition_key.clone();
-            let bucket = metas[0].cluster_bucket;
+                if panicked {
+                    merged.clear();
+                }
+                merged
+            })
+        };
+        if rebuilt.is_empty() {
+            return Err(BhError::Internal("compaction worker panicked".into()));
+        }
 
-            let new_ids = if rows.is_empty() {
-                Vec::new()
-            } else {
-                let mut seg = Segment::from_rows(
-                    &self.schema,
-                    self.ids.next_segment(),
-                    rows,
-                    partition_key,
-                    bucket,
-                    level,
-                )?;
-                let blob = self.build_index_blob(&seg)?;
-                seg.persist(self.remote.as_ref())?;
-                self.finish_segment(&mut seg, blob)?;
-                vec![seg.meta.id]
+        // Phase 3: commit in group order.
+        let mut report = CompactionReport::default();
+        for ((metas, _), slot) in jobs.iter().zip(rebuilt) {
+            let (dropped, built) = match slot {
+                Some(Ok(r)) => r,
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(BhError::Internal(
+                        "compaction aborted by peer failure".into(),
+                    ))
+                }
             };
-
+            let new_segments = match built {
+                Some((mut seg, blob)) => {
+                    self.finish_segment(&mut seg, blob)?;
+                    1
+                }
+                None => 0,
+            };
             // Swap: register new (done above), drop old.
             {
                 let mut g = self.segments.write();
-                for meta in &metas {
+                for meta in metas {
                     g.remove(&meta.id);
                 }
             }
-            for meta in &metas {
+            for meta in metas {
                 self.deletes.clear(meta.id);
                 Segment::delete_blobs(self.remote.as_ref(), meta)?;
             }
             report.merged_segments += metas.len();
-            report.new_segments += new_ids.len();
+            report.new_segments += new_segments;
             report.rows_dropped += dropped;
         }
         self.metrics.counter("table.compactions").inc();
         Ok(report)
+    }
+
+    /// The catalog-read-only part of compacting one group: gather visible
+    /// rows, build the merged segment and its index, and upload the column
+    /// blobs. Returns the dropped-row count plus the staged segment (`None`
+    /// when the whole group is deleted).
+    fn rebuild_group(
+        &self,
+        metas: &[Arc<SegmentMeta>],
+        new_id: SegmentId,
+    ) -> Result<RebuiltGroup> {
+        let mut rows: Vec<Row> = Vec::new();
+        let mut dropped = 0;
+        for meta in metas {
+            let seg = self.load_segment(meta)?;
+            let vis = self.visibility(meta);
+            dropped += meta.row_count - vis.count();
+            for o in vis.iter() {
+                rows.push(seg.row(&self.schema, o));
+            }
+        }
+        if rows.is_empty() {
+            return Ok((dropped, None));
+        }
+        let level = metas.iter().map(|m| m.level).max().unwrap_or(0).saturating_add(1);
+        let partition_key = metas[0].partition_key.clone();
+        let bucket = metas[0].cluster_bucket;
+        let mut seg =
+            Segment::from_rows(&self.schema, new_id, rows, partition_key, bucket, level)?;
+        let blob = self.build_index_blob(&seg)?;
+        seg.persist(self.remote.as_ref())?;
+        Ok((dropped, Some((seg, blob))))
     }
 
     // -------------------------------------------------------------- reload
@@ -816,6 +921,59 @@ mod tests {
             assert!(meta.level >= 1);
             assert!(meta.index_kind.is_some());
             let idx = ts.load_index(&meta).unwrap().unwrap();
+            assert_eq!(idx.meta().len, meta.row_count);
+        }
+    }
+
+    #[test]
+    fn parallel_compaction_matches_sequential() {
+        // Two identical tables, one compacted sequentially and one with the
+        // scoped fan-out: reports, visible rows, and per-segment contents
+        // must agree.
+        let build = |par: usize| {
+            let ts = store(
+                schema(Some(4)),
+                TableStoreConfig {
+                    segment_max_rows: 20,
+                    compact_parallelism: par,
+                    ..Default::default()
+                },
+            );
+            for batch in 0..3 {
+                ts.insert_rows(mk_rows(60, 40 + batch)).unwrap();
+            }
+            ts.delete_where(&Predicate::range("id", None, Some(Value::UInt64(7)))).unwrap();
+            ts
+        };
+        let seq = build(1);
+        let par = build(8);
+        assert_eq!(seq.segment_count(), par.segment_count());
+        let seq_report = seq.compact().unwrap();
+        let par_report = par.compact().unwrap();
+        assert_eq!(seq_report, par_report);
+        assert_eq!(seq.visible_rows(), par.visible_rows());
+        assert_eq!(seq.segment_count(), par.segment_count());
+        // Same merged groups: (partition, bucket, rows) sets agree, and
+        // every merged segment's index is loadable.
+        let key = |ts: &TableStore| {
+            let mut v: Vec<_> = ts
+                .segments()
+                .iter()
+                .map(|m| {
+                    (
+                        serde_json::to_string(&m.partition_key).unwrap(),
+                        m.cluster_bucket,
+                        m.row_count,
+                        m.level,
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&seq), key(&par));
+        for meta in par.segments() {
+            let idx = par.load_index(&meta).unwrap().unwrap();
             assert_eq!(idx.meta().len, meta.row_count);
         }
     }

@@ -12,7 +12,7 @@ use crate::distance::distance_batch;
 use crate::iterator::SearchIterator;
 use crate::types::{check_batch, IndexBuilder, IndexMeta, IndexSpec, Neighbor, SearchParams, VectorIndex};
 use crate::{IndexKind, Metric};
-use bh_common::{Bitset, Result, TopK};
+use bh_common::{Bitset, Result, SharedBound, TopK};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -125,6 +125,52 @@ impl VectorIndex for FlatIndex {
                 tk.push(d, self.ids[row]);
             })?,
         }
+        Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
+    }
+
+    fn search_with_bound(
+        &self,
+        query: &[f32],
+        k: usize,
+        _params: &SearchParams,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
+        let Some(b) = bound else {
+            return self.search_with_filter(query, k, _params, filter);
+        };
+        self.check_query(query)?;
+        // FLAT distances are exact, so candidates beaten by the shared bound
+        // can be dropped and our own k-th distance can be published.
+        let mut tk = TopK::new(k);
+        let mut skipped = 0u64;
+        match filter {
+            Some(f) => {
+                for row in 0..self.ids.len() {
+                    if !f.contains(self.ids[row] as usize) {
+                        continue;
+                    }
+                    let d = self.metric.distance(query, self.vector(row));
+                    if d > b.get() {
+                        skipped += 1;
+                        continue;
+                    }
+                    if tk.push(d, self.ids[row]) && tk.is_full() {
+                        b.update(tk.threshold());
+                    }
+                }
+            }
+            None => self.scan_all(query, |row, d| {
+                if d > b.get() {
+                    skipped += 1;
+                    return;
+                }
+                if tk.push(d, self.ids[row]) && tk.is_full() {
+                    b.update(tk.threshold());
+                }
+            })?,
+        }
+        b.record_skips(skipped);
         Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
     }
 

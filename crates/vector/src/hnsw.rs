@@ -22,7 +22,7 @@ use crate::types::{
 };
 use crate::{IndexKind, Metric};
 use bh_common::rng::{derived_rng, DetRng};
-use bh_common::{BhError, Bitset, Result, TopK};
+use bh_common::{BhError, Bitset, Result, SharedBound, TopK};
 use bytes::Bytes;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -267,6 +267,54 @@ impl VectorIndex for HnswIndex {
             }
             tk.push(c.dist, id);
         }
+        Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
+    }
+
+    fn search_with_bound(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
+        let Some(b) = bound else {
+            return self.search_with_filter(query, k, params, filter);
+        };
+        if matches!(self.store, Store::Sq { .. }) {
+            // SQ-compressed nodes yield approximate distances: no pruning and
+            // nothing exact to publish.
+            return self.search_with_filter(query, k, params, filter);
+        }
+        self.check_query(query)?;
+        if self.n() == 0 || k == 0 {
+            return Ok(Vec::new());
+        }
+        // The graph traversal itself is untouched — pruning mid-walk would
+        // change which neighborhoods get explored. Only the final exact
+        // candidate list participates in the shared bound.
+        let ef = params.ef_search.max(k);
+        let entry = self.greedy_to_level(query, self.entry, self.max_level, 0);
+        let ef = if filter.is_some() { ef.saturating_mul(2) } else { ef };
+        let (cands, _) = self.search_layer(query, entry, ef, 0);
+        let mut tk = TopK::new(k);
+        let mut skipped = 0u64;
+        for c in cands {
+            let id = self.ids[c.node as usize];
+            if let Some(f) = filter {
+                if !f.contains(id as usize) {
+                    continue;
+                }
+            }
+            if c.dist > b.get() {
+                skipped += 1;
+                continue;
+            }
+            if tk.push(c.dist, id) && tk.is_full() {
+                b.update(tk.threshold());
+            }
+        }
+        b.record_skips(skipped);
         Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
     }
 

@@ -24,7 +24,7 @@ use crate::types::{
 };
 use crate::distance::distance_batch;
 use crate::{distance, IndexKind, Metric};
-use bh_common::{BhError, Bitset, Result, TopK};
+use bh_common::{BhError, Bitset, Result, SharedBound, TopK};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -211,6 +211,77 @@ impl VectorIndex for IvfIndex {
         for (cell, _) in probes {
             self.scan_cell(cell, &q, filter, &mut tk, &mut visited);
         }
+        Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
+    }
+
+    fn search_with_bound(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
+        let (Some(b), Cells::Flat { vectors }) = (bound, &self.cells) else {
+            // PQ cells return ADC approximations: never prune on or publish
+            // an approximate distance — fall back to the plain path.
+            return self.search_with_filter(query, k, params, filter);
+        };
+        self.check_query(query)?;
+        if self.len == 0 || k == 0 {
+            return Ok(Vec::new());
+        }
+        let q = self.prep_query(query);
+        let scale = self.post_scale();
+        let nprobe = params.nprobe.clamp(1, self.nlist());
+        let probes = self.coarse.nearest_centroids(&q, nprobe);
+        // IVFFLAT posting lists hold raw vectors, so distances are exact and
+        // the shared bound applies (in the post-scale domain for cosine).
+        let mut tk = TopK::new(k);
+        let mut skipped = 0u64;
+        let mut out: Vec<f32> = Vec::new();
+        for (cell, _) in probes {
+            let cell_ids = &self.ids[cell];
+            if cell_ids.is_empty() {
+                continue;
+            }
+            if filter.is_none() {
+                out.clear();
+                out.resize(cell_ids.len(), 0.0);
+                if distance_batch(self.effective_metric(), &q, &vectors[cell], self.dim, &mut out)
+                    .is_ok()
+                {
+                    for (&d, &id) in out.iter().zip(cell_ids) {
+                        let d = d * scale;
+                        if d > b.get() {
+                            skipped += 1;
+                            continue;
+                        }
+                        if tk.push(d, id) && tk.is_full() {
+                            b.update(tk.threshold());
+                        }
+                    }
+                    continue;
+                }
+            }
+            for (i, &id) in cell_ids.iter().enumerate() {
+                if let Some(f) = filter {
+                    if !f.contains(id as usize) {
+                        continue;
+                    }
+                }
+                let row = &vectors[cell][i * self.dim..(i + 1) * self.dim];
+                let d = self.effective_metric().distance(&q, row) * scale;
+                if d > b.get() {
+                    skipped += 1;
+                    continue;
+                }
+                if tk.push(d, id) && tk.is_full() {
+                    b.update(tk.threshold());
+                }
+            }
+        }
+        b.record_skips(skipped);
         Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
     }
 

@@ -6,7 +6,7 @@
 //! which keeps the recall loss well below symmetric code-to-code distances.
 
 use crate::codec::{Reader, Writer};
-#[cfg(target_arch = "x86_64")]
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
 use crate::distance::KernelTier;
 use bh_common::{BhError, Result};
 use bytes::Bytes;
@@ -93,7 +93,9 @@ impl Sq8 {
     ///
     /// On x86_64 with AVX2+FMA the codes are widened u8→f32 in-register
     /// (`cvtepu8` + `cvtepi32_ps`) and decoded with one FMA against the
-    /// per-dimension `min`/`step` tables; other tiers decode scalar-wise.
+    /// per-dimension `min`/`step` tables; on aarch64 the NEON path widens
+    /// via `vmovl_u8`/`vmovl_u16` + `vcvtq_f32_u32` and decodes with
+    /// `vfmaq_f32`; other tiers decode scalar-wise.
     #[inline]
     pub fn asym_l2(&self, query: &[f32], code: &[u8]) -> f32 {
         #[cfg(target_arch = "x86_64")]
@@ -102,6 +104,13 @@ impl Sq8 {
             && code.len() >= self.dim
         {
             return unsafe { self.asym_l2_avx2(query, code) };
+        }
+        #[cfg(target_arch = "aarch64")]
+        if matches!(KernelTier::current(), KernelTier::Neon)
+            && query.len() >= self.dim
+            && code.len() >= self.dim
+        {
+            return unsafe { self.asym_l2_neon(query, code) };
         }
         let mut sum = 0.0;
         for d in 0..self.dim {
@@ -121,6 +130,13 @@ impl Sq8 {
             && code.len() >= self.dim
         {
             return unsafe { self.asym_neg_ip_avx2(query, code) };
+        }
+        #[cfg(target_arch = "aarch64")]
+        if matches!(KernelTier::current(), KernelTier::Neon)
+            && query.len() >= self.dim
+            && code.len() >= self.dim
+        {
+            return unsafe { self.asym_neg_ip_neon(query, code) };
         }
         let mut sum = 0.0;
         for d in 0..self.dim {
@@ -188,6 +204,67 @@ impl Sq8 {
         -sum
     }
 
+    /// # Safety
+    /// Requires NEON and `query.len() >= dim && code.len() >= dim`.
+    #[cfg(target_arch = "aarch64")]
+    #[target_feature(enable = "neon")]
+    unsafe fn asym_l2_neon(&self, query: &[f32], code: &[u8]) -> f32 {
+        use std::arch::aarch64::*;
+        let n = self.dim;
+        let (pq, pc) = (query.as_ptr(), code.as_ptr());
+        let (pmin, pstep) = (self.min.as_ptr(), self.step.as_ptr());
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut d = 0usize;
+        while d + 8 <= n {
+            let (c0, c1) = load_u8x8_as_f32x2(pc.add(d));
+            let x0 = vfmaq_f32(vld1q_f32(pmin.add(d)), c0, vld1q_f32(pstep.add(d)));
+            let x1 = vfmaq_f32(vld1q_f32(pmin.add(d + 4)), c1, vld1q_f32(pstep.add(d + 4)));
+            let d0 = vsubq_f32(vld1q_f32(pq.add(d)), x0);
+            let d1 = vsubq_f32(vld1q_f32(pq.add(d + 4)), x1);
+            acc0 = vfmaq_f32(acc0, d0, d0);
+            acc1 = vfmaq_f32(acc1, d1, d1);
+            d += 8;
+        }
+        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while d < n {
+            let x = self.min[d] + code[d] as f32 * self.step[d];
+            let diff = query[d] - x;
+            sum += diff * diff;
+            d += 1;
+        }
+        sum
+    }
+
+    /// # Safety
+    /// Requires NEON and `query.len() >= dim && code.len() >= dim`.
+    #[cfg(target_arch = "aarch64")]
+    #[target_feature(enable = "neon")]
+    unsafe fn asym_neg_ip_neon(&self, query: &[f32], code: &[u8]) -> f32 {
+        use std::arch::aarch64::*;
+        let n = self.dim;
+        let (pq, pc) = (query.as_ptr(), code.as_ptr());
+        let (pmin, pstep) = (self.min.as_ptr(), self.step.as_ptr());
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut d = 0usize;
+        while d + 8 <= n {
+            let (c0, c1) = load_u8x8_as_f32x2(pc.add(d));
+            let x0 = vfmaq_f32(vld1q_f32(pmin.add(d)), c0, vld1q_f32(pstep.add(d)));
+            let x1 = vfmaq_f32(vld1q_f32(pmin.add(d + 4)), c1, vld1q_f32(pstep.add(d + 4)));
+            acc0 = vfmaq_f32(acc0, vld1q_f32(pq.add(d)), x0);
+            acc1 = vfmaq_f32(acc1, vld1q_f32(pq.add(d + 4)), x1);
+            d += 8;
+        }
+        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while d < n {
+            let x = self.min[d] + code[d] as f32 * self.step[d];
+            sum += query[d] * x;
+            d += 1;
+        }
+        -sum
+    }
+
     /// Worst-case per-dimension reconstruction error (half a step).
     pub fn max_abs_error(&self, d: usize) -> f32 {
         self.step[d] * 0.5
@@ -240,6 +317,22 @@ unsafe fn load_u8x8_as_f32(p: *const u8) -> std::arch::x86_64::__m256 {
     use std::arch::x86_64::*;
     let raw = _mm_loadl_epi64(p as *const __m128i);
     _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw))
+}
+
+/// Load 8 `u8` codes and widen to two `f32x4` registers (low, high).
+///
+/// # Safety
+/// Requires NEON and 8 readable bytes at `p`.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn load_u8x8_as_f32x2(
+    p: *const u8,
+) -> (std::arch::aarch64::float32x4_t, std::arch::aarch64::float32x4_t) {
+    use std::arch::aarch64::*;
+    let raw = vmovl_u8(vld1_u8(p));
+    let lo = vcvtq_f32_u32(vmovl_u16(vget_low_u16(raw)));
+    let hi = vcvtq_f32_u32(vmovl_u16(vget_high_u16(raw)));
+    (lo, hi)
 }
 
 /// Horizontal sum of a `f32x8` register.

@@ -11,7 +11,7 @@
 
 use crate::distance::Metric;
 use crate::iterator::SearchIterator;
-use bh_common::{BhError, Bitset, Result};
+use bh_common::{BhError, Bitset, Result, SharedBound};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -236,6 +236,29 @@ pub trait VectorIndex: Send + Sync {
         params: &SearchParams,
         filter: Option<&Bitset>,
     ) -> Result<Vec<Neighbor>>;
+
+    /// Like [`Self::search_with_filter`], but threaded with a shared k-th
+    /// distance upper bound published by peer workers of the same query
+    /// (batched execution, DESIGN.md §7).
+    ///
+    /// Implementations may (a) skip candidates whose exact distance is
+    /// **strictly** greater than `bound.get()` — such rows cannot enter the
+    /// final top-k — and (b) lower the bound with their own exact local k-th
+    /// distance once `k` exact candidates are collected. Indexes returning
+    /// approximate distances (`needs_refine`) must neither prune on nor
+    /// publish them. The default ignores the bound entirely, which is always
+    /// correct.
+    fn search_with_bound(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+        bound: Option<&SharedBound>,
+    ) -> Result<Vec<Neighbor>> {
+        let _ = bound;
+        self.search_with_filter(query, k, params, filter)
+    }
 
     /// `SearchWithRange`: all rows within `radius` of `query` (by the index
     /// metric), passing `filter`, sorted ascending by distance.
