@@ -410,11 +410,9 @@ impl Worker {
         // qualifying vectors (block-granular) instead of the whole column —
         // the "skip rows via primary keys/indices" behaviour of §II-C.
         let selective = filter
-            .map(|f| self.cfg.fine_grained_reads && f.count() * 4 < meta.row_count)
-            .unwrap_or(false);
-        if selective {
-            let offsets: Vec<u32> =
-                filter.expect("checked").iter().map(|o| o as u32).collect();
+            .filter(|f| self.cfg.fine_grained_reads && f.count() * 4 < meta.row_count);
+        if let Some(f) = selective {
+            let offsets: Vec<u32> = f.iter().map(|o| o as u32).collect();
             let cells = self.read_cells(table, meta, &idx_def.column, &offsets)?;
             for (o, cell) in offsets.iter().zip(cells) {
                 let v = cell
@@ -624,7 +622,14 @@ impl Worker {
                 cells.insert(o, part.get(o as usize - base));
             }
         }
-        Ok(offsets.iter().map(|o| cells.remove(o).expect("filled above")).collect())
+        offsets
+            .iter()
+            .map(|o| {
+                cells.remove(o).ok_or_else(|| {
+                    BhError::Internal(format!("cell for offset {o} missing after block reads"))
+                })
+            })
+            .collect()
     }
 
     /// Evaluate a predicate over a segment, returning the qualifying bitset

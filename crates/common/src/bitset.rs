@@ -250,7 +250,19 @@ mod tests {
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
     }
 
+    /// Full case count natively; a handful under Miri (each case costs
+    /// seconds there) and no failure-persistence file I/O.
+    fn config() -> ProptestConfig {
+        if cfg!(miri) {
+            ProptestConfig { cases: 8, failure_persistence: None, ..ProptestConfig::default() }
+        } else {
+            ProptestConfig::default()
+        }
+    }
+
     proptest! {
+        #![proptest_config(config())]
+
         #[test]
         fn prop_from_positions_matches_reference(
             len in 1usize..500,

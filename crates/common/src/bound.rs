@@ -23,6 +23,9 @@
 //! CAS-min loop that compares **as floats** — IP/cosine distances are
 //! negative, and negative floats do not order correctly as raw bits.
 
+#[cfg(loom)]
+use crate::loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Monotonically decreasing upper bound on one query's k-th nearest distance,

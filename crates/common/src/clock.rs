@@ -63,6 +63,38 @@ impl Clock for RealClock {
     }
 }
 
+/// Wall-clock stopwatch for self-instrumentation (metrics timers, CBO
+/// micro-calibration probes).
+///
+/// This is the **only** sanctioned access to `Instant::now()` outside this
+/// module — `xtask lint`'s wall-clock rule (DESIGN.md §8) rejects direct
+/// calls elsewhere. Routing measurement through one named type keeps the
+/// ambient-time surface greppable and lets the simulation distinguish
+/// "measuring ourselves" (fine) from "observing wall time in query logic"
+/// (breaks virtual-clock determinism).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating at `u64::MAX`.
+    pub fn elapsed_nanos(&self) -> u64 {
+        let n = self.start.elapsed().as_nanos();
+        u64::try_from(n).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
 /// Deterministic test clock: `advance` bumps a counter, never sleeps.
 ///
 /// Note: with concurrent threads the accumulated time is the *sum* of all
@@ -209,6 +241,14 @@ mod tests {
         c.advance(Duration::from_millis(2));
         let b = c.now_nanos();
         assert!(b >= a + 1_000_000, "expected at least 1ms progress, got {}", b - a);
+    }
+
+    #[test]
+    fn stopwatch_measures_forward() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed_nanos() >= 1_000_000);
+        assert!(sw.elapsed() >= Duration::from_millis(1));
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Work-stealing task cursor for intra-query fan-out.
+//!
+//! Parallel segment scans (`query::exec`) and compaction (`storage::table`)
+//! fan a task list out to a fixed pool of scoped threads. Rather than
+//! pre-partitioning (which straggles when segment costs are skewed), every
+//! worker claims the next unclaimed index from one shared [`StealingCursor`]
+//! until the list is exhausted.
+//!
+//! The invariant the loom model (`crates/common/tests/loom.rs`) checks: over
+//! any interleaving, each index in `0..len` is claimed by **exactly one**
+//! worker, and after exhaustion every worker observes `None`.
+
+#[cfg(loom)]
+use crate::loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared claim counter over a task list of known length.
+///
+/// `fetch_add` hands every caller a distinct ticket; tickets past the end of
+/// the list report exhaustion. `Relaxed` suffices: claiming an index carries
+/// no data dependency — task *contents* are published to the worker threads
+/// before they start (via `thread::scope` spawn), not through this counter.
+#[derive(Debug, Default)]
+pub struct StealingCursor {
+    next: AtomicUsize,
+}
+
+impl StealingCursor {
+    pub fn new() -> Self {
+        Self { next: AtomicUsize::new(0) }
+    }
+
+    /// Claim the next unclaimed index in `0..len`, or `None` when all `len`
+    /// tasks have been handed out.
+    #[inline]
+    pub fn claim(&self, len: usize) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < len).then_some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hands_out_each_index_once_then_none() {
+        let c = StealingCursor::new();
+        assert_eq!(c.claim(3), Some(0));
+        assert_eq!(c.claim(3), Some(1));
+        assert_eq!(c.claim(3), Some(2));
+        assert_eq!(c.claim(3), None);
+        assert_eq!(c.claim(3), None);
+    }
+
+    #[test]
+    fn empty_list_is_immediately_exhausted() {
+        let c = StealingCursor::new();
+        assert_eq!(c.claim(0), None);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_range() {
+        let n = 1000;
+        let c = StealingCursor::new();
+        let mut claimed: Vec<Vec<usize>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine = Vec::new();
+                        while let Some(i) = c.claim(n) {
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                claimed.push(h.join().expect("worker"));
+            }
+        });
+        let mut all: Vec<usize> = claimed.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`topk`] — a bounded max-heap top-k collector used by every search path.
 //! * [`bound`] — an atomic shared k-th-distance upper bound that lets
 //!   batched/fanned-out scans skip candidates which cannot reach the top-k.
+//! * [`cursor`] — the work-stealing claim counter behind intra-query and
+//!   compaction fan-out.
+//! * [`loom`] — an in-tree model checker (loom-lite) that exhaustively
+//!   explores interleavings of the lock-free paths under `--cfg loom`.
 //! * [`clock`] — real and virtual clocks plus latency models, so the
 //!   disaggregated-architecture simulation can inject remote-storage and RPC
 //!   latencies deterministically in tests and realistically in benchmarks.
@@ -20,8 +24,10 @@
 pub mod bitset;
 pub mod bound;
 pub mod clock;
+pub mod cursor;
 pub mod error;
 pub mod ids;
+pub mod loom;
 pub mod metrics;
 pub mod regex_lite;
 pub mod rng;
@@ -29,7 +35,10 @@ pub mod topk;
 
 pub use bitset::Bitset;
 pub use bound::SharedBound;
-pub use clock::{Clock, DeploymentLatencies, LatencyModel, RealClock, SharedClock, VirtualClock};
+pub use cursor::StealingCursor;
+pub use clock::{
+    Clock, DeploymentLatencies, LatencyModel, RealClock, SharedClock, Stopwatch, VirtualClock,
+};
 pub use error::{BhError, Result};
 pub use ids::{RowId, SegmentId, TableId, VwId, WorkerId};
 pub use metrics::MetricsRegistry;

@@ -187,7 +187,19 @@ mod tests {
         assert_eq!(ids, vec![10, 1, 12]);
     }
 
+    /// Full case count natively; a handful under Miri (each case costs
+    /// seconds there) and no failure-persistence file I/O.
+    fn config() -> ProptestConfig {
+        if cfg!(miri) {
+            ProptestConfig { cases: 8, failure_persistence: None, ..ProptestConfig::default() }
+        } else {
+            ProptestConfig::default()
+        }
+    }
+
     proptest! {
+        #![proptest_config(config())]
+
         #[test]
         fn prop_matches_sort_oracle(
             k in 0usize..20,

@@ -1,0 +1,129 @@
+//! Loom-lite models for the workspace's lock-free core.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p bh-common --test loom --release
+//! ```
+//!
+//! Under `--cfg loom`, `SharedBound` and `StealingCursor` swap their std
+//! atomics for `bh_common::loom::sync::atomic` wrappers, and `loom::model`
+//! exhaustively explores every sequentially-consistent interleaving of the
+//! model threads (see `src/loom.rs` for fidelity limits).
+
+#![cfg(loom)]
+
+use bh_common::loom::{self, sync::Arc, thread};
+use bh_common::{SharedBound, StealingCursor};
+
+/// DESIGN.md §7 publish rule: whatever interleaving the publishers race
+/// through, the bound settles on the minimum of all published thresholds,
+/// and an updater immediately observes a bound no worse than its own.
+#[test]
+fn shared_bound_settles_on_min_of_published() {
+    loom::model(|| {
+        let b = Arc::new(SharedBound::new());
+        let b1 = Arc::clone(&b);
+        let b2 = Arc::clone(&b);
+        let t1 = thread::spawn(move || {
+            b1.update(3.0);
+            // Publish/prune contract: after publishing d, no reader (this
+            // thread included) can see a bound looser than d.
+            assert!(b1.get() <= 3.0);
+        });
+        let t2 = thread::spawn(move || {
+            b2.update(1.0);
+            assert!(b2.get() <= 1.0);
+        });
+        b.update(2.0);
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(b.get(), 1.0, "bound must settle on the min of {{3.0, 1.0, 2.0}}");
+    });
+}
+
+/// IP/cosine distances are negative; the CAS-min loop compares as floats,
+/// so racing negative publishes must still settle on the float minimum
+/// (raw-bit ordering would invert it).
+#[test]
+fn shared_bound_min_is_float_ordered_for_negative_distances() {
+    loom::model(|| {
+        let b = Arc::new(SharedBound::new());
+        let b1 = Arc::clone(&b);
+        let t1 = thread::spawn(move || b1.update(-2.0));
+        b.update(-0.5);
+        t1.join().unwrap();
+        assert_eq!(b.get(), -2.0);
+    });
+}
+
+/// A pruning reader may race the publishers arbitrarily, but the bound it
+/// observes only ever tightens: two successive reads are non-increasing.
+/// (This is what makes `d > bound` pruning safe to evaluate at any time.)
+#[test]
+fn shared_bound_is_monotonic_under_concurrent_publish() {
+    loom::model(|| {
+        let b = Arc::new(SharedBound::new());
+        let pb = Arc::clone(&b);
+        let ob = Arc::clone(&b);
+        let publisher = thread::spawn(move || {
+            pb.update(4.0);
+            pb.update(1.5);
+        });
+        let observer = thread::spawn(move || {
+            let first = ob.get();
+            let second = ob.get();
+            assert!(
+                second <= first,
+                "bound loosened between reads: {first} -> {second}"
+            );
+        });
+        publisher.join().unwrap();
+        observer.join().unwrap();
+        assert_eq!(b.get(), 1.5);
+    });
+}
+
+/// The skip counter is observability-only, but its adds must not be lost.
+#[test]
+fn shared_bound_skip_counter_never_loses_updates() {
+    loom::model(|| {
+        let b = Arc::new(SharedBound::new());
+        let b1 = Arc::clone(&b);
+        let t1 = thread::spawn(move || b1.record_skips(2));
+        b.record_skips(3);
+        t1.join().unwrap();
+        assert_eq!(b.skips(), 5);
+    });
+}
+
+/// The work-stealing invariant behind segment fan-out and compaction: over
+/// any interleaving, each index in `0..len` is claimed exactly once, and
+/// once exhausted every worker sees `None`.
+#[test]
+fn stealing_cursor_claims_each_index_exactly_once() {
+    loom::model(|| {
+        const LEN: usize = 3;
+        let c = Arc::new(StealingCursor::new());
+        let c1 = Arc::clone(&c);
+        let t1 = thread::spawn(move || {
+            let mut mine = Vec::new();
+            while let Some(i) = c1.claim(LEN) {
+                mine.push(i);
+            }
+            mine
+        });
+        let mut mine = Vec::new();
+        while let Some(i) = c.claim(LEN) {
+            mine.push(i);
+        }
+        let theirs = t1.join().unwrap();
+        // Exhaustion is sticky for every worker.
+        assert_eq!(c.claim(LEN), None);
+
+        let mut all = mine;
+        all.extend(theirs);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "indices must partition 0..{LEN}");
+    });
+}

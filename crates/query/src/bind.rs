@@ -199,8 +199,12 @@ pub fn bind_select(schema: &TableSchema, stmt: &SelectStmt) -> Result<BoundSelec
                         return Err(BhError::Plan(format!("unknown column {c}")));
                     }
                 }
-                e if e.as_distance_call().is_some() => {
-                    let (fname, args) = e.as_distance_call().expect("checked");
+                other => {
+                    let Some((fname, args)) = other.as_distance_call() else {
+                        return Err(BhError::Plan(format!(
+                            "unsupported projection expression: {other:?}"
+                        )));
+                    };
                     let (column, qvec, metric) = bind_distance_call(schema, fname, args)?;
                     match &vector {
                         Some(v) if v.column == column && v.query == qvec && v.metric == metric => {
@@ -214,11 +218,6 @@ pub fn bind_select(schema: &TableSchema, stmt: &SelectStmt) -> Result<BoundSelec
                             ))
                         }
                     }
-                }
-                other => {
-                    return Err(BhError::Plan(format!(
-                        "unsupported projection expression: {other:?}"
-                    )))
                 }
             },
         }
@@ -256,9 +255,9 @@ fn extract_distance_range(
     e: &Expr,
 ) -> Result<Option<(String, Vec<f32>, Metric, f32)>> {
     let Expr::Binary { op, lhs, rhs } = e else { return Ok(None) };
-    let (call, lit, op_towards_lit) = if lhs.as_distance_call().is_some() {
-        (lhs.as_ref(), rhs.as_ref(), *op)
-    } else if rhs.as_distance_call().is_some() {
+    let ((fname, args), lit, op_towards_lit) = if let Some(call) = lhs.as_distance_call() {
+        (call, rhs.as_ref(), *op)
+    } else if let Some(call) = rhs.as_distance_call() {
         // Mirror `r > Distance(…)` to `Distance(…) < r`.
         let mirrored = match op {
             BinaryOp::Lt => BinaryOp::Gt,
@@ -267,7 +266,7 @@ fn extract_distance_range(
             BinaryOp::Ge => BinaryOp::Le,
             other => *other,
         };
-        (rhs.as_ref(), lhs.as_ref(), mirrored)
+        (call, lhs.as_ref(), mirrored)
     } else {
         return Ok(None);
     };
@@ -276,7 +275,6 @@ fn extract_distance_range(
             "only upper-bounded distance ranges are supported (Distance(…) < r)".into(),
         ));
     }
-    let (fname, args) = call.as_distance_call().expect("checked");
     let (column, qvec, metric) = bind_distance_call(schema, fname, args)?;
     let radius = match lit {
         Expr::Literal(Lit::Float(f)) => *f as f32,
@@ -304,18 +302,14 @@ fn bind_distance_call(
         return Err(BhError::Plan(format!("{fname} takes (column, query_vector)")));
     }
     // Accept either argument order.
-    let (col_expr, vec_expr) = match (&args[0], &args[1]) {
-        (Expr::Column(_), other) => (&args[0], other),
-        (other, Expr::Column(_)) => (&args[1], other),
+    let (column, vec_expr) = match (&args[0], &args[1]) {
+        (Expr::Column(c), other) => (c, other),
+        (other, Expr::Column(c)) => (c, other),
         _ => return Err(BhError::Plan(format!("{fname} needs a column argument"))),
     };
-    let Expr::Column(column) = col_expr else { unreachable!("matched above") };
     let def = schema
         .column(column)
         .ok_or_else(|| BhError::Plan(format!("unknown column {column}")))?;
-    if !def.ty.is_vector() {
-        return Err(BhError::Plan(format!("{column} is not a vector column")));
-    }
     let Expr::Literal(Lit::Array(vals)) = vec_expr else {
         return Err(BhError::Plan(format!("{fname} needs an array literal query vector")));
     };
@@ -323,7 +317,7 @@ fn bind_distance_call(
     let expected_dim = match def.ty {
         ColumnType::Vector(0) => schema.index_on(column).map(|i| i.spec.dim).unwrap_or(0),
         ColumnType::Vector(d) => d,
-        _ => unreachable!("vector checked"),
+        _ => return Err(BhError::Plan(format!("{column} is not a vector column"))),
     };
     if expected_dim != 0 && qvec.len() != expected_dim {
         return Err(BhError::DimensionMismatch { expected: expected_dim, got: qvec.len() });
@@ -376,6 +370,8 @@ pub fn bind_predicate(schema: &TableSchema, e: &Expr) -> Result<Predicate> {
                 BinaryOp::Le => Predicate::range(col, None, Some(v)),
                 BinaryOp::Gt => Predicate::range_open(col, Some(v), None, true, false),
                 BinaryOp::Ge => Predicate::range(col, Some(v), None),
+                // lint: allow(panic) - the `op.is_comparison()` arm guard
+                // restricts `op` to the six comparison operators matched above
                 _ => unreachable!("comparison checked"),
             })
         }

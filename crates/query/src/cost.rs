@@ -175,24 +175,24 @@ impl CostParams {
     /// kernels (exact distance, ADC table lookup, bitset test). The absolute
     /// scale is normalized to `c_d = 1`.
     pub fn calibrate(dim: usize) -> CostParams {
-        use std::time::Instant;
+        use bh_common::Stopwatch;
         let n = 4096;
         let a: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1).collect();
         let b: Vec<f32> = (0..dim).map(|i| (dim - i) as f32 * 0.1).collect();
 
         // Exact distance.
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut acc = 0.0f32;
         for _ in 0..n {
             acc += bh_vector::distance::l2_sq(&a, &b);
         }
-        let t_d = t.elapsed().as_nanos() as f64 / n as f64;
+        let t_d = t.elapsed_nanos() as f64 / n as f64;
 
         // ADC-style lookup chain: m table lookups + adds.
         let m = (dim / 4).max(1);
         let table: Vec<f32> = (0..m * 256).map(|i| i as f32).collect();
         let codes: Vec<u8> = (0..m).map(|i| (i * 37 % 256) as u8).collect();
-        let t = Instant::now();
+        let t = Stopwatch::start();
         for _ in 0..n {
             let mut s = 0.0f32;
             for (sub, &c) in codes.iter().enumerate() {
@@ -200,18 +200,18 @@ impl CostParams {
             }
             acc += s;
         }
-        let t_c = t.elapsed().as_nanos() as f64 / n as f64;
+        let t_c = t.elapsed_nanos() as f64 / n as f64;
 
         // Bitmap test.
         let bits = bh_common::Bitset::full(4096);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut hits = 0usize;
         for i in 0..n {
             if bits.contains(i * 7 % 4096) {
                 hits += 1;
             }
         }
-        let t_p = t.elapsed().as_nanos() as f64 / n as f64;
+        let t_p = t.elapsed_nanos() as f64 / n as f64;
         std::hint::black_box((acc, hits));
 
         let scale = t_d.max(1.0);

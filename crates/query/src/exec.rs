@@ -23,7 +23,10 @@ use crate::result::ResultSet;
 use bh_cluster::scheduler::{select_segments, PruneConfig, SegmentSelection};
 use bh_cluster::vw::VirtualWarehouse;
 use bh_cluster::worker::Worker;
-use bh_common::{BhError, Bitset, MetricsRegistry, Result, SegmentId, SharedBound, TopK};
+use bh_common::{
+    BhError, Bitset, MetricsRegistry, Result, SegmentId, SharedBound, StealingCursor, Stopwatch,
+    TopK,
+};
 use bh_sql::ast::SelectStmt;
 use bh_storage::predicate::Predicate;
 use bh_storage::segment::SegmentMeta;
@@ -32,7 +35,6 @@ use bh_storage::value::Value;
 use bh_vector::{Neighbor, SearchParams};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Per-query execution knobs.
 #[derive(Debug, Clone)]
@@ -234,11 +236,11 @@ impl QueryEngine {
         opts: &QueryOptions,
         bound: &BoundSelect,
     ) -> Result<ResultSet> {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let planned = self.plan_phase(table, opts, bound)?;
-        self.metrics.counter("query.plan_ns").add(t.elapsed().as_nanos() as u64);
+        self.metrics.counter("query.plan_ns").add(t.elapsed_nanos());
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut attempts = 0;
         let out = loop {
             let result = match &bound.vector {
@@ -254,7 +256,7 @@ impl QueryEngine {
                 other => break other,
             }
         };
-        self.metrics.counter("query.exec_ns").add(t.elapsed().as_nanos() as u64);
+        self.metrics.counter("query.exec_ns").add(t.elapsed_nanos());
         self.metrics.counter("query.executed").inc();
         out
     }
@@ -295,14 +297,14 @@ impl QueryEngine {
         batch: &[BoundSelect],
     ) -> Result<Vec<ResultSet>> {
         self.metrics.counter("query.batch_size").add(batch.len() as u64);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let plans: Vec<CachedPlan> = batch
             .iter()
             .map(|b| self.plan_phase(table, opts, b))
             .collect::<Result<_>>()?;
-        self.metrics.counter("query.plan_ns").add(t.elapsed().as_nanos() as u64);
+        self.metrics.counter("query.plan_ns").add(t.elapsed_nanos());
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut attempts = 0;
         let out = loop {
             match self.exec_batch_inner(table, vw, opts, batch, &plans) {
@@ -314,7 +316,7 @@ impl QueryEngine {
                 other => break other,
             }
         };
-        self.metrics.counter("query.exec_ns").add(t.elapsed().as_nanos() as u64);
+        self.metrics.counter("query.exec_ns").add(t.elapsed_nanos());
         self.metrics.counter("query.executed").add(batch.len() as u64);
         out
     }
@@ -448,10 +450,14 @@ impl QueryEngine {
                 hits.into_iter().map(|s| (s.item.0, s.item.1, s.distance)).collect();
             results[qi] = Some(self.materialize(table, vw, st.sel, st.plan, &hit_list)?);
         }
-        Ok(results
+        results
             .into_iter()
-            .map(|r| r.expect("every batch statement produced a result"))
-            .collect())
+            .map(|r| {
+                r.ok_or_else(|| {
+                    BhError::Internal("batch statement produced no result".into())
+                })
+            })
+            .collect()
     }
 
     /// One round of the batched fan-out: segment-major tasks over the
@@ -475,20 +481,15 @@ impl QueryEngine {
         }
         self.metrics.counter("query.parallel_segments").add(seg_tasks.len() as u64);
         self.metrics.counter("query.fanout_batches").inc();
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let cursor = StealingCursor::new();
         let merged: Vec<Option<Vec<(usize, Result<Vec<Neighbor>>)>>> =
             std::thread::scope(|scope| {
-                let next = &next;
+                let cursor = &cursor;
                 let handles: Vec<_> = (0..par)
                     .map(|_| {
                         scope.spawn(move || {
                             let mut local = Vec::new();
-                            loop {
-                                let i =
-                                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= seg_tasks.len() {
-                                    break;
-                                }
+                            while let Some(i) = cursor.claim(seg_tasks.len()) {
                                 let (meta, qis) = &seg_tasks[i];
                                 local.push((
                                     i,
@@ -553,7 +554,14 @@ impl QueryEngine {
         })();
         qis.iter()
             .map(|&qi| {
-                let st = states[qi].as_ref().expect("segment task assigned to scalar query");
+                let Some(st) = states.get(qi).and_then(|s| s.as_ref()) else {
+                    return (
+                        qi,
+                        Err(BhError::Internal(
+                            "segment task assigned to a scalar query".into(),
+                        )),
+                    );
+                };
                 let ctx = SegCtx { bound: st.bound.as_ref(), pin: pin.as_ref() };
                 let r = self.search_one_segment(
                     table,
@@ -792,18 +800,14 @@ impl QueryEngine {
         }
         self.metrics.counter("query.parallel_segments").add(pending.len() as u64);
         self.metrics.counter("query.fanout_batches").inc();
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let cursor = StealingCursor::new();
         let merged: Vec<Option<Result<Vec<Neighbor>>>> = std::thread::scope(|scope| {
-            let next = &next;
+            let cursor = &cursor;
             let handles: Vec<_> = (0..par)
                 .map(|_| {
                     scope.spawn(move || {
                         let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= pending.len() {
-                                break;
-                            }
+                        while let Some(i) = cursor.claim(pending.len()) {
                             let r = self.search_one_segment(
                                 table,
                                 vw,

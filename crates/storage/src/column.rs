@@ -302,6 +302,8 @@ impl ColumnData {
     pub fn take(&self, offsets: &[u32]) -> ColumnData {
         let mut out = ColumnData::empty(self.ty());
         for &o in offsets {
+            // lint: allow(panic) - `self.get` yields values of this column's
+            // own type, which an empty column of the same type always accepts
             out.push(&self.get(o as usize)).expect("same-typed take");
         }
         out

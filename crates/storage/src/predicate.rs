@@ -83,8 +83,7 @@ impl Predicate {
     /// Conjunction, flattening the 0- and 1-element cases.
     pub fn and(preds: Vec<Predicate>) -> Predicate {
         match preds.len() {
-            0 => Predicate::True,
-            1 => preds.into_iter().next().expect("len checked"),
+            0 | 1 => preds.into_iter().next().unwrap_or(Predicate::True),
             _ => Predicate::And(preds),
         }
     }

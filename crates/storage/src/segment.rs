@@ -170,7 +170,9 @@ impl Segment {
             for (cell, def) in row.iter().zip(&schema.columns) {
                 columns
                     .get_mut(&def.name)
-                    .expect("initialized above")
+                    .ok_or_else(|| {
+                        BhError::Internal(format!("column {} missing from build map", def.name))
+                    })?
                     .push(cell)
                     .map_err(|e| BhError::InvalidArgument(format!("column {}: {e}", def.name)))?;
                 if def.ty.is_ordered_scalar() {

@@ -33,7 +33,7 @@ use crate::segment::{Row, Segment, SegmentMeta};
 use crate::stats::{TableSketch, TableSketchBuilder};
 use crate::value::Value;
 use bh_common::ids::IdGenerator;
-use bh_common::{BhError, Bitset, MetricsRegistry, Result, SegmentId};
+use bh_common::{BhError, Bitset, MetricsRegistry, Result, SegmentId, StealingCursor};
 use bh_vector::autoindex::apply_auto_index;
 use bh_vector::{IndexRegistry, VectorIndex};
 use bytes::Bytes;
@@ -487,7 +487,10 @@ impl TableStore {
             for &o in &offsets {
                 let mut row = seg.row(&self.schema, o as usize);
                 for (col, v) in assignments {
-                    let idx = self.schema.column_index(col).expect("validated above");
+                    let idx = self
+                        .schema
+                        .column_index(col)
+                        .ok_or_else(|| BhError::NotFound(format!("update column {col}")))?;
                     row[idx] = v.clone();
                 }
                 new_rows.push(row);
@@ -580,20 +583,15 @@ impl TableStore {
             jobs.iter().map(|(metas, id)| Some(self.rebuild_group(metas, *id))).collect()
         } else {
             self.metrics.counter("table.parallel_compact_groups").add(jobs.len() as u64);
-            let next = std::sync::atomic::AtomicUsize::new(0);
+            let cursor = StealingCursor::new();
             std::thread::scope(|scope| {
-                let next = &next;
+                let cursor = &cursor;
                 let jobs = &jobs;
                 let handles: Vec<_> = (0..par)
                     .map(|_| {
                         scope.spawn(move || {
                             let mut local = Vec::new();
-                            loop {
-                                let i =
-                                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= jobs.len() {
-                                    break;
-                                }
+                            while let Some(i) = cursor.claim(jobs.len()) {
                                 let (metas, id) = &jobs[i];
                                 let r = self.rebuild_group(metas, *id);
                                 let failed = r.is_err();
@@ -692,7 +690,7 @@ impl TableStore {
         let level = metas.iter().map(|m| m.level).max().unwrap_or(0).saturating_add(1);
         let partition_key = metas[0].partition_key.clone();
         let bucket = metas[0].cluster_bucket;
-        let mut seg =
+        let seg =
             Segment::from_rows(&self.schema, new_id, rows, partition_key, bucket, level)?;
         let blob = self.build_index_blob(&seg)?;
         seg.persist(self.remote.as_ref())?;

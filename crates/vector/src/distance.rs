@@ -116,6 +116,12 @@ impl KernelTier {
     }
 
     fn detect() -> KernelTier {
+        // Miri interprets MIR and cannot execute vendor intrinsics; force the
+        // scalar kernels so `cargo miri test -p bh-vector` exercises the full
+        // logic above the kernel layer.
+        if cfg!(miri) {
+            return KernelTier::Scalar;
+        }
         #[cfg(target_arch = "x86_64")]
         {
             if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
@@ -148,9 +154,9 @@ impl KernelTier {
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     match KernelTier::current() {
         #[cfg(target_arch = "x86_64")]
-        KernelTier::Avx2 => unsafe { avx2::l2_sq(a, b) },
+        KernelTier::Avx2 => unsafe { avx2::l2_sq(a, b) }, // SAFETY: tier checked: detect() verified avx2+fma
         #[cfg(target_arch = "aarch64")]
-        KernelTier::Neon => unsafe { neon::l2_sq(a, b) },
+        KernelTier::Neon => unsafe { neon::l2_sq(a, b) }, // SAFETY: tier checked: detect() verified neon
         _ => scalar::l2_sq(a, b),
     }
 }
@@ -160,9 +166,9 @@ pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     match KernelTier::current() {
         #[cfg(target_arch = "x86_64")]
-        KernelTier::Avx2 => unsafe { avx2::dot(a, b) },
+        KernelTier::Avx2 => unsafe { avx2::dot(a, b) }, // SAFETY: tier checked: detect() verified avx2+fma
         #[cfg(target_arch = "aarch64")]
-        KernelTier::Neon => unsafe { neon::dot(a, b) },
+        KernelTier::Neon => unsafe { neon::dot(a, b) }, // SAFETY: tier checked: detect() verified neon
         _ => scalar::dot(a, b),
     }
 }
@@ -172,9 +178,9 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 pub fn cosine_terms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
     match KernelTier::current() {
         #[cfg(target_arch = "x86_64")]
-        KernelTier::Avx2 => unsafe { avx2::cosine_terms(a, b) },
+        KernelTier::Avx2 => unsafe { avx2::cosine_terms(a, b) }, // SAFETY: tier checked: detect() verified avx2+fma
         #[cfg(target_arch = "aarch64")]
-        KernelTier::Neon => unsafe { neon::cosine_terms(a, b) },
+        KernelTier::Neon => unsafe { neon::cosine_terms(a, b) }, // SAFETY: tier checked: detect() verified neon
         _ => scalar::cosine_terms(a, b),
     }
 }
@@ -255,9 +261,9 @@ pub fn distance_batch(
                 let row = &block[r * dim..(r + 1) * dim];
                 *slot = match tier {
                     #[cfg(target_arch = "x86_64")]
-                    KernelTier::Avx2 => unsafe { avx2::l2_sq(query, row) },
+                    KernelTier::Avx2 => unsafe { avx2::l2_sq(query, row) }, // SAFETY: tier checked: detect() verified avx2+fma
                     #[cfg(target_arch = "aarch64")]
-                    KernelTier::Neon => unsafe { neon::l2_sq(query, row) },
+                    KernelTier::Neon => unsafe { neon::l2_sq(query, row) }, // SAFETY: tier checked: detect() verified neon
                     _ => scalar::l2_sq(query, row),
                 };
             }
@@ -267,9 +273,9 @@ pub fn distance_batch(
                 let row = &block[r * dim..(r + 1) * dim];
                 *slot = -match tier {
                     #[cfg(target_arch = "x86_64")]
-                    KernelTier::Avx2 => unsafe { avx2::dot(query, row) },
+                    KernelTier::Avx2 => unsafe { avx2::dot(query, row) }, // SAFETY: tier checked: detect() verified avx2+fma
                     #[cfg(target_arch = "aarch64")]
-                    KernelTier::Neon => unsafe { neon::dot(query, row) },
+                    KernelTier::Neon => unsafe { neon::dot(query, row) }, // SAFETY: tier checked: detect() verified neon
                     _ => scalar::dot(query, row),
                 };
             }
@@ -278,9 +284,9 @@ pub fn distance_batch(
             // Query norm once per block, not once per row.
             let na2 = match tier {
                 #[cfg(target_arch = "x86_64")]
-                KernelTier::Avx2 => unsafe { avx2::dot(query, query) },
+                KernelTier::Avx2 => unsafe { avx2::dot(query, query) }, // SAFETY: tier checked: detect() verified avx2+fma
                 #[cfg(target_arch = "aarch64")]
-                KernelTier::Neon => unsafe { neon::dot(query, query) },
+                KernelTier::Neon => unsafe { neon::dot(query, query) }, // SAFETY: tier checked: detect() verified neon
                 _ => scalar::dot(query, query),
             };
             let na = na2.sqrt();
@@ -288,9 +294,9 @@ pub fn distance_batch(
                 let row = &block[r * dim..(r + 1) * dim];
                 let (ab, _, nb2) = match tier {
                     #[cfg(target_arch = "x86_64")]
-                    KernelTier::Avx2 => unsafe { avx2::cosine_terms(query, row) },
+                    KernelTier::Avx2 => unsafe { avx2::cosine_terms(query, row) }, // SAFETY: tier checked: detect() verified avx2+fma
                     #[cfg(target_arch = "aarch64")]
-                    KernelTier::Neon => unsafe { neon::cosine_terms(query, row) },
+                    KernelTier::Neon => unsafe { neon::cosine_terms(query, row) }, // SAFETY: tier checked: detect() verified neon
                     _ => scalar::cosine_terms(query, row),
                 };
                 *slot = if na == 0.0 || nb2 == 0.0 { 1.0 } else { 1.0 - ab / (na * nb2.sqrt()) };
@@ -404,99 +410,131 @@ pub mod scalar {
 mod avx2 {
     use std::arch::x86_64::*;
 
+    /// Horizontal sum of all 8 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2 (the enclosing kernels enable it).
     #[inline]
     unsafe fn hsum(v: __m256) -> f32 {
-        let lo = _mm256_castps256_ps128(v);
-        let hi = _mm256_extractf128_ps(v, 1);
-        let s = _mm_add_ps(lo, hi);
-        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
-        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
-        _mm_cvtss_f32(s)
+        // SAFETY: lane-shuffle/add intrinsics only touch the value `v`;
+        // the fn contract guarantees AVX2 is available.
+        unsafe {
+            let lo = _mm256_castps256_ps128(v);
+            let hi = _mm256_extractf128_ps(v, 1);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+            _mm_cvtss_f32(s)
+        }
     }
 
+    /// # Safety
+    /// The CPU must support AVX2 and FMA. Only the common prefix
+    /// `min(a.len(), b.len())` is read, via unaligned loads.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-        let n = a.len().min(b.len());
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 16 <= n {
-            let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
-            let d1 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i + 8)), _mm256_loadu_ps(pb.add(i + 8)));
-            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
-            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
-            i += 16;
+        // SAFETY: the fn contract guarantees the required CPU features;
+        // every load/deref index is < n = min(a.len(), b.len()), and the
+        // SIMD loads are the unaligned variants.
+        unsafe {
+            let n = a.len().min(b.len());
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+                let d1 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i + 8)), _mm256_loadu_ps(pb.add(i + 8)));
+                acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+                acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+                i += 16;
+            }
+            if i + 8 <= n {
+                let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+                acc0 = _mm256_fmadd_ps(d, d, acc0);
+                i += 8;
+            }
+            let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+            while i < n {
+                let d = *pa.add(i) - *pb.add(i);
+                sum += d * d;
+                i += 1;
+            }
+            sum
         }
-        if i + 8 <= n {
-            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
-            acc0 = _mm256_fmadd_ps(d, d, acc0);
-            i += 8;
-        }
-        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
-        while i < n {
-            let d = *pa.add(i) - *pb.add(i);
-            sum += d * d;
-            i += 1;
-        }
-        sum
     }
 
+    /// # Safety
+    /// The CPU must support AVX2 and FMA. Only the common prefix
+    /// `min(a.len(), b.len())` is read, via unaligned loads.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
-        let n = a.len().min(b.len());
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 16 <= n {
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
-            acc1 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(pa.add(i + 8)),
-                _mm256_loadu_ps(pb.add(i + 8)),
-                acc1,
-            );
-            i += 16;
+        // SAFETY: the fn contract guarantees the required CPU features;
+        // every load/deref index is < n = min(a.len(), b.len()), and the
+        // SIMD loads are the unaligned variants.
+        unsafe {
+            let n = a.len().min(b.len());
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(pa.add(i + 8)),
+                    _mm256_loadu_ps(pb.add(i + 8)),
+                    acc1,
+                );
+                i += 16;
+            }
+            if i + 8 <= n {
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+                i += 8;
+            }
+            let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+            while i < n {
+                sum += *pa.add(i) * *pb.add(i);
+                i += 1;
+            }
+            sum
         }
-        if i + 8 <= n {
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
-            i += 8;
-        }
-        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
-        while i < n {
-            sum += *pa.add(i) * *pb.add(i);
-            i += 1;
-        }
-        sum
     }
 
+    /// # Safety
+    /// The CPU must support AVX2 and FMA. Only the common prefix
+    /// `min(a.len(), b.len())` is read, via unaligned loads.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn cosine_terms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
-        let n = a.len().min(b.len());
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc_ab = _mm256_setzero_ps();
-        let mut acc_aa = _mm256_setzero_ps();
-        let mut acc_bb = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let va = _mm256_loadu_ps(pa.add(i));
-            let vb = _mm256_loadu_ps(pb.add(i));
-            acc_ab = _mm256_fmadd_ps(va, vb, acc_ab);
-            acc_aa = _mm256_fmadd_ps(va, va, acc_aa);
-            acc_bb = _mm256_fmadd_ps(vb, vb, acc_bb);
-            i += 8;
+        // SAFETY: the fn contract guarantees the required CPU features;
+        // every load/deref index is < n = min(a.len(), b.len()), and the
+        // SIMD loads are the unaligned variants.
+        unsafe {
+            let n = a.len().min(b.len());
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc_ab = _mm256_setzero_ps();
+            let mut acc_aa = _mm256_setzero_ps();
+            let mut acc_bb = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let va = _mm256_loadu_ps(pa.add(i));
+                let vb = _mm256_loadu_ps(pb.add(i));
+                acc_ab = _mm256_fmadd_ps(va, vb, acc_ab);
+                acc_aa = _mm256_fmadd_ps(va, va, acc_aa);
+                acc_bb = _mm256_fmadd_ps(vb, vb, acc_bb);
+                i += 8;
+            }
+            let mut ab = hsum(acc_ab);
+            let mut aa = hsum(acc_aa);
+            let mut bb = hsum(acc_bb);
+            while i < n {
+                let (x, y) = (*pa.add(i), *pb.add(i));
+                ab += x * y;
+                aa += x * x;
+                bb += y * y;
+                i += 1;
+            }
+            (ab, aa, bb)
         }
-        let mut ab = hsum(acc_ab);
-        let mut aa = hsum(acc_aa);
-        let mut bb = hsum(acc_bb);
-        while i < n {
-            let (x, y) = (*pa.add(i), *pb.add(i));
-            ab += x * y;
-            aa += x * x;
-            bb += y * y;
-            i += 1;
-        }
-        (ab, aa, bb)
     }
 }
 
@@ -511,85 +549,109 @@ mod avx2 {
 mod neon {
     use std::arch::aarch64::*;
 
+    /// # Safety
+    /// The CPU must support NEON. Only the common prefix
+    /// `min(a.len(), b.len())` is read.
     #[target_feature(enable = "neon")]
     pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-        let n = a.len().min(b.len());
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc0 = vdupq_n_f32(0.0);
-        let mut acc1 = vdupq_n_f32(0.0);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let d0 = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
-            let d1 = vsubq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
-            acc0 = vfmaq_f32(acc0, d0, d0);
-            acc1 = vfmaq_f32(acc1, d1, d1);
-            i += 8;
+        // SAFETY: the fn contract guarantees the required CPU features;
+        // every load/deref index is < n = min(a.len(), b.len()), and the
+        // SIMD loads are the unaligned variants.
+        unsafe {
+            let n = a.len().min(b.len());
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let d0 = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+                let d1 = vsubq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+                acc0 = vfmaq_f32(acc0, d0, d0);
+                acc1 = vfmaq_f32(acc1, d1, d1);
+                i += 8;
+            }
+            if i + 4 <= n {
+                let d = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+                acc0 = vfmaq_f32(acc0, d, d);
+                i += 4;
+            }
+            let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+            while i < n {
+                let d = *pa.add(i) - *pb.add(i);
+                sum += d * d;
+                i += 1;
+            }
+            sum
         }
-        if i + 4 <= n {
-            let d = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
-            acc0 = vfmaq_f32(acc0, d, d);
-            i += 4;
-        }
-        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
-        while i < n {
-            let d = *pa.add(i) - *pb.add(i);
-            sum += d * d;
-            i += 1;
-        }
-        sum
     }
 
+    /// # Safety
+    /// The CPU must support NEON. Only the common prefix
+    /// `min(a.len(), b.len())` is read.
     #[target_feature(enable = "neon")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
-        let n = a.len().min(b.len());
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc0 = vdupq_n_f32(0.0);
-        let mut acc1 = vdupq_n_f32(0.0);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
-            acc1 = vfmaq_f32(acc1, vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
-            i += 8;
+        // SAFETY: the fn contract guarantees the required CPU features;
+        // every load/deref index is < n = min(a.len(), b.len()), and the
+        // SIMD loads are the unaligned variants.
+        unsafe {
+            let n = a.len().min(b.len());
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+                acc1 = vfmaq_f32(acc1, vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+                i += 8;
+            }
+            if i + 4 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+                i += 4;
+            }
+            let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+            while i < n {
+                sum += *pa.add(i) * *pb.add(i);
+                i += 1;
+            }
+            sum
         }
-        if i + 4 <= n {
-            acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
-            i += 4;
-        }
-        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
-        while i < n {
-            sum += *pa.add(i) * *pb.add(i);
-            i += 1;
-        }
-        sum
     }
 
+    /// # Safety
+    /// The CPU must support NEON. Only the common prefix
+    /// `min(a.len(), b.len())` is read.
     #[target_feature(enable = "neon")]
     pub unsafe fn cosine_terms(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
-        let n = a.len().min(b.len());
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc_ab = vdupq_n_f32(0.0);
-        let mut acc_aa = vdupq_n_f32(0.0);
-        let mut acc_bb = vdupq_n_f32(0.0);
-        let mut i = 0usize;
-        while i + 4 <= n {
-            let va = vld1q_f32(pa.add(i));
-            let vb = vld1q_f32(pb.add(i));
-            acc_ab = vfmaq_f32(acc_ab, va, vb);
-            acc_aa = vfmaq_f32(acc_aa, va, va);
-            acc_bb = vfmaq_f32(acc_bb, vb, vb);
-            i += 4;
+        // SAFETY: the fn contract guarantees the required CPU features;
+        // every load/deref index is < n = min(a.len(), b.len()), and the
+        // SIMD loads are the unaligned variants.
+        unsafe {
+            let n = a.len().min(b.len());
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc_ab = vdupq_n_f32(0.0);
+            let mut acc_aa = vdupq_n_f32(0.0);
+            let mut acc_bb = vdupq_n_f32(0.0);
+            let mut i = 0usize;
+            while i + 4 <= n {
+                let va = vld1q_f32(pa.add(i));
+                let vb = vld1q_f32(pb.add(i));
+                acc_ab = vfmaq_f32(acc_ab, va, vb);
+                acc_aa = vfmaq_f32(acc_aa, va, va);
+                acc_bb = vfmaq_f32(acc_bb, vb, vb);
+                i += 4;
+            }
+            let mut ab = vaddvq_f32(acc_ab);
+            let mut aa = vaddvq_f32(acc_aa);
+            let mut bb = vaddvq_f32(acc_bb);
+            while i < n {
+                let (x, y) = (*pa.add(i), *pb.add(i));
+                ab += x * y;
+                aa += x * x;
+                bb += y * y;
+                i += 1;
+            }
+            (ab, aa, bb)
         }
-        let mut ab = vaddvq_f32(acc_ab);
-        let mut aa = vaddvq_f32(acc_aa);
-        let mut bb = vaddvq_f32(acc_bb);
-        while i < n {
-            let (x, y) = (*pa.add(i), *pb.add(i));
-            ab += x * y;
-            aa += x * x;
-            bb += y * y;
-            i += 1;
-        }
-        (ab, aa, bb)
     }
 }
 

@@ -257,6 +257,8 @@ impl SearchIterator for FlatIterator<'_> {
             all.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             self.sorted = Some(all);
         }
+        // lint: allow(panic) - the branch directly above assigns `Some(all)`
+        // whenever `sorted` was `None`
         let sorted = self.sorted.as_ref().expect("initialized above");
         let end = (self.cursor + n).min(sorted.len());
         let out = sorted[self.cursor..end].to_vec();

@@ -718,6 +718,8 @@ impl IndexBuilder for HnswBuilder {
                 }
                 Store::Sq { sq, codes }
             }
+            // lint: allow(panic) - the builder constructor rejects every
+            // kind except Hnsw and HnswSq before this point
             _ => unreachable!("constructor validated kind"),
         };
         Ok(Arc::new(HnswIndex {

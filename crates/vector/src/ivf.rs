@@ -514,7 +514,9 @@ impl IndexBuilder for IvfBuilder {
         let dim = self.dim();
         let n = check_batch(dim, vectors, ids)?;
         let vectors = self.normalize_if_cosine(vectors);
-        let coarse = self.coarse.as_ref().expect("trained above");
+        let Some(coarse) = self.coarse.as_ref() else {
+            return Err(BhError::Index("ivf: quantizer missing after auto-train".into()));
+        };
         let mut dist_scratch = Vec::new();
         for i in 0..n {
             let v = &vectors[i * dim..(i + 1) * dim];

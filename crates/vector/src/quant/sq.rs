@@ -103,6 +103,8 @@ impl Sq8 {
             && query.len() >= self.dim
             && code.len() >= self.dim
         {
+            // SAFETY: the guard above verified AVX2+FMA and that both slices
+            // hold at least `dim` elements.
             return unsafe { self.asym_l2_avx2(query, code) };
         }
         #[cfg(target_arch = "aarch64")]
@@ -110,6 +112,8 @@ impl Sq8 {
             && query.len() >= self.dim
             && code.len() >= self.dim
         {
+            // SAFETY: the guard above verified NEON and that both slices
+            // hold at least `dim` elements.
             return unsafe { self.asym_l2_neon(query, code) };
         }
         let mut sum = 0.0;
@@ -129,6 +133,8 @@ impl Sq8 {
             && query.len() >= self.dim
             && code.len() >= self.dim
         {
+            // SAFETY: the guard above verified AVX2+FMA and that both slices
+            // hold at least `dim` elements.
             return unsafe { self.asym_neg_ip_avx2(query, code) };
         }
         #[cfg(target_arch = "aarch64")]
@@ -136,6 +142,8 @@ impl Sq8 {
             && query.len() >= self.dim
             && code.len() >= self.dim
         {
+            // SAFETY: the guard above verified NEON and that both slices
+            // hold at least `dim` elements.
             return unsafe { self.asym_neg_ip_neon(query, code) };
         }
         let mut sum = 0.0;
@@ -152,28 +160,33 @@ impl Sq8 {
     #[target_feature(enable = "avx2,fma")]
     unsafe fn asym_l2_avx2(&self, query: &[f32], code: &[u8]) -> f32 {
         use std::arch::x86_64::*;
-        let n = self.dim;
-        let mut acc = _mm256_setzero_ps();
-        let mut d = 0;
-        while d + 8 <= n {
-            let cf = load_u8x8_as_f32(code.as_ptr().add(d));
-            let x = _mm256_fmadd_ps(
-                cf,
-                _mm256_loadu_ps(self.step.as_ptr().add(d)),
-                _mm256_loadu_ps(self.min.as_ptr().add(d)),
-            );
-            let diff = _mm256_sub_ps(_mm256_loadu_ps(query.as_ptr().add(d)), x);
-            acc = _mm256_fmadd_ps(diff, diff, acc);
-            d += 8;
+        // SAFETY: fn contract (see `# Safety`): the required CPU features are
+        // enabled and both slices hold at least `dim` elements, so every
+        // load and index below stays in bounds.
+        unsafe {
+            let n = self.dim;
+            let mut acc = _mm256_setzero_ps();
+            let mut d = 0;
+            while d + 8 <= n {
+                let cf = load_u8x8_as_f32(code.as_ptr().add(d));
+                let x = _mm256_fmadd_ps(
+                    cf,
+                    _mm256_loadu_ps(self.step.as_ptr().add(d)),
+                    _mm256_loadu_ps(self.min.as_ptr().add(d)),
+                );
+                let diff = _mm256_sub_ps(_mm256_loadu_ps(query.as_ptr().add(d)), x);
+                acc = _mm256_fmadd_ps(diff, diff, acc);
+                d += 8;
+            }
+            let mut sum = hsum256(acc);
+            while d < n {
+                let x = self.min[d] + code[d] as f32 * self.step[d];
+                let diff = query[d] - x;
+                sum += diff * diff;
+                d += 1;
+            }
+            sum
         }
-        let mut sum = hsum256(acc);
-        while d < n {
-            let x = self.min[d] + code[d] as f32 * self.step[d];
-            let diff = query[d] - x;
-            sum += diff * diff;
-            d += 1;
-        }
-        sum
     }
 
     /// # Safety
@@ -182,26 +195,31 @@ impl Sq8 {
     #[target_feature(enable = "avx2,fma")]
     unsafe fn asym_neg_ip_avx2(&self, query: &[f32], code: &[u8]) -> f32 {
         use std::arch::x86_64::*;
-        let n = self.dim;
-        let mut acc = _mm256_setzero_ps();
-        let mut d = 0;
-        while d + 8 <= n {
-            let cf = load_u8x8_as_f32(code.as_ptr().add(d));
-            let x = _mm256_fmadd_ps(
-                cf,
-                _mm256_loadu_ps(self.step.as_ptr().add(d)),
-                _mm256_loadu_ps(self.min.as_ptr().add(d)),
-            );
-            acc = _mm256_fmadd_ps(_mm256_loadu_ps(query.as_ptr().add(d)), x, acc);
-            d += 8;
+        // SAFETY: fn contract (see `# Safety`): the required CPU features are
+        // enabled and both slices hold at least `dim` elements, so every
+        // load and index below stays in bounds.
+        unsafe {
+            let n = self.dim;
+            let mut acc = _mm256_setzero_ps();
+            let mut d = 0;
+            while d + 8 <= n {
+                let cf = load_u8x8_as_f32(code.as_ptr().add(d));
+                let x = _mm256_fmadd_ps(
+                    cf,
+                    _mm256_loadu_ps(self.step.as_ptr().add(d)),
+                    _mm256_loadu_ps(self.min.as_ptr().add(d)),
+                );
+                acc = _mm256_fmadd_ps(_mm256_loadu_ps(query.as_ptr().add(d)), x, acc);
+                d += 8;
+            }
+            let mut sum = hsum256(acc);
+            while d < n {
+                let x = self.min[d] + code[d] as f32 * self.step[d];
+                sum += query[d] * x;
+                d += 1;
+            }
+            -sum
         }
-        let mut sum = hsum256(acc);
-        while d < n {
-            let x = self.min[d] + code[d] as f32 * self.step[d];
-            sum += query[d] * x;
-            d += 1;
-        }
-        -sum
     }
 
     /// # Safety
@@ -210,30 +228,35 @@ impl Sq8 {
     #[target_feature(enable = "neon")]
     unsafe fn asym_l2_neon(&self, query: &[f32], code: &[u8]) -> f32 {
         use std::arch::aarch64::*;
-        let n = self.dim;
-        let (pq, pc) = (query.as_ptr(), code.as_ptr());
-        let (pmin, pstep) = (self.min.as_ptr(), self.step.as_ptr());
-        let mut acc0 = vdupq_n_f32(0.0);
-        let mut acc1 = vdupq_n_f32(0.0);
-        let mut d = 0usize;
-        while d + 8 <= n {
-            let (c0, c1) = load_u8x8_as_f32x2(pc.add(d));
-            let x0 = vfmaq_f32(vld1q_f32(pmin.add(d)), c0, vld1q_f32(pstep.add(d)));
-            let x1 = vfmaq_f32(vld1q_f32(pmin.add(d + 4)), c1, vld1q_f32(pstep.add(d + 4)));
-            let d0 = vsubq_f32(vld1q_f32(pq.add(d)), x0);
-            let d1 = vsubq_f32(vld1q_f32(pq.add(d + 4)), x1);
-            acc0 = vfmaq_f32(acc0, d0, d0);
-            acc1 = vfmaq_f32(acc1, d1, d1);
-            d += 8;
+        // SAFETY: fn contract (see `# Safety`): the required CPU features are
+        // enabled and both slices hold at least `dim` elements, so every
+        // load and index below stays in bounds.
+        unsafe {
+            let n = self.dim;
+            let (pq, pc) = (query.as_ptr(), code.as_ptr());
+            let (pmin, pstep) = (self.min.as_ptr(), self.step.as_ptr());
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut d = 0usize;
+            while d + 8 <= n {
+                let (c0, c1) = load_u8x8_as_f32x2(pc.add(d));
+                let x0 = vfmaq_f32(vld1q_f32(pmin.add(d)), c0, vld1q_f32(pstep.add(d)));
+                let x1 = vfmaq_f32(vld1q_f32(pmin.add(d + 4)), c1, vld1q_f32(pstep.add(d + 4)));
+                let d0 = vsubq_f32(vld1q_f32(pq.add(d)), x0);
+                let d1 = vsubq_f32(vld1q_f32(pq.add(d + 4)), x1);
+                acc0 = vfmaq_f32(acc0, d0, d0);
+                acc1 = vfmaq_f32(acc1, d1, d1);
+                d += 8;
+            }
+            let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+            while d < n {
+                let x = self.min[d] + code[d] as f32 * self.step[d];
+                let diff = query[d] - x;
+                sum += diff * diff;
+                d += 1;
+            }
+            sum
         }
-        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
-        while d < n {
-            let x = self.min[d] + code[d] as f32 * self.step[d];
-            let diff = query[d] - x;
-            sum += diff * diff;
-            d += 1;
-        }
-        sum
     }
 
     /// # Safety
@@ -242,27 +265,32 @@ impl Sq8 {
     #[target_feature(enable = "neon")]
     unsafe fn asym_neg_ip_neon(&self, query: &[f32], code: &[u8]) -> f32 {
         use std::arch::aarch64::*;
-        let n = self.dim;
-        let (pq, pc) = (query.as_ptr(), code.as_ptr());
-        let (pmin, pstep) = (self.min.as_ptr(), self.step.as_ptr());
-        let mut acc0 = vdupq_n_f32(0.0);
-        let mut acc1 = vdupq_n_f32(0.0);
-        let mut d = 0usize;
-        while d + 8 <= n {
-            let (c0, c1) = load_u8x8_as_f32x2(pc.add(d));
-            let x0 = vfmaq_f32(vld1q_f32(pmin.add(d)), c0, vld1q_f32(pstep.add(d)));
-            let x1 = vfmaq_f32(vld1q_f32(pmin.add(d + 4)), c1, vld1q_f32(pstep.add(d + 4)));
-            acc0 = vfmaq_f32(acc0, vld1q_f32(pq.add(d)), x0);
-            acc1 = vfmaq_f32(acc1, vld1q_f32(pq.add(d + 4)), x1);
-            d += 8;
+        // SAFETY: fn contract (see `# Safety`): the required CPU features are
+        // enabled and both slices hold at least `dim` elements, so every
+        // load and index below stays in bounds.
+        unsafe {
+            let n = self.dim;
+            let (pq, pc) = (query.as_ptr(), code.as_ptr());
+            let (pmin, pstep) = (self.min.as_ptr(), self.step.as_ptr());
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut d = 0usize;
+            while d + 8 <= n {
+                let (c0, c1) = load_u8x8_as_f32x2(pc.add(d));
+                let x0 = vfmaq_f32(vld1q_f32(pmin.add(d)), c0, vld1q_f32(pstep.add(d)));
+                let x1 = vfmaq_f32(vld1q_f32(pmin.add(d + 4)), c1, vld1q_f32(pstep.add(d + 4)));
+                acc0 = vfmaq_f32(acc0, vld1q_f32(pq.add(d)), x0);
+                acc1 = vfmaq_f32(acc1, vld1q_f32(pq.add(d + 4)), x1);
+                d += 8;
+            }
+            let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+            while d < n {
+                let x = self.min[d] + code[d] as f32 * self.step[d];
+                sum += query[d] * x;
+                d += 1;
+            }
+            -sum
         }
-        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
-        while d < n {
-            let x = self.min[d] + code[d] as f32 * self.step[d];
-            sum += query[d] * x;
-            d += 1;
-        }
-        -sum
     }
 
     /// Worst-case per-dimension reconstruction error (half a step).
@@ -315,8 +343,12 @@ impl Sq8 {
 #[target_feature(enable = "avx2")]
 unsafe fn load_u8x8_as_f32(p: *const u8) -> std::arch::x86_64::__m256 {
     use std::arch::x86_64::*;
-    let raw = _mm_loadl_epi64(p as *const __m128i);
-    _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw))
+    // SAFETY: fn contract: 8 readable bytes at `p`; the widening
+    // conversions are value-only.
+    unsafe {
+        let raw = _mm_loadl_epi64(p as *const __m128i);
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw))
+    }
 }
 
 /// Load 8 `u8` codes and widen to two `f32x4` registers (low, high).
@@ -329,10 +361,14 @@ unsafe fn load_u8x8_as_f32x2(
     p: *const u8,
 ) -> (std::arch::aarch64::float32x4_t, std::arch::aarch64::float32x4_t) {
     use std::arch::aarch64::*;
-    let raw = vmovl_u8(vld1_u8(p));
-    let lo = vcvtq_f32_u32(vmovl_u16(vget_low_u16(raw)));
-    let hi = vcvtq_f32_u32(vmovl_u16(vget_high_u16(raw)));
-    (lo, hi)
+    // SAFETY: fn contract: 8 readable bytes at `p`; the widening
+    // conversions are value-only.
+    unsafe {
+        let raw = vmovl_u8(vld1_u8(p));
+        let lo = vcvtq_f32_u32(vmovl_u16(vget_low_u16(raw)));
+        let hi = vcvtq_f32_u32(vmovl_u16(vget_high_u16(raw)));
+        (lo, hi)
+    }
 }
 
 /// Horizontal sum of a `f32x8` register.
@@ -343,6 +379,8 @@ unsafe fn load_u8x8_as_f32x2(
 #[target_feature(enable = "avx2")]
 unsafe fn hsum256(v: std::arch::x86_64::__m256) -> f32 {
     use std::arch::x86_64::*;
+    // Value-only lane shuffles: safe to call inside this `#[target_feature]`
+    // fn, so no inner `unsafe` block is needed.
     let hi = _mm256_extractf128_ps(v, 1);
     let lo = _mm256_castps256_ps128(v);
     let s = _mm_add_ps(lo, hi);

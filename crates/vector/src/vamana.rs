@@ -37,6 +37,22 @@ use std::sync::Arc;
 const MAGIC: &[u8; 4] = b"BHDA";
 const VERSION: u16 = 1;
 
+/// Little-endian `f32` at `at`; node stride arithmetic keeps reads in bounds.
+#[inline]
+fn le_f32(blob: &[u8], at: usize) -> f32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&blob[at..at + 4]);
+    f32::from_le_bytes(b)
+}
+
+/// Little-endian `u32` at `at`; node stride arithmetic keeps reads in bounds.
+#[inline]
+fn le_u32(blob: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&blob[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
 /// Immutable DiskANN index.
 pub struct DiskAnnIndex {
     dim: usize,
@@ -77,16 +93,13 @@ impl DiskAnnIndex {
         let off = node as usize * self.stride();
         let mut vec = Vec::with_capacity(self.dim);
         for d in 0..self.dim {
-            let b = off + d * 4;
-            vec.push(f32::from_le_bytes(self.blob[b..b + 4].try_into().expect("stride")));
+            vec.push(le_f32(&self.blob, off + d * 4));
         }
         let doff = off + self.dim * 4;
-        let degree =
-            u32::from_le_bytes(self.blob[doff..doff + 4].try_into().expect("stride")) as usize;
+        let degree = le_u32(&self.blob, doff) as usize;
         let mut nbrs = Vec::with_capacity(degree);
         for i in 0..degree {
-            let b = doff + 4 + i * 4;
-            nbrs.push(u32::from_le_bytes(self.blob[b..b + 4].try_into().expect("stride")));
+            nbrs.push(le_u32(&self.blob, doff + 4 + i * 4));
         }
         (vec, nbrs)
     }
@@ -378,7 +391,7 @@ impl IndexBuilder for DiskAnnBuilder {
                     .distance(&mean, self.vec_of(a))
                     .total_cmp(&self.spec.metric.distance(&mean, self.vec_of(b)))
             })
-            .expect("n > 0") as u32;
+            .unwrap_or(0) as u32;
 
         // Random initial graph.
         let mut adj: Vec<Vec<u32>> = (0..n)

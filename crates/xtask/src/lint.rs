@@ -1,0 +1,791 @@
+//! Project-specific static analysis over the workspace source tree.
+//!
+//! Clippy and rustc enforce language-level rules; this pass enforces
+//! *project* invariants that keep the BlendHouse simulation deterministic and
+//! the `unsafe` surface auditable (DESIGN.md §8):
+//!
+//! 1. **`unsafe` needs `// SAFETY:`** — every `unsafe` block, fn, impl or
+//!    trait must be immediately preceded by a `// SAFETY:` comment (or carry a
+//!    `# Safety` doc section, for `unsafe fn`). An unjustified `unsafe` is a
+//!    review escape hatch we do not allow.
+//! 2. **Wall-clock gate** — no `Instant::now()` / `SystemTime::now()` outside
+//!    `bh_common::clock`. All time flows through [`Clock`]/`Stopwatch` so the
+//!    disaggregated-architecture simulation stays virtualizable and tests
+//!    deterministic.
+//! 3. **Determinism gate** — no ambient randomness (`thread_rng`,
+//!    `from_entropy`, `rand::random`, `RandomState::new`) outside
+//!    `bh_common::rng`. Every stochastic component takes an explicit seed.
+//! 4. **No panics in library paths** — no `.unwrap()` / `.expect(` /
+//!    `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test code
+//!    of `storage`, `query`, `cluster`, `vector`. A query must degrade into a
+//!    `BhError`, not take the server down. Provable invariants may be
+//!    annotated `// lint: allow(panic) - <reason>` (the reason is mandatory).
+//! 5. **No stdout in library crates** — `println!` & friends are reserved for
+//!    the bench harness; libraries report through `MetricsRegistry`.
+//!
+//! The scanner is a line-oriented lexer, not a full parser: it strips string
+//! literals and comments (so `"unsafe"` in an error message is not a
+//! finding), tracks `#[cfg(test)]` regions by brace depth, and understands
+//! `// lint: allow(...)` suppressions on the offending or preceding line.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which invariant a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unsafe` without an adjacent `// SAFETY:` / `# Safety` justification.
+    UnsafeNeedsSafety,
+    /// Ambient wall-clock access outside `bh_common::clock`.
+    WallClock,
+    /// Ambient randomness outside `bh_common::rng`.
+    Nondeterminism,
+    /// Panic path in library code of a serving crate.
+    PanicInLib,
+    /// Stdout/stderr printing in a library crate.
+    StdoutInLib,
+    /// `// lint: allow(panic)` without a stated invariant.
+    EmptyAllowReason,
+}
+
+impl Rule {
+    /// Stable machine-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnsafeNeedsSafety => "unsafe-needs-safety",
+            Rule::WallClock => "wall-clock",
+            Rule::Nondeterminism => "nondeterminism",
+            Rule::PanicInLib => "panic-in-lib",
+            Rule::StdoutInLib => "stdout-in-lib",
+            Rule::EmptyAllowReason => "empty-allow-reason",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.name(), self.msg)
+    }
+}
+
+/// Crates whose library code must be panic-free (rule 4).
+const PANIC_FREE_CRATES: &[&str] = &["storage", "query", "cluster", "vector"];
+
+/// Crates exempt from the library-hygiene rules 2, 3 and 5: the bench harness
+/// measures real wall time and prints reports by design, and xtask is a
+/// developer tool.
+const HARNESS_CRATES: &[&str] = &["bench", "xtask"];
+
+// ------------------------------------------------------------------ scanner
+
+/// One source line split into code and comment channels. String literal
+/// contents are blanked in `code`; comment text (line, block and doc
+/// comments) is concatenated into `comment`.
+#[derive(Debug, Default, Clone)]
+struct LineView {
+    code: String,
+    comment: String,
+}
+
+/// Lex `src` into per-line code/comment views. Handles nested block
+/// comments, regular/raw/byte string literals, char literals vs lifetimes.
+fn sanitize(src: &str) -> Vec<LineView> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u8),
+        Char,
+    }
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<LineView> = Vec::new();
+    let mut cur = LineView::default();
+    let mut st = St::Code;
+    let mut i = 0usize;
+
+    // True when `chars[at..]` starts a raw string opener (`r"`/`r#"`/`br#"`),
+    // returning the number of hashes.
+    let raw_open = |at: usize| -> Option<u8> {
+        let mut j = at;
+        if chars.get(j) == Some(&'b') {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+        let mut hashes = 0u8;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        (chars.get(j) == Some(&'"')).then_some(hashes)
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    i += 2;
+                } else if (c == 'r' || c == 'b') && raw_open(i).is_some() {
+                    let hashes = raw_open(i).unwrap_or(0);
+                    // Skip the opener: optional `b`, `r`, hashes, quote.
+                    i += usize::from(c == 'b') + 1 + hashes as usize + 1;
+                    cur.code.push('"');
+                    st = St::RawStr(hashes);
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = St::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal iff escaped or closed within two chars;
+                    // otherwise it is a lifetime.
+                    let is_char = next == Some('\\')
+                        || chars.get(i + 2) == Some(&'\'')
+                        || (next == Some('\'')); // empty char literal: invalid but lex it
+                    cur.code.push('\'');
+                    i += 1;
+                    if is_char {
+                        st = St::Char;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    st = if depth <= 1 { St::Code } else { St::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && (0..hashes as usize).all(|h| chars.get(i + 1 + h) == Some(&'#')) {
+                    cur.code.push('"');
+                    st = St::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Mark lines belonging to `#[cfg(test)]` items and `#[test]` functions.
+fn test_mask(lines: &[LineView]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        let is_test_attr = code.contains("#[cfg(test)]")
+            || code.contains("#[cfg(all(test")
+            || code.contains("#[cfg(any(test")
+            || code.contains("#[test]");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Mask from the attribute through the end of the item's brace block
+        // (or through its `;` for brace-less items like `use`).
+        let mut depth: i64 = 0;
+        let mut started = false;
+        let mut j = i;
+        'item: while j < lines.len() {
+            mask[j] = true;
+            for ch in lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !started => break 'item,
+                    _ => {}
+                }
+            }
+            if started && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// True when `hay` contains `needle` not embedded in a larger identifier.
+fn token_present(hay: &str, needle: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let left_ok = at == 0 || !ident(hay[..at].chars().next_back().unwrap_or(' '));
+        let right_ok =
+            !hay[at + needle.len()..].chars().next().map(ident).unwrap_or(false);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Candidate lines for an allow annotation: the flagged line itself plus the
+/// contiguous block of pure-comment lines directly above it (annotations are
+/// prose and may wrap across lines).
+fn annotation_lines(lines: &[LineView], idx: usize) -> impl Iterator<Item = usize> + '_ {
+    let mut first = idx;
+    while first > 0 {
+        let prev = &lines[first - 1];
+        if prev.code.trim().is_empty() && !prev.comment.trim().is_empty() {
+            first -= 1;
+        } else {
+            break;
+        }
+    }
+    (first..=idx).rev()
+}
+
+/// True when this line or the comment block above it carries
+/// `// lint: allow(<what>)`.
+fn allowed(lines: &[LineView], idx: usize, what: &str) -> bool {
+    let marker = format!("lint: allow({what})");
+    annotation_lines(lines, idx).any(|at| lines[at].comment.contains(&marker))
+}
+
+/// The `// lint: allow(panic)` annotation must state the invariant that makes
+/// the panic unreachable. Returns the annotation line if the reason is
+/// missing or too thin to mean anything.
+fn panic_allow_reason_missing(lines: &[LineView], idx: usize) -> Option<usize> {
+    for at in annotation_lines(lines, idx) {
+        let view = &lines[at];
+        if let Some(pos) = view.comment.find("lint: allow(panic)") {
+            let reason = view.comment[pos + "lint: allow(panic)".len()..]
+                .trim_start_matches([' ', '-', ':', '—', '–'])
+                .trim();
+            if reason.chars().filter(|c| c.is_alphanumeric()).count() < 8 {
+                return Some(at);
+            }
+            return None;
+        }
+    }
+    None
+}
+
+// -------------------------------------------------------------------- rules
+
+/// Lint one file. `rel` is the workspace-relative path with `/` separators
+/// (e.g. `crates/query/src/exec.rs`); it determines which rules apply.
+pub fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let parts: Vec<&str> = rel.split('/').collect();
+    // Only `crates/<name>/src/**` is library code; tests/, benches/ and
+    // examples/ follow test rules (assertions are the point there).
+    let crate_name = match parts.as_slice() {
+        ["crates", name, "src", ..] => *name,
+        _ => return findings,
+    };
+    let harness = HARNESS_CRATES.contains(&crate_name);
+
+    let lines = sanitize(content);
+    let tests = test_mask(&lines);
+    let mut push = |line: usize, rule: Rule, msg: String| {
+        findings.push(Finding { file: rel.to_string(), line: line + 1, rule, msg });
+    };
+
+    for (idx, view) in lines.iter().enumerate() {
+        let code = &view.code;
+
+        // Rule 1: unsafe needs SAFETY. Applies everywhere, tests included —
+        // UB in a test corrupts the test, not just production.
+        if token_present(code, "unsafe") && !has_safety_justification(&lines, idx) {
+            push(
+                idx,
+                Rule::UnsafeNeedsSafety,
+                "`unsafe` must be immediately preceded by a `// SAFETY:` comment \
+                 (or carry a `# Safety` doc section)"
+                    .into(),
+            );
+        }
+
+        if tests[idx] {
+            continue;
+        }
+
+        // Rule 2: wall-clock gate.
+        let clock_home = rel == "crates/common/src/clock.rs";
+        if !harness && !clock_home {
+            for tok in ["Instant::now", "SystemTime::now"] {
+                if code.contains(tok) && !allowed(&lines, idx, "wall_clock") {
+                    push(
+                        idx,
+                        Rule::WallClock,
+                        format!(
+                            "`{tok}()` outside bh_common::clock breaks the simulation's \
+                             virtual time; use `Clock`/`Stopwatch` from bh_common::clock"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Rule 3: determinism gate.
+        let rng_home = rel == "crates/common/src/rng.rs";
+        if !harness && !rng_home {
+            for tok in ["thread_rng", "from_entropy", "rand::random", "RandomState::new"] {
+                if code.contains(tok) && !allowed(&lines, idx, "nondeterminism") {
+                    push(
+                        idx,
+                        Rule::Nondeterminism,
+                        format!(
+                            "`{tok}` introduces unseeded randomness; derive a seeded \
+                             RNG via bh_common::rng instead"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Rule 4: panic-free serving crates.
+        if PANIC_FREE_CRATES.contains(&crate_name) {
+            let hit = [".unwrap()", ".expect("]
+                .iter()
+                .find(|t| code.contains(**t))
+                .copied()
+                .or_else(|| {
+                    ["panic!", "unreachable!", "todo!", "unimplemented!"]
+                        .iter()
+                        .find(|t| token_present(code, t))
+                        .copied()
+                });
+            if let Some(tok) = hit {
+                if allowed(&lines, idx, "panic") {
+                    if let Some(at) = panic_allow_reason_missing(&lines, idx) {
+                        push(
+                            at,
+                            Rule::EmptyAllowReason,
+                            "`lint: allow(panic)` must state the invariant that makes \
+                             the panic unreachable"
+                                .into(),
+                        );
+                    }
+                } else {
+                    push(
+                        idx,
+                        Rule::PanicInLib,
+                        format!(
+                            "`{tok}` in library code of `{crate_name}`: return a BhError \
+                             or annotate `// lint: allow(panic) - <invariant>`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Rule 5: no stdout in libraries.
+        if !harness {
+            for tok in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
+                if token_present(code, tok) && !allowed(&lines, idx, "stdout") {
+                    push(
+                        idx,
+                        Rule::StdoutInLib,
+                        format!(
+                            "`{tok}` in a library crate; report through MetricsRegistry \
+                             or return data to the caller"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// An `unsafe` token on `lines[idx]` is justified when a `SAFETY:` comment
+/// sits on the same line, or when the contiguous run of comment/attribute
+/// lines directly above contains `SAFETY:` or a `# Safety` doc section.
+fn has_safety_justification(lines: &[LineView], idx: usize) -> bool {
+    let has_marker =
+        |v: &LineView| v.comment.contains("SAFETY:") || v.comment.contains("# Safety");
+    if has_marker(&lines[idx]) {
+        return true;
+    }
+    let mut at = idx;
+    while at > 0 {
+        at -= 1;
+        let v = &lines[at];
+        let code = v.code.trim();
+        let is_annotation = code.is_empty() || code.starts_with("#[") || code.starts_with("#![");
+        if !is_annotation {
+            return false;
+        }
+        if has_marker(v) {
+            return true;
+        }
+    }
+    false
+}
+
+// --------------------------------------------------------------------- walk
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src/**/*.rs` under the workspace root.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> =
+        fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let content = fs::read_to_string(path)?;
+        findings.extend(lint_file(&rel, &content));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Number of files the workspace walk would visit (for the summary line).
+pub fn count_files(root: &Path) -> io::Result<usize> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> =
+        fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+    Ok(files.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<Rule> {
+        lint_file(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    // ---- rule 1: unsafe needs SAFETY ----
+
+    #[test]
+    fn bare_unsafe_block_is_caught() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(rules("crates/vector/src/x.rs", src), vec![Rule::UnsafeNeedsSafety]);
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        assert!(rules("crates/vector/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_same_line_passes() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // SAFETY: p valid per contract\n}\n";
+        assert!(rules("crates/vector/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_on_unsafe_fn_passes() {
+        let src = "/// Reads a byte.\n///\n/// # Safety\n/// `p` must be valid for reads.\n#[inline]\npub unsafe fn f(p: *const u8) -> u8 {\n    // SAFETY: contract forwarded from f's own docs\n    unsafe { *p }\n}\n";
+        assert!(rules("crates/vector/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comment_separated_by_code_does_not_count() {
+        let src = "// SAFETY: stale comment\nfn g() {}\nfn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(rules("crates/vector/src/x.rs", src), vec![Rule::UnsafeNeedsSafety]);
+    }
+
+    #[test]
+    fn unsafe_inside_string_literal_is_ignored() {
+        // Regression guard: objectstore.rs rejects "unsafe blob key" paths.
+        let src = "fn f(key: &str) -> String {\n    format!(\"unsafe blob key: {key}\")\n}\n";
+        assert!(rules("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comment_is_ignored() {
+        let src = "// this code is not unsafe at all\nfn f() {}\n";
+        assert!(rules("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 2: wall clock ----
+
+    #[test]
+    fn instant_now_in_query_is_caught() {
+        let src = "fn f() -> u64 {\n    let t = std::time::Instant::now();\n    t.elapsed().as_nanos() as u64\n}\n";
+        assert_eq!(rules("crates/query/src/x.rs", src), vec![Rule::WallClock]);
+    }
+
+    #[test]
+    fn system_time_is_caught() {
+        let src = "fn f() {\n    let _ = std::time::SystemTime::now();\n}\n";
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![Rule::WallClock]);
+    }
+
+    #[test]
+    fn clock_module_is_exempt() {
+        let src = "pub fn now() {\n    let _ = std::time::Instant::now();\n}\n";
+        assert!(rules("crates/common/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_harness_is_exempt() {
+        let src = "pub fn t() {\n    let _ = std::time::Instant::now();\n    println!(\"x\");\n}\n";
+        assert!(rules("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_in_cfg_test_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::Instant::now();\n    }\n}\n";
+        assert!(rules("crates/query/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allow_annotation() {
+        let src = "fn f() {\n    // lint: allow(wall_clock) - measuring real RPC deadline\n    let _ = std::time::Instant::now();\n}\n";
+        assert!(rules("crates/query/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 3: nondeterminism ----
+
+    #[test]
+    fn thread_rng_is_caught() {
+        let src = "fn f() {\n    let mut r = rand::thread_rng();\n    let _ = &mut r;\n}\n";
+        assert_eq!(rules("crates/vector/src/x.rs", src), vec![Rule::Nondeterminism]);
+    }
+
+    #[test]
+    fn rng_module_is_exempt() {
+        let src = "pub fn f() {\n    let _ = rand::thread_rng();\n}\n";
+        assert!(rules("crates/common/src/rng.rs", src).is_empty());
+    }
+
+    // ---- rule 4: panic-free serving crates ----
+
+    #[test]
+    fn unwrap_in_storage_is_caught() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![Rule::PanicInLib]);
+    }
+
+    #[test]
+    fn expect_and_macros_are_caught() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    if false { panic!(\"boom\") }\n    v.expect(\"set\")\n}\n";
+        let got = rules("crates/cluster/src/x.rs", src);
+        assert_eq!(got, vec![Rule::PanicInLib, Rule::PanicInLib]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()\n}\n";
+        assert!(rules("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_only_applies_to_serving_crates() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        assert!(rules("crates/sql/src/x.rs", src).is_empty());
+        assert!(rules("crates/common/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_panic_with_reason_passes() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    // lint: allow(panic) - v was populated for every key two lines above\n    v.unwrap()\n}\n";
+        assert!(rules("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_panic_wrapped_across_comment_lines_passes() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    // lint: allow(panic) - v was populated for\n    // every key two lines above\n    v.unwrap()\n}\n";
+        assert!(rules("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_panic_without_reason_is_caught() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // lint: allow(panic)\n}\n";
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![Rule::EmptyAllowReason]);
+    }
+
+    #[test]
+    fn unwrap_in_tests_mod_is_fine() {
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1u32).unwrap();\n    }\n}\n";
+        assert!(rules("crates/query/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_tests_mod_is_still_linted() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1u32).unwrap(); }\n}\n\nfn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        assert_eq!(rules("crates/query/src/x.rs", src), vec![Rule::PanicInLib]);
+    }
+
+    #[test]
+    fn unwrap_in_doc_comment_example_is_fine() {
+        let src = "/// Example: `x.unwrap()` panics on None.\nfn f() {}\n";
+        assert!(rules("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 5: stdout ----
+
+    #[test]
+    fn println_in_library_is_caught() {
+        let src = "fn f() {\n    println!(\"hello\");\n}\n";
+        assert_eq!(rules("crates/common/src/x.rs", src), vec![Rule::StdoutInLib]);
+    }
+
+    #[test]
+    fn dbg_is_caught_and_writeln_is_fine() {
+        let src = "use std::fmt::Write;\nfn f(out: &mut String) {\n    let _ = writeln!(out, \"x\");\n    dbg!(42);\n}\n";
+        assert_eq!(rules("crates/query/src/x.rs", src), vec![Rule::StdoutInLib]);
+    }
+
+    // ---- scanner edge cases ----
+
+    #[test]
+    fn raw_strings_and_block_comments_are_stripped() {
+        let src = "fn f() -> &'static str {\n    /* println!(\"no\") */\n    let s = r#\"panic!(\"not code\") Instant::now()\"#;\n    s\n}\n";
+        assert!(rules("crates/query/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_lex_correctly() {
+        let src = "fn f<'a>(s: &'a str) -> char {\n    let q = '\"';\n    let n = '\\n';\n    let _ = (s, n);\n    q\n}\nfn g(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        // The unwrap after the tricky literals must still be found — proves
+        // the lexer did not get stuck in a string state.
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![Rule::PanicInLib]);
+    }
+
+    #[test]
+    fn findings_carry_line_numbers() {
+        let src = "fn a() {}\nfn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        let f = lint_file("crates/storage/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[0].file, "crates/storage/src/x.rs");
+    }
+
+    #[test]
+    fn non_crate_paths_are_skipped() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        assert!(rules("crates/storage/tests/x.rs", src).is_empty());
+        assert!(rules("examples/src/x.rs", src).is_empty());
+    }
+
+    // ---- the tree this lint lands in must be clean ----
+
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("xtask lives at <root>/crates/xtask");
+        let findings = lint_workspace(root).expect("workspace walk");
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        assert!(findings.is_empty(), "{} lint findings in workspace", findings.len());
+    }
+}

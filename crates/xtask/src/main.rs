@@ -1,0 +1,77 @@
+//! Workspace automation tasks (`cargo xtask` pattern).
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! runs the project-specific static analysis described in [`lint`] and
+//! DESIGN.md §8, exiting non-zero if any invariant is violated.
+
+mod lint;
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            eprintln!();
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- <task>");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint    enforce workspace invariants (SAFETY comments, clock/rng");
+    eprintln!("          gates, panic-free serving crates, no stdout in libraries)");
+}
+
+/// Workspace root: xtask lives at `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let findings = match lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: failed to walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let scanned = lint::count_files(&root).unwrap_or(0);
+    if findings.is_empty() {
+        eprintln!("xtask lint: {scanned} files clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    eprintln!();
+    eprintln!(
+        "xtask lint: {} finding(s) in {scanned} file(s); see DESIGN.md section 8 \
+         for the rules and the `// lint: allow(...)` annotation",
+        findings.len()
+    );
+    ExitCode::FAILURE
+}
