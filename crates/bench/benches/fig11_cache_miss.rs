@@ -64,6 +64,12 @@ fn main() {
     // tiny block cache (its data is genuinely not local).
     let warm = mk_worker(1, 128 << 20);
     warm.warm_index(&meta).unwrap();
+    // The standardized `cache.*` counter names are part of the observability
+    // contract; fail fast if an instrumentation rename drifts.
+    assert!(
+        metrics.counter_value("cache.index.remote.fetch") >= 1,
+        "warming must record a cache.index.remote.fetch"
+    );
     let cold = mk_worker(2, 0);
 
     let q = data.queries(8, 0);
@@ -117,6 +123,10 @@ fn main() {
     );
     assert!(serving < brute, "serving must beat the brute-force fallback");
     assert!(local < serving, "serving pays an RPC overhead over local");
+    assert!(
+        metrics.counter_value("cache.index.mem.hit") > 0,
+        "local searches must record cache.index.mem.hit"
+    );
     print_table(
         "Fig 11: latency of local search, vector search serving, brute force",
         &["mode", "mean latency", "vs local"],

@@ -283,6 +283,9 @@ impl VirtualWarehouse {
                 if prev.is_alive() && prev.index_resident(meta) {
                     // Serving call: charge RPC latency, search on the peer,
                     // and warm the new owner so the miss is transient.
+                    let mut span = self.metrics.tracer().span("serving");
+                    span.attr("segment", meta.id.raw());
+                    span.attr("bytes", query.len() * 4);
                     target.charge_rpc(&self.cfg.rpc, query.len() * 4);
                     self.metrics.counter("vw.serving_calls").inc();
                     let mut result = prev.serve_remote_search_batch(
@@ -343,6 +346,10 @@ impl VirtualWarehouse {
             if let Some(prev) = self.previous_owner_of(meta) {
                 if prev.is_alive() && prev.index_resident(meta) {
                     let bytes: usize = queries.iter().map(|q| q.query.len() * 4).sum();
+                    let mut span = self.metrics.tracer().span("serving");
+                    span.attr("segment", meta.id.raw());
+                    span.attr("queries", queries.len());
+                    span.attr("bytes", bytes);
                     target.charge_rpc(&self.cfg.rpc, bytes);
                     self.metrics.counter("vw.serving_calls").inc();
                     let result = prev.serve_remote_search_batch(meta, queries, params)?;

@@ -122,8 +122,10 @@ impl Worker {
             cfg.cache_row_limit,
             metrics.clone(),
         );
-        let column_cache = bh_storage::lru::LruCache::new(cfg.block_data_bytes);
-        let decoded_blocks = bh_storage::lru::LruCache::new(cfg.block_data_bytes);
+        let column_cache =
+            bh_storage::lru::LruCache::with_metrics(cfg.block_data_bytes, &metrics, "column");
+        let decoded_blocks =
+            bh_storage::lru::LruCache::with_metrics(cfg.block_data_bytes, &metrics, "decoded");
         Self {
             id,
             index_cache,
@@ -234,17 +236,21 @@ impl Worker {
     ) -> Result<Vec<Neighbor>> {
         self.check_alive()?;
         self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        let mut span = self.metrics.tracer().span("worker.search");
+        span.attr("segment", meta.id.raw());
         if self.index_cache.resident(meta.id) {
             let idx = self
                 .index_cache
                 .get(meta)?
                 .ok_or_else(|| BhError::Internal("resident index vanished".into()))?;
             self.metrics.counter("worker.local_search").inc();
+            span.attr("mode", "local");
             return idx.search_with_bound(query, k, params, filter, bound);
         }
         // Cache miss → brute force over the raw vector column (§II-D), so
         // the query is served immediately instead of stalling on index load.
         self.metrics.counter("worker.brute_force").inc();
+        span.attr("mode", "brute");
         self.brute_force_segment_bounded(table, meta, query, k, filter, bound)
     }
 
@@ -261,6 +267,9 @@ impl Worker {
     ) -> Result<Vec<Vec<Neighbor>>> {
         self.check_alive()?;
         self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        let mut span = self.metrics.tracer().span("worker.search");
+        span.attr("segment", meta.id.raw());
+        span.attr("queries", queries.len());
         let mut handle: Option<Arc<dyn bh_vector::VectorIndex>> = None;
         let mut out = Vec::with_capacity(queries.len());
         for q in queries {
@@ -329,7 +338,11 @@ impl Worker {
     ) -> Result<Vec<Vec<Neighbor>>> {
         self.check_alive()?;
         self.cfg.compute_per_segment.charge(self.clock.as_ref(), 0);
+        let mut span = self.metrics.tracer().span("rpc.serve");
+        span.attr("segment", meta.id.raw());
+        span.attr("queries", queries.len());
         if !self.index_cache.resident(meta.id) {
+            span.attr("resident", false);
             return Err(BhError::Rpc(format!(
                 "{}: segment {} not resident for serving",
                 self.id, meta.id
@@ -523,12 +536,11 @@ impl Worker {
         query_rows: usize,
     ) -> Result<Arc<ColumnData>> {
         self.check_alive()?;
+        // The cache itself reports `cache.column.{hit,miss}` to the registry.
         let cache_key = (meta.id, name.to_string());
         if let Some(col) = self.column_cache.get(&cache_key) {
-            self.metrics.counter("worker.column_cache.hit").inc();
             return Ok(col);
         }
-        self.metrics.counter("worker.column_cache.miss").inc();
         let def = table
             .schema()
             .column(name)
@@ -575,7 +587,6 @@ impl Worker {
         self.check_alive()?;
         // A decoded column in cache beats any I/O strategy.
         if let Some(col) = self.column_cache.get(&(meta.id, name.to_string())) {
-            self.metrics.counter("worker.column_cache.hit").inc();
             return Ok(offsets.iter().map(|&o| col.get(o as usize)).collect());
         }
         if !self.cfg.fine_grained_reads {

@@ -18,7 +18,9 @@
 //!   disaggregated-architecture simulation can inject remote-storage and RPC
 //!   latencies deterministically in tests and realistically in benchmarks.
 //! * [`metrics`] — lightweight counters and histograms for instrumenting cache
-//!   hits, RPC calls, and I/O.
+//!   hits, RPC calls, and I/O, with a Prometheus text exposition.
+//! * [`trace`] — hierarchical spans over a lock-free ring recorder; the
+//!   profiling layer behind `EXPLAIN ANALYZE` (near-zero cost when disabled).
 //! * [`rng`] — seeded RNG construction helpers for reproducible experiments.
 
 pub mod bitset;
@@ -32,6 +34,7 @@ pub mod metrics;
 pub mod regex_lite;
 pub mod rng;
 pub mod topk;
+pub mod trace;
 
 pub use bitset::Bitset;
 pub use bound::SharedBound;
@@ -43,3 +46,4 @@ pub use error::{BhError, Result};
 pub use ids::{RowId, SegmentId, TableId, VwId, WorkerId};
 pub use metrics::MetricsRegistry;
 pub use topk::TopK;
+pub use trace::{AttrValue, Span, SpanId, SpanRecord, Tracer};

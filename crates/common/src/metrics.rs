@@ -1,10 +1,24 @@
-//! Lightweight metrics: named counters and latency histograms.
+//! Lightweight metrics: named counters, gauges and latency histograms.
 //!
 //! The evaluation harness and several experiments (cache-miss study, read
 //! amplification, serving RPC counts) need cheap, thread-safe counters that
 //! can be snapshotted. This is a tiny registry — not a general observability
-//! stack — sized for exactly that.
+//! stack — sized for exactly that, plus:
+//!
+//! * label support by name suffixing ([`labeled`] renders
+//!   `name{k="v"}` keys that [`MetricsRegistry::render_prometheus`] emits
+//!   verbatim as Prometheus labels),
+//! * a Prometheus text exposition of every counter/gauge/histogram,
+//! * the process-wide [`crate::trace::Tracer`] (reachable from every layer
+//!   that already holds the shared registry, so span context needs no extra
+//!   plumbing through constructor signatures).
+//!
+//! Metric naming convention (asserted by tests across the workspace):
+//! `<subsystem>.<object>.<event>` in lowercase dot-separated form, e.g.
+//! `cache.data.hit`, `remote.get.bytes`, `vw.serving_calls`. Dots become
+//! underscores in the Prometheus rendering.
 
+use crate::trace::Tracer;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +75,7 @@ pub struct Histogram {
     buckets: [AtomicU64; 42],
     sum_nanos: AtomicU64,
     count: AtomicU64,
+    max_nanos: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -69,6 +84,7 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_nanos: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -81,6 +97,7 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
@@ -98,20 +115,125 @@ impl Histogram {
     }
 
     /// Approximate quantile via bucket upper bounds (`q` in `[0,1]`).
+    ///
+    /// Bucket `i` covers `[2^i, 2^(i+1) - 1]` nanoseconds; the answer is that
+    /// inclusive upper bound, saturated to the largest recorded sample — so a
+    /// quantile never exceeds [`Histogram::max`], and running past the last
+    /// bucket returns `max()` instead of a nonsense `u64::MAX` duration.
     pub fn quantile(&self, q: f64) -> Duration {
         let total = self.count();
         if total == 0 {
             return Duration::ZERO;
         }
+        let max = self.max_nanos.load(Ordering::Relaxed);
         let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return Duration::from_nanos(1u64 << (i + 1));
+                let upper = (1u64 << (i + 1)) - 1;
+                return Duration::from_nanos(upper.min(max));
             }
         }
-        Duration::from_nanos(u64::MAX)
+        self.max()
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Convenience 99.9th percentile used by the profile renderer.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+
+    /// Point-in-time copy of the derived statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed)),
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            p999: self.p999(),
+            max: self.max(),
+        }
+    }
+}
+
+/// Derived statistics of one [`Histogram`] at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: Duration,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p99: Duration,
+    pub p999: Duration,
+    pub max: Duration,
+}
+
+/// Build a labeled metric name: `labeled("cache.hit", &[("tier", "mem")])`
+/// → `cache.hit{tier="mem"}`. The registry treats the result as an opaque
+/// key; [`MetricsRegistry::render_prometheus`] splits it back apart and emits
+/// the label set verbatim. Label values are escaped per the Prometheus text
+/// format (`\` → `\\`, `"` → `\"`, newline → `\n`).
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a Prometheus label value.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Mangle a metric name (the part before any `{label}` suffix) into the
+/// Prometheus name charset `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Split a registry key into (mangled name, label suffix incl. braces).
+fn split_labels(key: &str) -> (String, &str) {
+    match key.find('{') {
+        Some(i) => (prometheus_name(&key[..i]), &key[i..]),
+        None => (prometheus_name(key), ""),
     }
 }
 
@@ -129,6 +251,9 @@ struct Inner {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    /// The span recorder every holder of this registry shares. Disabled by
+    /// default; `EXPLAIN ANALYZE` (and tests) enable it per query.
+    tracer: Tracer,
 }
 
 impl MetricsRegistry {
@@ -186,6 +311,28 @@ impl MetricsRegistry {
         self.inner.gauges.read().get(name).map(|g| g.get()).unwrap_or(0)
     }
 
+    /// Get or create the counter `name{labels}` (see [`labeled`]).
+    pub fn counter_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&labeled(name, labels))
+    }
+
+    /// Get or create the gauge `name{labels}` (see [`labeled`]).
+    pub fn gauge_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge(&labeled(name, labels))
+    }
+
+    /// Get or create the histogram `name{labels}` (see [`labeled`]).
+    pub fn histogram_with_labels(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&labeled(name, labels))
+    }
+
+    /// The shared span recorder (see [`crate::trace`]). Every clone of this
+    /// registry observes the same tracer, so any layer holding the registry
+    /// can open spans without extra constructor plumbing.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
     /// Snapshot of all counter values, sorted by name.
     pub fn snapshot_counters(&self) -> Vec<(String, u64)> {
         self.inner
@@ -194,6 +341,71 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect()
+    }
+
+    /// Snapshot of all gauge values, sorted by name.
+    pub fn snapshot_gauges(&self) -> Vec<(String, u64)> {
+        self.inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all histograms' derived statistics, sorted by name.
+    pub fn snapshot_histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (version 0.0.4). Counters and gauges render as their type; histograms
+    /// render as summaries (`quantile` labels, `_sum` in seconds, `_count`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            // Labeled series of one metric share a single # TYPE line.
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for (key, value) in self.snapshot_counters() {
+            let (name, labels) = split_labels(&key);
+            type_line(&mut out, &name, "counter");
+            out.push_str(&format!("{name}{labels} {value}\n"));
+        }
+        for (key, value) in self.snapshot_gauges() {
+            let (name, labels) = split_labels(&key);
+            type_line(&mut out, &name, "gauge");
+            out.push_str(&format!("{name}{labels} {value}\n"));
+        }
+        for (key, snap) in self.snapshot_histograms() {
+            let (name, labels) = split_labels(&key);
+            type_line(&mut out, &name, "summary");
+            let base = labels.strip_prefix('{').and_then(|l| l.strip_suffix('}'));
+            let with = |extra: &str| match base {
+                Some(inner) => format!("{{{inner},{extra}}}"),
+                None => format!("{{{extra}}}"),
+            };
+            for (q, d) in [("0.5", snap.p50), ("0.99", snap.p99), ("0.999", snap.p999)] {
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    with(&format!("quantile=\"{q}\"")),
+                    d.as_secs_f64()
+                ));
+            }
+            out.push_str(&format!("{name}_sum{labels} {}\n", snap.sum.as_secs_f64()));
+            out.push_str(&format!("{name}_count{labels} {}\n", snap.count));
+        }
+        out
     }
 }
 
@@ -257,6 +469,122 @@ mod tests {
         let snap = m.snapshot_counters();
         assert_eq!(snap[0].0, "a");
         assert_eq!(snap[1].0, "b");
+    }
+
+    #[test]
+    fn quantile_saturates_at_max_sample() {
+        let h = Histogram::default();
+        h.record(Duration::from_nanos(700));
+        // 700ns lands in bucket [512, 1023]; the bucket upper bound (1023) is
+        // capped at the actual max sample.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(700));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(700));
+        assert_eq!(h.max(), Duration::from_nanos(700));
+        assert_eq!(h.p999(), Duration::from_nanos(700));
+        // Never the old u64::MAX fallthrough, and never above max().
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            assert!(h.quantile(q) <= h.max());
+        }
+    }
+
+    #[test]
+    fn quantile_uses_inclusive_bucket_upper_bound() {
+        let h = Histogram::default();
+        h.record(Duration::from_nanos(600));
+        h.record(Duration::from_nanos(2000));
+        // p50 target is the first sample: bucket [512, 1023] → 1023, below
+        // the 2000ns max so no saturation applies.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1023));
+        assert_eq!(h.max(), Duration::from_nanos(2000));
+    }
+
+    #[test]
+    fn histogram_snapshot_is_consistent() {
+        let h = Histogram::default();
+        for us in [10u64, 20, 30] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, Duration::from_micros(60));
+        assert_eq!(s.mean, Duration::from_micros(20));
+        assert_eq!(s.max, Duration::from_micros(30));
+        assert!(s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+    }
+
+    #[test]
+    fn labeled_builds_and_escapes() {
+        assert_eq!(labeled("cache.hit", &[]), "cache.hit");
+        assert_eq!(labeled("cache.hit", &[("tier", "mem")]), "cache.hit{tier=\"mem\"}");
+        assert_eq!(
+            labeled("m", &[("a", "x\"y"), ("b", "p\\q"), ("c", "l1\nl2")]),
+            "m{a=\"x\\\"y\",b=\"p\\\\q\",c=\"l1\\nl2\"}"
+        );
+    }
+
+    #[test]
+    fn snapshot_gauges_and_histograms() {
+        let m = MetricsRegistry::new();
+        m.gauge("g.b").set(2);
+        m.gauge("g.a").set(1);
+        assert_eq!(m.snapshot_gauges(), vec![("g.a".into(), 1), ("g.b".into(), 2)]);
+        m.histogram("h").record(Duration::from_micros(5));
+        let hs = m.snapshot_histograms();
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].0, "h");
+        assert_eq!(hs[0].1.count, 1);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let m = MetricsRegistry::new();
+        m.counter("cache.data.hit").add(3);
+        m.counter_with_labels("store.get", &[("label", "remote")]).add(7);
+        m.gauge("kernel.tier").set(2);
+        m.histogram("query.lat").record(Duration::from_millis(2));
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE cache_data_hit counter\ncache_data_hit 3\n"));
+        assert!(text.contains("store_get{label=\"remote\"} 7\n"));
+        assert!(text.contains("# TYPE kernel_tier gauge\nkernel_tier 2\n"));
+        assert!(text.contains("# TYPE query_lat summary\n"));
+        assert!(text.contains("query_lat{quantile=\"0.5\"} 0.002"));
+        assert!(text.contains("query_lat_count 1\n"));
+        assert!(text.contains("query_lat_sum 0.002\n"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_and_mangles_names() {
+        let m = MetricsRegistry::new();
+        m.counter_with_labels("odd-name.9", &[("path", "a\"b\\c\nd")]).inc();
+        let text = m.render_prometheus();
+        assert!(text.contains("odd_name_9{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+        // Leading digit gets a guard underscore.
+        assert_eq!(super::prometheus_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let m = MetricsRegistry::new();
+        m.counter_with_labels("rpc", &[("worker", "w1")]).inc();
+        m.counter_with_labels("rpc", &[("worker", "w2")]).inc();
+        let text = m.render_prometheus();
+        assert_eq!(text.matches("# TYPE rpc counter").count(), 1);
+        assert!(text.contains("rpc{worker=\"w1\"} 1\n"));
+        assert!(text.contains("rpc{worker=\"w2\"} 1\n"));
+    }
+
+    #[test]
+    fn tracer_is_shared_across_clones() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        assert!(!m.tracer().is_enabled());
+        m.tracer().set_enabled(true);
+        assert!(m2.tracer().is_enabled());
+        {
+            let _s = m2.tracer().span("x");
+        }
+        m.tracer().set_enabled(false);
+        assert_eq!(m.tracer().drain().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,680 @@
+//! In-tree tracing: hierarchical spans over a lock-free ring recorder.
+//!
+//! The profiling layer behind `EXPLAIN ANALYZE` and the per-stage latency
+//! numbers in the benches. Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Every instrumentation site calls
+//!    [`Tracer::span`], which when tracing is off performs exactly one
+//!    `Relaxed` atomic load and returns an inert [`Span`] whose methods and
+//!    `Drop` are no-ops. Production paths stay traced-but-free.
+//! 2. **No new dependencies.** Timestamps come from the sanctioned
+//!    [`crate::clock::Stopwatch`] (the only wall-clock access point the
+//!    `xtask` lint permits outside `clock` itself); the recorder is a small
+//!    in-tree ring, not an external queue crate.
+//! 3. **Safe under Miri / high concurrency.** Ring slots are claimed with a
+//!    wait-free `fetch_add` ticket and published under an uncontended
+//!    per-slot mutex; when the ring wraps, the oldest records are
+//!    overwritten (keep-newest), never blocking the recording thread.
+//!
+//! Span parenting is implicit within a thread (a thread-local span stack) and
+//! explicit across threads: fan-out code captures [`Tracer::current`] before
+//! spawning and opens child spans with [`Tracer::span_under`].
+//!
+//! The span taxonomy used by the query path is documented in DESIGN.md §9.
+
+use crate::clock::Stopwatch;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of one recorded span. `SpanId::NONE` (0) means "no span" and is
+/// used both for roots and for every span recorded while tracing is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span id: parents a root span, never recorded.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Is this the null id?
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One structured attribute value. Stored, not formatted, so the renderer can
+/// align units (bytes, counts) without re-parsing strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v:.3}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<f32> for AttrValue {
+    fn from(v: f32) -> Self {
+        AttrValue::F64(v as f64)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// A finished span as drained from the ring.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    pub parent: SpanId,
+    /// Static name from the span taxonomy (`"exec"`, `"segment.search"`, …).
+    pub name: &'static str,
+    /// Nanoseconds since the tracer's origin [`Stopwatch`] started.
+    pub start_nanos: u64,
+    /// End timestamp on the same origin; `end_nanos >= start_nanos`.
+    pub end_nanos: u64,
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Wall time spent inside the span.
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+
+    /// First attribute with the given key, if any.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Fixed-capacity overwrite-oldest record buffer.
+///
+/// `head` hands out monotonically increasing tickets; a record with ticket
+/// `t` is published into slot `t % capacity` under that slot's (uncontended
+/// in the common case) mutex. When producers outrun the reader the newest
+/// records win, which is what a profiler wants: the spans of the query being
+/// profiled are the most recent ones.
+#[derive(Debug)]
+struct Ring {
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (ticket % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock() = Some(record);
+    }
+
+    /// Remove and return every record, oldest first (by start timestamp).
+    fn drain(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> =
+            self.slots.iter().filter_map(|s| s.lock().take()).collect();
+        out.sort_by_key(|r| (r.start_nanos, r.id));
+        out
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    enabled: AtomicBool,
+    /// Time origin shared by every span of this tracer.
+    origin: Stopwatch,
+    /// Next span id; starts at 1 so `SpanId::NONE` stays unused.
+    next_id: AtomicU64,
+    ring: Ring,
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Default ring capacity: enough for every span of a large multi-segment
+/// batch query with headroom, small enough to stay cache-friendly.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Cheap-to-clone handle to a span recorder. Disabled by default; enabling is
+/// per-tracer (e.g. for the duration of one `EXPLAIN ANALYZE`).
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with the default ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A disabled tracer whose ring holds `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(false),
+                origin: Stopwatch::start(),
+                next_id: AtomicU64::new(1),
+                ring: Ring::new(capacity),
+            }),
+        }
+    }
+
+    /// Turn recording on or off. Spans opened while disabled stay inert even
+    /// if the tracer is re-enabled before they drop.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Is recording currently on?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span parented to the innermost open span on this thread (or a
+    /// root span if there is none). When disabled this is one atomic load.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.is_enabled() {
+            return Span::disabled();
+        }
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.open(name, SpanId(parent))
+    }
+
+    /// Open a span under an explicit parent, ignoring this thread's stack for
+    /// parenting (but still pushing onto it, so nested spans on this thread
+    /// attach here). Used by fan-out tasks: capture [`Tracer::current`] on
+    /// the scheduling thread, pass it into the worker closure.
+    #[inline]
+    pub fn span_under(&self, parent: SpanId, name: &'static str) -> Span {
+        if !self.is_enabled() {
+            return Span::disabled();
+        }
+        self.open(name, parent)
+    }
+
+    /// The innermost open span on this thread, or `SpanId::NONE`.
+    pub fn current(&self) -> SpanId {
+        if !self.is_enabled() {
+            return SpanId::NONE;
+        }
+        SpanId(SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0)))
+    }
+
+    fn open(&self, name: &'static str, parent: SpanId) -> Span {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        Span(Some(Box::new(ActiveSpan {
+            tracer: self.inner.clone(),
+            id: SpanId(id),
+            parent,
+            name,
+            start_nanos: self.inner.origin.elapsed_nanos(),
+            attrs: Vec::new(),
+        })))
+    }
+
+    /// Remove and return all finished spans, oldest first. Spans still open
+    /// (guards not yet dropped) are not included.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.inner.ring.drain()
+    }
+
+    /// Drop all recorded spans.
+    pub fn clear(&self) {
+        let _ = self.inner.ring.drain();
+    }
+}
+
+/// Format a nanosecond duration with a human-scale unit.
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Render a drained span tree as indented text lines: the root span first,
+/// then its descendants depth-first in start order, each with wall time and
+/// `key=value` attributes.
+///
+/// Same-named sibling groups larger than `aggregate_threshold` collapse into
+/// one `name ×N` line carrying total time (and summed `bytes` attributes) —
+/// per-block cache probes would otherwise drown the stage tree. Returns no
+/// lines when `root` has no record (e.g. it was overwritten in the ring).
+pub fn render_spans(
+    records: &[SpanRecord],
+    root: SpanId,
+    aggregate_threshold: usize,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(root_rec) = records.iter().find(|r| r.id == root) {
+        out.push(format!(
+            "{}  {}{}",
+            root_rec.name,
+            fmt_nanos(root_rec.duration_nanos()),
+            fmt_attrs(root_rec)
+        ));
+        render_subtree(records, root.0, 1, aggregate_threshold, &mut out);
+    }
+    out
+}
+
+fn fmt_attrs(rec: &SpanRecord) -> String {
+    let mut s = String::new();
+    for (k, v) in &rec.attrs {
+        s.push_str(&format!("  {k}={v}"));
+    }
+    s
+}
+
+fn render_subtree(
+    records: &[SpanRecord],
+    parent: u64,
+    depth: usize,
+    aggregate_threshold: usize,
+    out: &mut Vec<String>,
+) {
+    let indent = "  ".repeat(depth);
+    let children: Vec<&SpanRecord> = records.iter().filter(|r| r.parent.0 == parent).collect();
+    // Group same-named siblings, preserving first-start order of the groups.
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut groups: std::collections::BTreeMap<&'static str, Vec<&SpanRecord>> =
+        std::collections::BTreeMap::new();
+    for c in &children {
+        if !groups.contains_key(c.name) {
+            order.push(c.name);
+        }
+        groups.entry(c.name).or_default().push(c);
+    }
+    for name in order {
+        let group = &groups[name];
+        if group.len() > aggregate_threshold {
+            let total: u64 = group.iter().map(|r| r.duration_nanos()).sum();
+            let bytes: u64 = group
+                .iter()
+                .filter_map(|r| match r.attr("bytes") {
+                    Some(AttrValue::U64(b)) => Some(*b),
+                    _ => None,
+                })
+                .sum();
+            let mut line = format!("{indent}{name} ×{}  total {}", group.len(), fmt_nanos(total));
+            if bytes > 0 {
+                line.push_str(&format!("  bytes={bytes}"));
+            }
+            out.push(line);
+            continue;
+        }
+        for rec in group {
+            out.push(format!(
+                "{indent}{}  {}{}",
+                rec.name,
+                fmt_nanos(rec.duration_nanos()),
+                fmt_attrs(rec)
+            ));
+            render_subtree(records, rec.id.0, depth + 1, aggregate_threshold, out);
+        }
+    }
+}
+
+/// RAII span guard: records itself into the tracer's ring on drop. Inert
+/// (every method a no-op) when opened on a disabled tracer.
+///
+/// The recording state lives behind a `Box` so an inert guard is a single
+/// null pointer: constructing and dropping one compiles to a null store and
+/// a null check, which is what keeps disabled instrumentation on hot paths
+/// (per-block cache probes) near-free without LTO. A recording span pays one
+/// heap allocation — noise next to the ring publish it already does.
+#[derive(Debug)]
+pub struct Span(Option<Box<ActiveSpan>>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    tracer: Arc<TracerInner>,
+    id: SpanId,
+    parent: SpanId,
+    name: &'static str,
+    start_nanos: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    #[inline]
+    fn disabled() -> Span {
+        Span(None)
+    }
+
+    /// This span's id (`SpanId::NONE` when inert) — pass to
+    /// [`Tracer::span_under`] from spawned tasks.
+    #[inline]
+    pub fn id(&self) -> SpanId {
+        match &self.0 {
+            Some(a) => a.id,
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Is this a recording span (as opposed to an inert disabled guard)?
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attach a key=value attribute. No-op when inert.
+    #[inline]
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(a) = &mut self.0 {
+            a.attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        // Inert guard (disabled tracer): one null check, no work.
+        let Some(active) = self.0.take() else { return };
+        let active = *active;
+        // Pop our id from this thread's stack. Guards normally drop in LIFO
+        // order, but search from the end so an out-of-order drop (e.g. a span
+        // held across an early return while a sibling is open) cannot
+        // corrupt the stack.
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&x| x == active.id.0) {
+                stack.remove(pos);
+            }
+        });
+        let end_nanos = active.tracer.origin.elapsed_nanos();
+        active.tracer.ring.push(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            start_nanos: active.start_nanos,
+            end_nanos,
+            attrs: active.attrs,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        {
+            let mut s = t.span("a");
+            s.attr("k", 1u64);
+            let _inner = t.span("b");
+        }
+        assert!(!t.is_enabled());
+        assert!(t.drain().is_empty());
+        assert_eq!(t.current(), SpanId::NONE);
+    }
+
+    #[test]
+    fn spans_nest_via_thread_stack() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let root_id;
+        {
+            let root = t.span("root");
+            root_id = root.id();
+            assert_eq!(t.current(), root_id);
+            {
+                let child = t.span("child");
+                let grandchild = t.span("grandchild");
+                assert_eq!(t.current(), grandchild.id());
+                drop(grandchild);
+                assert_eq!(t.current(), child.id());
+            }
+            assert_eq!(t.current(), root_id);
+        }
+        let spans = t.drain();
+        assert_eq!(spans.len(), 3);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("root").parent, SpanId::NONE);
+        assert_eq!(by_name("child").parent, root_id);
+        assert_eq!(by_name("grandchild").parent, by_name("child").id);
+        // Drained oldest-first by start time: root opened first.
+        assert_eq!(spans[0].name, "root");
+        for s in &spans {
+            assert!(s.end_nanos >= s.start_nanos);
+        }
+    }
+
+    #[test]
+    fn span_under_parents_across_threads() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let root = t.span("root");
+        let parent_id = root.id();
+        std::thread::scope(|scope| {
+            for i in 0..4usize {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let mut s = t.span_under(parent_id, "task");
+                    s.attr("i", i);
+                    // Nested spans on the worker thread attach to the task.
+                    let _n = t.span("nested");
+                });
+            }
+        });
+        drop(root);
+        let spans = t.drain();
+        let tasks: Vec<_> = spans.iter().filter(|s| s.name == "task").collect();
+        assert_eq!(tasks.len(), 4);
+        for task in &tasks {
+            assert_eq!(task.parent, parent_id);
+            let nested = spans
+                .iter()
+                .find(|s| s.name == "nested" && s.parent == task.id)
+                .expect("each task records its nested child");
+            assert!(nested.start_nanos >= task.start_nanos);
+        }
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let t = Tracer::with_capacity(4);
+        t.set_enabled(true);
+        for i in 0..10u64 {
+            let mut s = t.span("s");
+            s.attr("i", i);
+        }
+        let spans = t.drain();
+        assert_eq!(spans.len(), 4);
+        let seen: Vec<u64> = spans
+            .iter()
+            .map(|s| match s.attr("i") {
+                Some(AttrValue::U64(v)) => *v,
+                other => panic!("unexpected attr {other:?}"),
+            })
+            .collect();
+        assert_eq!(seen, vec![6, 7, 8, 9], "newest records survive wraparound");
+        // Drain empties the ring.
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn attrs_round_trip_all_types() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let mut s = t.span("a");
+            s.attr("u", 7u64);
+            s.attr("f", 0.5f64);
+            s.attr("s", "text");
+            s.attr("b", true);
+        }
+        let spans = t.drain();
+        let s = &spans[0];
+        assert_eq!(s.attr("u"), Some(&AttrValue::U64(7)));
+        assert_eq!(s.attr("f"), Some(&AttrValue::F64(0.5)));
+        assert_eq!(s.attr("s"), Some(&AttrValue::Str("text".into())));
+        assert_eq!(s.attr("b"), Some(&AttrValue::Bool(true)));
+        assert_eq!(s.attr("missing"), None);
+        assert_eq!(format!("{}", AttrValue::U64(7)), "7");
+        assert_eq!(format!("{}", AttrValue::Bool(true)), "true");
+    }
+
+    #[test]
+    fn enable_toggle_is_per_span_open() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let live = t.span("live");
+        t.set_enabled(false);
+        let dead = t.span("dead");
+        assert!(!dead.is_recording());
+        drop(dead);
+        // A span opened while enabled still records after disabling.
+        drop(live);
+        let spans = t.drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "live");
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_bounded() {
+        let t = Tracer::with_capacity(64);
+        t.set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let _s = t.span("w");
+                    }
+                });
+            }
+        });
+        let spans = t.drain();
+        assert_eq!(spans.len(), 64, "ring keeps exactly `capacity` newest");
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 64, "no duplicate records");
+    }
+
+    #[test]
+    fn fmt_nanos_picks_human_units() {
+        assert_eq!(fmt_nanos(850), "850ns");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.500ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.000s");
+    }
+
+    /// Hand-build a record — renderer tests shouldn't depend on real timing.
+    fn rec(id: u64, parent: u64, name: &'static str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId(parent),
+            name,
+            start_nanos: start,
+            end_nanos: end,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_spans_indents_by_depth_and_shows_attrs() {
+        let mut child = rec(2, 1, "exec", 10, 40);
+        child.attrs.push(("rows", AttrValue::U64(5)));
+        let records = vec![rec(1, 0, "query", 0, 100), child, rec(3, 2, "segment.search", 12, 30)];
+        let lines = render_spans(&records, SpanId(1), 8);
+        assert_eq!(lines[0], "query  100ns");
+        assert_eq!(lines[1], "  exec  30ns  rows=5");
+        assert_eq!(lines[2], "    segment.search  18ns");
+    }
+
+    #[test]
+    fn render_spans_aggregates_large_sibling_groups() {
+        let mut records = vec![rec(1, 0, "query", 0, 100)];
+        for i in 0..5u64 {
+            let mut r = rec(10 + i, 1, "store.get", i, i + 10);
+            r.attrs.push(("bytes", AttrValue::U64(100)));
+            records.push(r);
+        }
+        // Threshold 3: the five store.get spans collapse; two exec spans don't.
+        records.push(rec(20, 1, "exec", 50, 60));
+        records.push(rec(21, 1, "exec", 60, 70));
+        let lines = render_spans(&records, SpanId(1), 3);
+        assert_eq!(lines[1], "  store.get ×5  total 50ns  bytes=500");
+        assert_eq!(lines[2], "  exec  10ns");
+        assert_eq!(lines[3], "  exec  10ns");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn render_spans_empty_when_root_missing() {
+        let records = vec![rec(2, 1, "orphan", 0, 10)];
+        assert!(render_spans(&records, SpanId(1), 8).is_empty());
+    }
+}

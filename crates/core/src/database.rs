@@ -263,7 +263,35 @@ impl Database {
                 rs.rows = text.lines().map(|l| vec![Value::Str(l.to_string())]).collect();
                 Ok(QueryOutput::Rows(rs))
             }
+            Statement::ExplainAnalyze(sel) => {
+                let t = self.table(&sel.table)?;
+                let vw = self.default_vw();
+                let rs = crate::profile::explain_analyze(
+                    &self.engine,
+                    &self.metrics,
+                    &t,
+                    &vw,
+                    opts,
+                    &sel,
+                )?;
+                Ok(QueryOutput::Rows(rs))
+            }
+            Statement::SystemMetrics => {
+                let mut rs = ResultSet::new(vec!["metrics".into()]);
+                rs.rows = self
+                    .metrics_text()
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(QueryOutput::Rows(rs))
+            }
         }
+    }
+
+    /// Every registered metric in Prometheus text exposition format (what a
+    /// `/metrics` HTTP endpoint would serve; also behind `SYSTEM METRICS`).
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render_prometheus()
     }
 
     /// Execute a SELECT on a specific VW (read/write separation, isolation
@@ -517,6 +545,102 @@ mod tests {
         assert!(joined.contains("strategy:"), "{joined}");
         assert!(joined.contains("cost[brute-force (Plan A)]"), "{joined}");
         assert!(joined.contains("distance-topk-pushdown"), "{joined}");
+    }
+
+    #[test]
+    fn explain_analyze_profiles_cold_multi_segment_query() {
+        // Small segments so the query fans out over several of them, cold
+        // caches so the profile shows remote reads.
+        let db = Database::new(DatabaseConfig {
+            table: TableStoreConfig { segment_max_rows: 64, ..Default::default() },
+            ..Default::default()
+        });
+        db.execute(
+            "CREATE TABLE images (
+               id UInt64, label String, emb Array(Float32),
+               INDEX ann emb TYPE HNSW('DIM=4')
+             ) ORDER BY id",
+        )
+        .unwrap();
+        let mut values = Vec::new();
+        for i in 0..200 {
+            let c = (i % 4) as f32 * 5.0;
+            values.push(format!("({i}, 'l{}', [{c}, {c}, {c}, {c}])", i % 2));
+        }
+        db.execute(&format!("INSERT INTO images VALUES {}", values.join(", "))).unwrap();
+        assert!(db.table("images").unwrap().segments().len() > 1, "need multiple segments");
+
+        let rs = db
+            .execute(
+                "EXPLAIN ANALYZE SELECT id FROM images WHERE label = 'l0' \
+                 ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 5",
+            )
+            .unwrap()
+            .rows();
+        assert_eq!(rs.columns, vec!["profile".to_string()]);
+        let text: String = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.as_str(),
+                _ => panic!(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Stage tree with per-stage wall time.
+        assert!(text.starts_with("query  "), "{text}");
+        for stage in ["bind", "plan", "exec", "exec.vector", "segment.search"] {
+            assert!(text.contains(stage), "missing stage {stage} in:\n{text}");
+        }
+        // Segment scheduling and result accounting.
+        assert!(text.contains("segments_total="), "{text}");
+        assert!(text.contains("segments_visited="), "{text}");
+        assert!(text.contains("result rows: 5"), "{text}");
+        assert!(text.contains("kernel tier: "), "{text}");
+        // Counter deltas: cold query pays remote reads and cache misses.
+        assert!(text.contains("counters (this query):"), "{text}");
+        assert!(text.contains("remote.get.bytes:"), "{text}");
+        assert!(text.contains("cache.index.mem.miss:"), "{text}");
+        // Profiling is transient: tracing is off again afterwards.
+        assert!(!db.metrics().tracer().is_enabled());
+    }
+
+    #[test]
+    fn explain_analyze_does_not_change_results() {
+        let db = images_db(200);
+        let sql = "SELECT id, dist FROM images WHERE label = 'l0' \
+                   ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) AS dist LIMIT 7";
+        let before = db.execute(sql).unwrap().rows();
+        db.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        let after = db.execute(sql).unwrap().rows();
+        assert_eq!(before, after, "profiling a query must not perturb results");
+        assert!(db.metrics().tracer().drain().is_empty(), "no spans leak past the profile");
+    }
+
+    #[test]
+    fn system_metrics_exposes_prometheus_text() {
+        let db = images_db(100);
+        db.execute(
+            "SELECT id FROM images ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 3",
+        )
+        .unwrap()
+        .rows();
+        let rs = db.execute("SYSTEM METRICS").unwrap().rows();
+        assert_eq!(rs.columns, vec!["metrics".to_string()]);
+        let text: String = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.as_str(),
+                _ => panic!(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("# TYPE"), "{text}");
+        // Dots mangle to underscores in the Prometheus exposition.
+        assert!(text.contains("remote_get_bytes"), "{text}");
+        assert!(text.contains("kernel_tier_"), "{text}");
+        assert_eq!(text, db.metrics_text().trim_end_matches('\n'));
     }
 
     #[test]

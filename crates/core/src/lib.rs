@@ -35,6 +35,7 @@
 pub mod csv;
 pub mod database;
 pub mod ddl;
+mod profile;
 
 pub use bh_query::{QueryOptions, ResultSet, Strategy};
 pub use bh_storage::value::{ColumnType, Value};

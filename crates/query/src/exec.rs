@@ -24,8 +24,8 @@ use bh_cluster::scheduler::{select_segments, PruneConfig, SegmentSelection};
 use bh_cluster::vw::VirtualWarehouse;
 use bh_cluster::worker::Worker;
 use bh_common::{
-    BhError, Bitset, MetricsRegistry, Result, SegmentId, SharedBound, StealingCursor, Stopwatch,
-    TopK,
+    BhError, Bitset, MetricsRegistry, Result, SegmentId, SharedBound, SpanId, StealingCursor,
+    Stopwatch, TopK,
 };
 use bh_sql::ast::SelectStmt;
 use bh_storage::predicate::Predicate;
@@ -101,6 +101,10 @@ impl Default for QueryOptions {
 struct SegCtx<'a> {
     bound: Option<&'a SharedBound>,
     pin: Option<&'a (Arc<Worker>, Arc<dyn bh_vector::VectorIndex>)>,
+    /// Explicit trace parent for spans opened on a fan-out thread (where the
+    /// scheduling thread's span stack is not visible). `SpanId::NONE` (the
+    /// default) means "parent from the current thread's span stack".
+    trace_parent: Option<SpanId>,
 }
 
 /// Per-statement progress of a batch ([`QueryEngine::execute_batch`]):
@@ -160,7 +164,10 @@ impl QueryEngine {
         opts: &QueryOptions,
         stmt: &SelectStmt,
     ) -> Result<ResultSet> {
-        let bound = bind_select(table.schema(), stmt)?;
+        let bound = {
+            let _span = self.metrics.tracer().span("bind");
+            bind_select(table.schema(), stmt)?
+        };
         self.execute_bound(table, vw, opts, &bound)
     }
 
@@ -237,10 +244,16 @@ impl QueryEngine {
         bound: &BoundSelect,
     ) -> Result<ResultSet> {
         let t = Stopwatch::start();
-        let planned = self.plan_phase(table, opts, bound)?;
+        let planned = {
+            let mut span = self.metrics.tracer().span("plan");
+            let planned = self.plan_phase(table, opts, bound)?;
+            span.attr("strategy", planned.strategy.name());
+            planned
+        };
         self.metrics.counter("query.plan_ns").add(t.elapsed_nanos());
 
         let t = Stopwatch::start();
+        let mut exec_span = self.metrics.tracer().span("exec");
         let mut attempts = 0;
         let out = loop {
             let result = match &bound.vector {
@@ -256,6 +269,13 @@ impl QueryEngine {
                 other => break other,
             }
         };
+        if attempts > 0 {
+            exec_span.attr("snapshot_retries", attempts as u64);
+        }
+        if let Ok(rs) = &out {
+            exec_span.attr("rows", rs.rows.len());
+        }
+        drop(exec_span);
         self.metrics.counter("query.exec_ns").add(t.elapsed_nanos());
         self.metrics.counter("query.executed").inc();
         out
@@ -298,13 +318,18 @@ impl QueryEngine {
     ) -> Result<Vec<ResultSet>> {
         self.metrics.counter("query.batch_size").add(batch.len() as u64);
         let t = Stopwatch::start();
-        let plans: Vec<CachedPlan> = batch
-            .iter()
-            .map(|b| self.plan_phase(table, opts, b))
-            .collect::<Result<_>>()?;
+        let plans: Vec<CachedPlan> = {
+            let _span = self.metrics.tracer().span("plan");
+            batch
+                .iter()
+                .map(|b| self.plan_phase(table, opts, b))
+                .collect::<Result<_>>()?
+        };
         self.metrics.counter("query.plan_ns").add(t.elapsed_nanos());
 
         let t = Stopwatch::start();
+        let mut exec_span = self.metrics.tracer().span("exec");
+        exec_span.attr("batch", batch.len());
         let mut attempts = 0;
         let out = loop {
             match self.exec_batch_inner(table, vw, opts, batch, &plans) {
@@ -316,6 +341,10 @@ impl QueryEngine {
                 other => break other,
             }
         };
+        if attempts > 0 {
+            exec_span.attr("snapshot_retries", attempts as u64);
+        }
+        drop(exec_span);
         self.metrics.counter("query.exec_ns").add(t.elapsed_nanos());
         self.metrics.counter("query.executed").add(batch.len() as u64);
         out
@@ -473,10 +502,15 @@ impl QueryEngine {
         seg_tasks: &[(Arc<SegmentMeta>, Vec<usize>)],
     ) -> Result<Vec<Vec<(usize, Result<Vec<Neighbor>>)>>> {
         let par = opts.intra_query_parallelism.max(1).min(seg_tasks.len());
+        // Fan-out threads cannot see this thread's span stack; capture the
+        // parent span here and attach every task span to it explicitly.
+        let trace_parent = self.metrics.tracer().current();
         if par <= 1 {
             return Ok(seg_tasks
                 .iter()
-                .map(|(meta, qis)| self.run_segment_task(table, vw, opts, states, meta, qis))
+                .map(|(meta, qis)| {
+                    self.run_segment_task(table, vw, opts, states, meta, qis, trace_parent)
+                })
                 .collect());
         }
         self.metrics.counter("query.parallel_segments").add(seg_tasks.len() as u64);
@@ -493,7 +527,15 @@ impl QueryEngine {
                                 let (meta, qis) = &seg_tasks[i];
                                 local.push((
                                     i,
-                                    self.run_segment_task(table, vw, opts, states, meta, qis),
+                                    self.run_segment_task(
+                                        table,
+                                        vw,
+                                        opts,
+                                        states,
+                                        meta,
+                                        qis,
+                                        trace_parent,
+                                    ),
                                 ));
                             }
                             local
@@ -535,6 +577,7 @@ impl QueryEngine {
     /// memory-resident on a live owner — pinning must never force a load,
     /// or the residency evolution would diverge from the sequential loop),
     /// then run every assigned query against this segment in batch order.
+    #[allow(clippy::too_many_arguments)]
     fn run_segment_task(
         &self,
         table: &TableStore,
@@ -543,7 +586,11 @@ impl QueryEngine {
         states: &[Option<BatchQueryState<'_>>],
         meta: &Arc<SegmentMeta>,
         qis: &[usize],
+        trace_parent: SpanId,
     ) -> Vec<(usize, Result<Vec<Neighbor>>)> {
+        let mut task_span = self.metrics.tracer().span_under(trace_parent, "segment.task");
+        task_span.attr("segment", meta.id.raw());
+        task_span.attr("queries", qis.len());
         let pin: Option<(Arc<Worker>, Arc<dyn bh_vector::VectorIndex>)> = (|| {
             let (_, owner) = vw.owner_of(meta).ok()?;
             if !owner.is_alive() || !owner.index_resident(meta) {
@@ -562,7 +609,10 @@ impl QueryEngine {
                         )),
                     );
                 };
-                let ctx = SegCtx { bound: st.bound.as_ref(), pin: pin.as_ref() };
+                // `task_span` is still open on this thread, so the segment
+                // search span parents from the TLS stack.
+                let ctx =
+                    SegCtx { bound: st.bound.as_ref(), pin: pin.as_ref(), trace_parent: None };
                 let r = self.search_one_segment(
                     table,
                     vw,
@@ -720,6 +770,13 @@ impl QueryEngine {
             .counter("query.segments_pruned")
             .add(selection.scalar_pruned as u64);
 
+        let mut vec_span = self.metrics.tracer().span("exec.vector");
+        vec_span.attr("segments_total", segments.len());
+        vec_span.attr("segments_scheduled", selection.scheduled.len());
+        vec_span.attr("segments_pruned", selection.scalar_pruned);
+        let mut expansions = 0u64;
+        let mut visited = 0u64;
+
         let total_rows: usize = segments.iter().map(|m| m.row_count).sum();
         let k = v.k.unwrap_or(total_rows.max(1));
         let mut global: TopK<(SegmentId, u32)> = TopK::new(k);
@@ -732,6 +789,7 @@ impl QueryEngine {
             // barrier semantics: expand only after the whole batch merged.
             let per_segment =
                 self.search_segments_parallel(table, vw, opts, bound, v, plan.strategy, &pending, k)?;
+            visited += pending.len() as u64;
             for (meta, hits) in pending.iter().zip(per_segment) {
                 for nb in hits {
                     global.push(nb.distance, (meta.id, nb.id as u32));
@@ -746,8 +804,15 @@ impl QueryEngine {
             if pending.is_empty() {
                 break;
             }
+            expansions += 1;
             self.metrics.counter("query.adaptive_expansions").inc();
         }
+        vec_span.attr("segments_visited", visited);
+        if expansions > 0 {
+            vec_span.attr("adaptive_expansions", expansions);
+        }
+        vec_span.attr("candidates", global.len());
+        drop(vec_span);
 
         let mut hits = global.into_sorted();
         if let Some(r) = v.range {
@@ -800,6 +865,9 @@ impl QueryEngine {
         }
         self.metrics.counter("query.parallel_segments").add(pending.len() as u64);
         self.metrics.counter("query.fanout_batches").inc();
+        // Worker threads have their own (empty) span stacks; parent their
+        // segment spans to the span open on this scheduling thread.
+        let trace_parent = self.metrics.tracer().current();
         let cursor = StealingCursor::new();
         let merged: Vec<Option<Result<Vec<Neighbor>>>> = std::thread::scope(|scope| {
             let cursor = &cursor;
@@ -817,7 +885,7 @@ impl QueryEngine {
                                 strategy,
                                 &pending[i],
                                 k,
-                                SegCtx::default(),
+                                SegCtx { trace_parent: Some(trace_parent), ..SegCtx::default() },
                             );
                             let failed = r.is_err();
                             local.push((i, r));
@@ -885,6 +953,14 @@ impl QueryEngine {
         k: usize,
         ctx: SegCtx<'_>,
     ) -> Result<Vec<Neighbor>> {
+        let tracer = self.metrics.tracer();
+        let mut seg_span = match ctx.trace_parent {
+            Some(parent) => tracer.span_under(parent, "segment.search"),
+            None => tracer.span("segment.search"),
+        };
+        seg_span.attr("segment", meta.id.raw());
+        seg_span.attr("strategy", strategy.name());
+        seg_span.attr("rows", meta.row_count);
         let vis = table.visibility(meta);
         let has_pred = !matches!(bound.predicate, Predicate::True);
 
@@ -1221,6 +1297,9 @@ impl QueryEngine {
         self.metrics
             .counter("query.segments_pruned")
             .add(selection.scalar_pruned as u64);
+        let mut scalar_span = self.metrics.tracer().span("exec.scalar");
+        scalar_span.attr("segments_scheduled", selection.scheduled.len());
+        scalar_span.attr("segments_pruned", selection.scalar_pruned);
 
         let mut out = ResultSet::new(
             bound.projection.iter().map(|p| p.name().to_string()).collect(),
@@ -1283,6 +1362,7 @@ impl QueryEngine {
             keyed.truncate(limit);
         }
         out.rows = keyed.into_iter().map(|(_, r)| r).collect();
+        scalar_span.attr("rows", out.rows.len());
         Ok(out)
     }
 
@@ -1298,6 +1378,8 @@ impl QueryEngine {
         plan: &CachedPlan,
         hits: &[(SegmentId, u32, f32)],
     ) -> Result<ResultSet> {
+        let mut mat_span = self.metrics.tracer().span("materialize");
+        mat_span.attr("rows", hits.len());
         let mut out = ResultSet::new(
             bound.projection.iter().map(|p| p.name().to_string()).collect(),
         );

@@ -26,6 +26,7 @@ struct Fixture {
     table: Arc<TableStore>,
     vw: VirtualWarehouse,
     engine: QueryEngine,
+    metrics: MetricsRegistry,
 }
 
 /// 600 rows in 5 well-separated clusters across 12 segments, two rows
@@ -73,8 +74,8 @@ fn fixture() -> &'static Fixture {
         );
         vw.scale_up(&[]);
         vw.scale_up(&[]);
-        let engine = QueryEngine::new(metrics);
-        let fix = Fixture { table: Arc::new(table), vw, engine };
+        let engine = QueryEngine::new(metrics.clone());
+        let fix = Fixture { table: Arc::new(table), vw, engine, metrics };
         // Warm every segment so sequential and batched runs start from the
         // same residency state (on-demand warming is order-dependent).
         run_sql(
@@ -151,6 +152,41 @@ proptest! {
                     sqls[i]
                 );
             }
+        }
+    }
+
+    /// Tracing is observation only: enabling the tracer (what EXPLAIN ANALYZE
+    /// does under the hood) must leave both the sequential and the batched
+    /// results bit-identical to untraced runs.
+    #[test]
+    fn tracing_does_not_change_results(sqls in batch_strategy()) {
+        let fix = fixture();
+        let opts = QueryOptions::default();
+        let stmts: Vec<SelectStmt> = sqls.iter().map(|s| parse(s)).collect();
+        let tracer = fix.metrics.tracer();
+
+        let plain: Vec<ResultSet> = sqls.iter().map(|s| run_sql(fix, &opts, s)).collect();
+        let batched_plain =
+            fix.engine.execute_select_batch(&fix.table, &fix.vw, &opts, &stmts).unwrap();
+
+        tracer.set_enabled(true);
+        let traced: Vec<ResultSet> = sqls.iter().map(|s| run_sql(fix, &opts, s)).collect();
+        let batched_traced =
+            fix.engine.execute_select_batch(&fix.table, &fix.vw, &opts, &stmts).unwrap();
+        tracer.set_enabled(false);
+
+        prop_assert!(!tracer.drain().is_empty(), "traced runs recorded no spans");
+        for (i, (p, t)) in plain.iter().zip(&traced).enumerate() {
+            prop_assert_eq!(&p.rows, &t.rows, "statement {} diverged under tracing: {}", i, sqls[i]);
+        }
+        for (i, (p, t)) in batched_plain.iter().zip(&batched_traced).enumerate() {
+            prop_assert_eq!(
+                &p.rows,
+                &t.rows,
+                "batched statement {} diverged under tracing: {}",
+                i,
+                sqls[i]
+            );
         }
     }
 }

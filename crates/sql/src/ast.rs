@@ -18,6 +18,12 @@ pub enum Statement {
     Delete(DeleteStmt),
     /// `EXPLAIN SELECT …` — show the plan instead of executing.
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE SELECT …` — execute with tracing enabled and render
+    /// the profiled stage tree.
+    ExplainAnalyze(SelectStmt),
+    /// `SYSTEM METRICS` — dump every registered metric in Prometheus text
+    /// format.
+    SystemMetrics,
 }
 
 /// `CREATE TABLE name (…) ORDER BY … PARTITION BY … CLUSTER BY …`.

@@ -109,7 +109,15 @@ impl Parser {
     fn parse_statement(&mut self) -> Result<Statement> {
         if self.peek_kw("EXPLAIN") {
             self.advance();
-            Ok(Statement::Explain(self.parse_select()?))
+            if self.eat_kw("ANALYZE") {
+                Ok(Statement::ExplainAnalyze(self.parse_select()?))
+            } else {
+                Ok(Statement::Explain(self.parse_select()?))
+            }
+        } else if self.peek_kw("SYSTEM") {
+            self.advance();
+            self.expect_kw("METRICS")?;
+            Ok(Statement::SystemMetrics)
         } else if self.peek_kw("CREATE") {
             Ok(Statement::CreateTable(self.parse_create_table()?))
         } else if self.peek_kw("INSERT") {
@@ -121,7 +129,7 @@ impl Parser {
         } else if self.peek_kw("DELETE") {
             Ok(Statement::Delete(self.parse_delete()?))
         } else {
-            Err(self.err("expected CREATE, INSERT, SELECT, UPDATE, DELETE or EXPLAIN"))
+            Err(self.err("expected CREATE, INSERT, SELECT, UPDATE, DELETE, EXPLAIN or SYSTEM"))
         }
     }
 
@@ -801,6 +809,31 @@ mod tests {
         assert_eq!(sel.table, "t");
         assert_eq!(sel.limit, Some(3));
         assert!(parse_statement("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_select() {
+        let Statement::ExplainAnalyze(sel) =
+            parse("EXPLAIN ANALYZE SELECT id FROM t ORDER BY id LIMIT 5")
+        else {
+            panic!("not explain analyze")
+        };
+        assert_eq!(sel.table, "t");
+        assert_eq!(sel.limit, Some(5));
+        // Case-insensitive, like every other keyword.
+        assert!(matches!(
+            parse("explain analyze select id from t"),
+            Statement::ExplainAnalyze(_)
+        ));
+        assert!(parse_statement("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn system_metrics_statement() {
+        assert!(matches!(parse("SYSTEM METRICS"), Statement::SystemMetrics));
+        assert!(matches!(parse("system metrics;"), Statement::SystemMetrics));
+        assert!(parse_statement("SYSTEM").is_err());
+        assert!(parse_statement("SYSTEM FLUSH").is_err());
     }
 
     #[test]

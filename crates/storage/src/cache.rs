@@ -9,6 +9,10 @@
 //!   paper's two refinements: **separate LRU spaces** for small metadata
 //!   entries vs large data blocks (so scans don't evict hot metadata), and a
 //!   **row-limit bypass** so one huge hybrid query can't thrash the cache.
+//!
+//! All cache counters follow the `cache.<space>.<event>` naming convention
+//! (DESIGN.md §9): `cache.{meta,data}.{hit,miss}` for the block cache,
+//! `cache.index.{mem,disk}.{hit,miss}` for the index-cache tiers.
 
 use crate::lru::LruCache;
 use crate::objectstore::ObjectStore;
@@ -50,24 +54,29 @@ impl IndexCache {
     /// way up. Returns `None` if the segment has no index.
     pub fn get(&self, meta: &SegmentMeta) -> Result<Option<Arc<dyn VectorIndex>>> {
         let Some(kind) = meta.index_kind else { return Ok(None) };
+        let mut span = self.metrics.tracer().span("cache.index.get");
+        span.attr("segment", meta.id.raw());
         if let Some(idx) = self.mem.get(&meta.id) {
-            self.metrics.counter("index_cache.mem.hit").inc();
+            self.metrics.counter("cache.index.mem.hit").inc();
+            span.attr("tier", "mem");
             return Ok(Some(idx));
         }
-        self.metrics.counter("index_cache.mem.miss").inc();
+        self.metrics.counter("cache.index.mem.miss").inc();
 
         let key = meta.index_key();
         let blob: Bytes = match &self.disk {
             Some(disk) if disk.exists(&key) => {
-                self.metrics.counter("index_cache.disk.hit").inc();
+                self.metrics.counter("cache.index.disk.hit").inc();
+                span.attr("tier", "disk");
                 disk.get(&key)?
             }
             _ => {
                 if self.disk.is_some() {
-                    self.metrics.counter("index_cache.disk.miss").inc();
+                    self.metrics.counter("cache.index.disk.miss").inc();
                 }
                 let blob = self.remote.get(&key)?;
-                self.metrics.counter("index_cache.remote.fetch").inc();
+                self.metrics.counter("cache.index.remote.fetch").inc();
+                span.attr("tier", "remote");
                 if let Some(disk) = &self.disk {
                     disk.put(&key, blob.clone())?;
                 }
@@ -87,7 +96,7 @@ impl IndexCache {
         for meta in metas {
             if self.get(meta)?.is_some() {
                 n += 1;
-                self.metrics.counter("index_cache.preload").inc();
+                self.metrics.counter("cache.index.preload").inc();
             }
         }
         Ok(n)
@@ -170,19 +179,24 @@ impl BlockCache {
         query_rows: usize,
         fetch: impl FnOnce() -> Result<Bytes>,
     ) -> Result<Bytes> {
-        let label = match kind {
-            BlockKind::Meta => "block_cache.meta",
-            BlockKind::Data => "block_cache.data",
+        let (label, space_name) = match kind {
+            BlockKind::Meta => ("cache.meta", "meta"),
+            BlockKind::Data => ("cache.data", "data"),
         };
+        let mut span = self.metrics.tracer().span("cache.block.get");
+        span.attr("space", space_name);
         let bypass = kind == BlockKind::Data && query_rows > self.row_limit;
         if !bypass {
             if let Some(b) = self.space(kind).get(&key.to_string()) {
                 self.metrics.counter(&format!("{label}.hit")).inc();
+                span.attr("hit", true);
                 return Ok(b);
             }
             self.metrics.counter(&format!("{label}.miss")).inc();
+            span.attr("hit", false);
         } else {
-            self.metrics.counter("block_cache.bypass").inc();
+            self.metrics.counter("cache.data.bypass").inc();
+            span.attr("bypass", true);
         }
         let blob = fetch()?;
         if !bypass {
@@ -281,21 +295,21 @@ mod tests {
         // First get: mem miss, disk miss, remote fetch, promoted everywhere.
         let idx = cache.get(&meta).unwrap().unwrap();
         assert_eq!(idx.meta().len, 50);
-        assert_eq!(metrics.counter_value("index_cache.remote.fetch"), 1);
-        assert_eq!(metrics.counter_value("index_cache.disk.miss"), 1);
+        assert_eq!(metrics.counter_value("cache.index.remote.fetch"), 1);
+        assert_eq!(metrics.counter_value("cache.index.disk.miss"), 1);
         assert!(cache.resident(meta.id));
         assert!(disk.exists(&meta.index_key()));
 
         // Second get: memory hit, no new remote traffic.
         cache.get(&meta).unwrap().unwrap();
-        assert_eq!(metrics.counter_value("index_cache.mem.hit"), 1);
-        assert_eq!(metrics.counter_value("index_cache.remote.fetch"), 1);
+        assert_eq!(metrics.counter_value("cache.index.mem.hit"), 1);
+        assert_eq!(metrics.counter_value("cache.index.remote.fetch"), 1);
 
         // Clear memory (worker restart): next get hits the disk tier only.
         cache.clear_memory();
         cache.get(&meta).unwrap().unwrap();
-        assert_eq!(metrics.counter_value("index_cache.disk.hit"), 1);
-        assert_eq!(metrics.counter_value("index_cache.remote.fetch"), 1);
+        assert_eq!(metrics.counter_value("cache.index.disk.hit"), 1);
+        assert_eq!(metrics.counter_value("cache.index.remote.fetch"), 1);
     }
 
     #[test]
@@ -373,7 +387,7 @@ mod tests {
         cache.get_or_fetch("k1", BlockKind::Data, 10, || fetch(b"datablock")).unwrap();
         cache.get_or_fetch("k1", BlockKind::Data, 10, || fetch(b"datablock")).unwrap();
         assert_eq!(fetched.get(), 1, "second read must hit");
-        assert_eq!(metrics.counter_value("block_cache.data.hit"), 1);
+        assert_eq!(metrics.counter_value("cache.data.hit"), 1);
         // Meta space is independent: same key in meta space still misses.
         cache.get_or_fetch("k1", BlockKind::Meta, 10, || fetch(b"m")).unwrap();
         assert_eq!(fetched.get(), 2);
@@ -388,13 +402,13 @@ mod tests {
         cache
             .get_or_fetch("big", BlockKind::Data, 1000, || Ok(Bytes::from_static(b"x")))
             .unwrap();
-        assert_eq!(metrics.counter_value("block_cache.bypass"), 1);
+        assert_eq!(metrics.counter_value("cache.data.bypass"), 1);
         assert_eq!(cache.data_used(), 0);
         // A small query for the same key misses (it was never cached).
         cache
             .get_or_fetch("big", BlockKind::Data, 1, || Ok(Bytes::from_static(b"x")))
             .unwrap();
-        assert_eq!(metrics.counter_value("block_cache.data.miss"), 1);
+        assert_eq!(metrics.counter_value("cache.data.miss"), 1);
         assert!(cache.data_used() > 0);
     }
 

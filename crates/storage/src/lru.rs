@@ -7,9 +7,12 @@
 //! the in-memory vector-index cache and the block cache (with separate
 //! instances for metadata and data, §II-D / §IV-C).
 
+use bh_common::metrics::Counter;
+use bh_common::MetricsRegistry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 const NIL: usize = usize::MAX;
 
@@ -37,6 +40,9 @@ struct Inner<K, V> {
 /// Thread-safe byte-weighted LRU.
 pub struct LruCache<K: Eq + Hash + Clone, V: Clone> {
     inner: Mutex<Inner<K, V>>,
+    /// Registry-backed `cache.<label>.{hit,miss}` counters, if attached.
+    hit_ctr: Option<Arc<Counter>>,
+    miss_ctr: Option<Arc<Counter>>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -55,7 +61,18 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 misses: 0,
                 evictions: 0,
             }),
+            hit_ctr: None,
+            miss_ctr: None,
         }
+    }
+
+    /// A cache that also reports hits/misses to the registry under the
+    /// standardized `cache.<label>.{hit,miss}` counter names (DESIGN.md §9).
+    pub fn with_metrics(capacity: usize, metrics: &MetricsRegistry, label: &str) -> Self {
+        let mut c = Self::new(capacity);
+        c.hit_ctr = Some(metrics.counter(&format!("cache.{label}.hit")));
+        c.miss_ctr = Some(metrics.counter(&format!("cache.{label}.miss")));
+        c
     }
 
     /// Look up and mark as most-recently used.
@@ -64,12 +81,18 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         match g.map.get(key).copied() {
             Some(idx) => {
                 g.hits += 1;
+                if let Some(c) = &self.hit_ctr {
+                    c.inc();
+                }
                 g.unlink(idx);
                 g.push_front(idx);
                 Some(g.slots[idx].value.clone())
             }
             None => {
                 g.misses += 1;
+                if let Some(c) = &self.miss_ctr {
+                    c.inc();
+                }
                 None
             }
         }
@@ -278,6 +301,20 @@ mod tests {
         let c = LruCache::new(0);
         c.put("a", 1, 1);
         assert!(c.get(&"a").is_none());
+    }
+
+    #[test]
+    fn with_metrics_reports_standard_counters() {
+        let m = MetricsRegistry::new();
+        let c = LruCache::with_metrics(100, &m, "decoded");
+        c.put("a", 1, 10);
+        c.get(&"a");
+        c.get(&"b");
+        assert_eq!(m.counter_value("cache.decoded.hit"), 1);
+        assert_eq!(m.counter_value("cache.decoded.miss"), 1);
+        // Internal stats stay in lockstep with the registry counters.
+        let (hits, misses, _) = c.stats();
+        assert_eq!((hits, misses), (1, 1));
     }
 
     #[test]

@@ -66,9 +66,23 @@ impl InMemoryObjectStore {
     }
 
     fn charge(&self, op: &str, bytes: usize) {
+        let mut span = self.metrics.tracer().span(store_span_name(op));
+        span.attr("store", self.label.as_str());
+        span.attr("bytes", bytes);
+        span.attr("sim_nanos", self.model.cost(bytes).as_nanos() as u64);
         self.model.charge(self.clock.as_ref(), bytes);
         self.metrics.counter(&format!("{}.{op}", self.label)).inc();
         self.metrics.counter(&format!("{}.{op}.bytes", self.label)).add(bytes as u64);
+    }
+}
+
+/// Span names need `&'static str`; map the operation verb once here so both
+/// store implementations report the same taxonomy.
+fn store_span_name(op: &str) -> &'static str {
+    match op {
+        "get" => "store.get",
+        "put" => "store.put",
+        _ => "store.delete",
     }
 }
 
@@ -141,6 +155,10 @@ impl DiskObjectStore {
     }
 
     fn charge(&self, op: &str, bytes: usize) {
+        let mut span = self.metrics.tracer().span(store_span_name(op));
+        span.attr("store", self.label.as_str());
+        span.attr("bytes", bytes);
+        span.attr("sim_nanos", self.model.cost(bytes).as_nanos() as u64);
         self.model.charge(self.clock.as_ref(), bytes);
         self.metrics.counter(&format!("{}.{op}", self.label)).inc();
         self.metrics.counter(&format!("{}.{op}.bytes", self.label)).add(bytes as u64);

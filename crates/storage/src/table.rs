@@ -542,6 +542,7 @@ impl TableStore {
     /// commit afterwards in group order, exactly as the sequential loop did.
     pub fn compact(&self) -> Result<CompactionReport> {
         let _guard = self.compaction_lock.lock();
+        let mut compact_span = self.metrics.tracer().span("compact");
         let snapshot = self.segments();
         // Group by (partition key, bucket).
         let mut groups: BTreeMap<(String, Option<u32>), Vec<Arc<SegmentMeta>>> = BTreeMap::new();
@@ -662,6 +663,9 @@ impl TableStore {
             report.rows_dropped += dropped;
         }
         self.metrics.counter("table.compactions").inc();
+        compact_span.attr("merged_segments", report.merged_segments);
+        compact_span.attr("new_segments", report.new_segments);
+        compact_span.attr("rows_dropped", report.rows_dropped);
         Ok(report)
     }
 

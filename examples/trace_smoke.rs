@@ -1,0 +1,79 @@
+//! CI smoke test for the observability layer: run a traced query end to end
+//! and exit nonzero if the tracer recorded nothing or the `EXPLAIN ANALYZE`
+//! profile came back without a stage tree.
+//!
+//! Run with: `cargo run --release -p blendhouse-examples --bin trace_smoke`
+
+use bh_storage::table::TableStoreConfig;
+use blendhouse::{Database, DatabaseConfig, QueryOutput, Value};
+
+fn main() {
+    // Small segments so the query fans out across several of them and the
+    // profile exercises pruning, cache, and remote-read spans.
+    let db = Database::new(DatabaseConfig {
+        table: TableStoreConfig { segment_max_rows: 64, ..Default::default() },
+        ..Default::default()
+    });
+    db.execute(
+        "CREATE TABLE docs (
+           id UInt64, label String, emb Array(Float32),
+           INDEX ann emb TYPE HNSW('DIM=4')
+         ) ORDER BY id",
+    )
+    .expect("create table");
+    let rows: Vec<String> = (0..300)
+        .map(|i| {
+            let c = (i % 3) as f32 * 5.0 + i as f32 * 1e-3;
+            format!("({i}, 'l{}', [{c}, {:.3}, {:.3}, {:.3}])", i % 2, c + 0.1, c + 0.2, c - 0.1)
+        })
+        .collect();
+    db.execute(&format!("INSERT INTO docs VALUES {}", rows.join(", "))).expect("insert");
+
+    // 1. A directly traced query must record spans.
+    let tracer = db.metrics().tracer().clone();
+    tracer.set_enabled(true);
+    db.execute(
+        "SELECT id FROM docs WHERE label = 'l0' \
+         ORDER BY L2Distance(emb, [0.1, 0.2, 0.3, 0.0]) LIMIT 5",
+    )
+    .expect("traced query");
+    tracer.set_enabled(false);
+    let spans = tracer.drain();
+    assert!(!spans.is_empty(), "traced query produced no spans");
+    let have = |name: &str| spans.iter().any(|s| s.name == name);
+    for required in ["bind", "plan", "exec", "exec.vector"] {
+        assert!(have(required), "missing span {required:?}; got {spans:?}");
+    }
+    println!("traced query recorded {} spans", spans.len());
+
+    // 2. EXPLAIN ANALYZE must render a non-empty stage tree.
+    let out = db
+        .execute(
+            "EXPLAIN ANALYZE SELECT id FROM docs \
+             ORDER BY L2Distance(emb, [5.0, 5.1, 5.2, 4.9]) LIMIT 3",
+        )
+        .expect("explain analyze");
+    let QueryOutput::Rows(profile) = out else { panic!("EXPLAIN ANALYZE returned no rows") };
+    let text: Vec<String> = profile
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Str(s) => s.clone(),
+            other => panic!("profile cell is not a string: {other:?}"),
+        })
+        .collect();
+    assert!(
+        text.first().is_some_and(|l| l.starts_with("query  ")),
+        "profile does not start with the root query span: {text:?}"
+    );
+    assert!(text.len() > 3, "profile has no stage tree: {text:?}");
+    println!("--- EXPLAIN ANALYZE ---");
+    for line in &text {
+        println!("{line}");
+    }
+
+    // 3. Metrics exposition carries the query's counters.
+    let metrics = db.metrics_text();
+    assert!(metrics.contains("remote_get_bytes"), "metrics text missing remote_get_bytes");
+    println!("trace smoke OK");
+}
