@@ -118,7 +118,10 @@ struct BatchQueryState<'q> {
     pending: Vec<Arc<SegmentMeta>>,
     global: TopK<(SegmentId, u32)>,
     k: usize,
-    bound: Option<SharedBound>,
+    /// Shared across *identical* statements in the batch (same column, k,
+    /// query vector, and predicate), so duplicate queries tighten one
+    /// common bound instead of each rediscovering it.
+    bound: Option<Arc<SharedBound>>,
     done: bool,
 }
 
@@ -363,6 +366,12 @@ impl QueryEngine {
 
         let mut results: Vec<Option<ResultSet>> = (0..batch.len()).map(|_| None).collect();
         let mut states: Vec<Option<BatchQueryState<'_>>> = Vec::with_capacity(batch.len());
+        // Cross-query bound dedup: identical pure top-k statements (same
+        // column, k, query bits, predicate) share ONE bound. The key must
+        // include the predicate — an unfiltered query's kth distance would
+        // unsoundly prune a filtered query's sparser candidate set.
+        type BoundKey = (String, usize, Vec<u32>, String);
+        let mut bound_pool: BTreeMap<BoundKey, Arc<SharedBound>> = BTreeMap::new();
         for (i, sel) in batch.iter().enumerate() {
             let Some(v) = &sel.vector else {
                 // Scalar statements don't participate in the vector fan-out.
@@ -381,6 +390,17 @@ impl QueryEngine {
             // never prunes anyway.
             let share = opts.share_bound && v.k.is_some() && v.range.is_none();
             let pending = selection.scheduled.clone();
+            let bound = share.then(|| {
+                let key: BoundKey = (
+                    v.column.clone(),
+                    k,
+                    v.query.iter().map(|f| f.to_bits()).collect(),
+                    format!("{:?}", sel.predicate),
+                );
+                Arc::clone(
+                    bound_pool.entry(key).or_insert_with(|| Arc::new(SharedBound::new())),
+                )
+            });
             states.push(Some(BatchQueryState {
                 sel,
                 v,
@@ -389,7 +409,7 @@ impl QueryEngine {
                 pending,
                 global: TopK::new(k),
                 k,
-                bound: share.then(SharedBound::new),
+                bound,
                 done: false,
             }));
         }
@@ -463,10 +483,17 @@ impl QueryEngine {
             }
         }
 
+        // Skips accumulate on the (possibly shared) bound: count each
+        // distinct bound once, not once per statement that aliases it.
+        let mut counted: Vec<*const SharedBound> = Vec::new();
         for (qi, st) in states.into_iter().enumerate() {
             let Some(st) = st else { continue };
             if let Some(b) = &st.bound {
-                self.metrics.counter("query.bound_skips").add(b.skips());
+                let p = Arc::as_ptr(b);
+                if !counted.contains(&p) {
+                    counted.push(p);
+                    self.metrics.counter("query.bound_skips").add(b.skips());
+                }
             }
             let mut hits = st.global.into_sorted();
             if let Some(r) = st.v.range {
@@ -612,7 +639,7 @@ impl QueryEngine {
                 // `task_span` is still open on this thread, so the segment
                 // search span parents from the TLS stack.
                 let ctx =
-                    SegCtx { bound: st.bound.as_ref(), pin: pin.as_ref(), trace_parent: None };
+                    SegCtx { bound: st.bound.as_deref(), pin: pin.as_ref(), trace_parent: None };
                 let r = self.search_one_segment(
                     table,
                     vw,
@@ -1035,7 +1062,7 @@ impl QueryEngine {
                         )?,
                     },
                 };
-                hits = self.maybe_refine(table, vw, meta, v, opts, hits, k)?;
+                hits = self.maybe_refine(table, vw, meta, v, opts, hits, k, ctx.bound)?;
                 if let Some(r) = v.range {
                     hits.retain(|nb| nb.distance <= r);
                 }
@@ -1081,7 +1108,8 @@ impl QueryEngine {
                     } else {
                         visible
                     };
-                    let mut hits = self.maybe_refine(table, vw, meta, v, opts, passing, k)?;
+                    let mut hits =
+                        self.maybe_refine(table, vw, meta, v, opts, passing, k, ctx.bound)?;
                     if let Some(r) = v.range {
                         hits.retain(|nb| nb.distance <= r);
                     }
@@ -1132,6 +1160,7 @@ impl QueryEngine {
                         hits,
                         k,
                         index.needs_refine(),
+                        ctx.bound,
                     )?;
                     hits.truncate(k);
                     return Ok(hits);
@@ -1194,6 +1223,7 @@ impl QueryEngine {
                     collected,
                     k,
                     index.needs_refine(),
+                    ctx.bound,
                 )?;
                 if let Some(r) = v.range {
                     hits.retain(|nb| nb.distance <= r);
@@ -1224,6 +1254,7 @@ impl QueryEngine {
     }
 
     /// Refine through the VW-assigned worker.
+    #[allow(clippy::too_many_arguments)]
     fn maybe_refine(
         &self,
         table: &TableStore,
@@ -1233,6 +1264,7 @@ impl QueryEngine {
         opts: &QueryOptions,
         hits: Vec<Neighbor>,
         k: usize,
+        bnd: Option<&SharedBound>,
     ) -> Result<Vec<Neighbor>> {
         let needs = table
             .schema()
@@ -1253,11 +1285,17 @@ impl QueryEngine {
             return Ok(hits);
         }
         with_segment_retry(vw, meta, |worker| {
-            self.maybe_refine_on(table, &worker, meta, v, opts, hits.clone(), k, true)
+            self.maybe_refine_on(table, &worker, meta, v, opts, hits.clone(), k, true, bnd)
         })
     }
 
     /// Exact-distance re-rank of the top `σ·k` candidates (`σ·k·c_d`).
+    ///
+    /// When the query carries a shared bound, a full refined top-k also
+    /// *publishes*: the segment-local exact k-th distance is an upper
+    /// bound on the global k-th, so CAS-min'ing it into the bound is sound
+    /// and lets quantized sibling-segment scans prune against it even
+    /// though their own (approximate) scans never publish.
     #[allow(clippy::too_many_arguments)]
     fn maybe_refine_on(
         &self,
@@ -1269,6 +1307,7 @@ impl QueryEngine {
         mut hits: Vec<Neighbor>,
         k: usize,
         needs_refine: bool,
+        bnd: Option<&SharedBound>,
     ) -> Result<Vec<Neighbor>> {
         if !needs_refine || hits.is_empty() {
             hits.truncate(k.max(hits.len().min(k))); // keep at most k
@@ -1278,6 +1317,9 @@ impl QueryEngine {
         let mut refined = worker.refine_distances(table, meta, &v.query, v.metric, &hits)?;
         refined.truncate(k);
         self.metrics.counter("query.refined").add(refined.len() as u64);
+        if let (Some(b), Some(kth)) = (bnd, refined.get(k.wrapping_sub(1))) {
+            b.update(kth.distance);
+        }
         Ok(refined)
     }
 
@@ -1900,6 +1942,47 @@ mod tests {
             engine.metrics.counter_value("query.bound_skips") > 0,
             "shared bound should have skipped candidates in later segments"
         );
+    }
+
+    #[test]
+    fn quantized_batch_with_shared_bound_matches_sequential() {
+        // Quantized indexes now participate in the shared bound (margin
+        // pruning + refine publication) instead of opting out. Batches with
+        // duplicate statements (which share ONE bound) and a filtered
+        // variant (which must NOT share the unfiltered bound) must still be
+        // bit-identical to sequential execution, with a nonzero skip rate.
+        for kind in [IndexKind::IvfPqFs, IndexKind::IvfPq, IndexKind::HnswSq] {
+            let (ts, vw, engine) = setup(600, kind, 50);
+            let sqls = [
+                "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 5",
+                "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 5",
+                "SELECT id FROM t WHERE label = 'l0' \
+                 ORDER BY L2Distance(emb, [0.0, 0.1, 0.2, -0.1]) LIMIT 5",
+                "SELECT id FROM t ORDER BY L2Distance(emb, [12.0, 12.1, 12.2, 11.9]) LIMIT 5",
+            ];
+            let stmts: Vec<SelectStmt> = sqls
+                .iter()
+                .map(|s| match bh_sql::parse_statement(s).unwrap() {
+                    bh_sql::Statement::Select(sel) => sel,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            // Sequential segment order so the first segment's refined k-th
+            // is published before later segments scan.
+            let opts = QueryOptions { intra_query_parallelism: 1, ..Default::default() };
+            let seq: Vec<ResultSet> = stmts
+                .iter()
+                .map(|s| engine.execute_select(&ts, &vw, &opts, s).unwrap())
+                .collect();
+            let batched = engine.execute_select_batch(&ts, &vw, &opts, &stmts).unwrap();
+            for (i, (s, b)) in seq.iter().zip(&batched).enumerate() {
+                assert_eq!(s.rows, b.rows, "statement {i} ({kind:?})");
+            }
+            assert!(
+                engine.metrics.counter_value("query.bound_skips") > 0,
+                "{kind:?}: quantized scans should have skipped far candidates"
+            );
+        }
     }
 
     #[test]

@@ -30,7 +30,11 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"BHHN";
-const VERSION: u16 = 1;
+/// v2 appends a reconstruction-radius section to the SQ store payload
+/// (`flag u8` + `f32 rho`), the measured max ‖x − decode(encode(x))‖ over
+/// all build rows. v1 blobs load with `rho = None`, which disables the
+/// SQ margin-pruning path (bound searches fall back to plain search).
+const VERSION: u16 = 2;
 
 /// Ordered (distance, node) pair for binary heaps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,8 +60,19 @@ impl Ord for DistNode {
 /// Vector payload storage: raw or scalar-quantized.
 #[derive(Debug, Clone)]
 enum Store {
-    Raw { data: Vec<f32> },
-    Sq { sq: Sq8, codes: Vec<u8> },
+    Raw {
+        data: Vec<f32>,
+    },
+    Sq {
+        sq: Sq8,
+        codes: Vec<u8>,
+        /// Max reconstruction radius ‖x − decode(encode(x))‖ measured over
+        /// the build rows at `finish()`. Turns asymmetric SQ distances into
+        /// conservative lower bounds on exact distances (triangle
+        /// inequality), letting HNSWSQ prune against a [`SharedBound`].
+        /// `None` for pre-v2 payloads: margin pruning disabled.
+        rho: Option<f32>,
+    },
 }
 
 impl Store {
@@ -77,7 +92,7 @@ impl Store {
     fn distance_to(&self, metric: Metric, dim: usize, query: &[f32], row: usize) -> f32 {
         match self {
             Store::Raw { data } => metric.distance(query, &data[row * dim..(row + 1) * dim]),
-            Store::Sq { sq, codes } => {
+            Store::Sq { sq, codes, .. } => {
                 let code = &codes[row * dim..(row + 1) * dim];
                 match metric {
                     Metric::L2 => sq.asym_l2(query, code),
@@ -93,7 +108,7 @@ impl Store {
     fn memory_usage(&self) -> usize {
         match self {
             Store::Raw { data } => data.len() * 4,
-            Store::Sq { sq, codes } => codes.len() + sq.memory_usage(),
+            Store::Sq { sq, codes, .. } => codes.len() + sq.memory_usage(),
         }
     }
 }
@@ -197,7 +212,7 @@ impl HnswIndex {
     /// Deserialize an index written by [`VectorIndex::save_bytes`].
     pub fn load_bytes(bytes: &[u8]) -> Result<HnswIndex> {
         let mut r = Reader::new(bytes);
-        let _v = r.expect_header(MAGIC)?;
+        let version = r.expect_header(MAGIC)?;
         let kind = match r.get_u8()? {
             0 => IndexKind::Hnsw,
             1 => IndexKind::HnswSq,
@@ -223,7 +238,17 @@ impl HnswIndex {
             0 => Store::Raw { data: r.get_f32_vec()? },
             1 => {
                 let sq = Sq8::load(&mut r)?;
-                Store::Sq { sq, codes: r.get_bytes()? }
+                let codes = r.get_bytes()?;
+                let rho = if version >= 2 {
+                    match r.get_u8()? {
+                        0 => None,
+                        1 => Some(r.get_f32()?),
+                        x => return Err(BhError::Serde(format!("hnsw: bad rho flag {x}"))),
+                    }
+                } else {
+                    None
+                };
+                Store::Sq { sq, codes, rho }
             }
             x => return Err(BhError::Serde(format!("hnsw: bad store byte {x}"))),
         };
@@ -281,18 +306,38 @@ impl VectorIndex for HnswIndex {
         let Some(b) = bound else {
             return self.search_with_filter(query, k, params, filter);
         };
-        if matches!(self.store, Store::Sq { .. }) {
-            // SQ-compressed nodes yield approximate distances: no pruning and
-            // nothing exact to publish.
-            return self.search_with_filter(query, k, params, filter);
-        }
+        // SQ stores yield asymmetric (approximate) distances. With a measured
+        // reconstruction radius rho they still admit conservative lower
+        // bounds on the exact distance (triangle inequality), so HNSWSQ can
+        // *prune* against the shared bound — but never publish to it:
+        //
+        //   L2:  ‖q − x‖ ≥ ‖q − x̂‖ − ‖x − x̂‖ ≥ sqrt(d_sq) − rho
+        //        lower bound = max(0, sqrt(d_sq) − rho)²
+        //   IP:  ⟨q, x⟩ ≤ ⟨q, x̂⟩ + ‖q‖·rho (Cauchy-Schwarz)
+        //        lower bound = d_sq − ‖q‖·rho      (d = −⟨q, x⟩)
+        //
+        // Cosine over SQ measures distance to the *reconstruction* with no
+        // usable margin relation, and v1 payloads carry no rho — both fall
+        // back to the plain search.
+        let sq_margin = match &self.store {
+            Store::Raw { .. } => None,
+            Store::Sq { rho: Some(rho), .. } if self.metric != Metric::Cosine => Some(*rho),
+            Store::Sq { .. } => {
+                return self.search_with_filter(query, k, params, filter);
+            }
+        };
         self.check_query(query)?;
         if self.n() == 0 || k == 0 {
             return Ok(Vec::new());
         }
+        let exact = matches!(self.store, Store::Raw { .. });
+        let q_norm = match (sq_margin, self.metric) {
+            (Some(_), Metric::InnerProduct) => crate::distance::dot(query, query).sqrt(),
+            _ => 0.0,
+        };
         // The graph traversal itself is untouched — pruning mid-walk would
-        // change which neighborhoods get explored. Only the final exact
-        // candidate list participates in the shared bound.
+        // change which neighborhoods get explored. Only the final candidate
+        // list participates in the shared bound.
         let ef = params.ef_search.max(k);
         let entry = self.greedy_to_level(query, self.entry, self.max_level, 0);
         let ef = if filter.is_some() { ef.saturating_mul(2) } else { ef };
@@ -306,11 +351,21 @@ impl VectorIndex for HnswIndex {
                     continue;
                 }
             }
-            if c.dist > b.get() {
+            let lower = match (sq_margin, self.metric) {
+                (Some(rho), Metric::L2) => {
+                    let base = (c.dist.max(0.0).sqrt() - rho).max(0.0);
+                    base * base
+                }
+                (Some(rho), _) => c.dist - q_norm * rho,
+                (None, _) => c.dist,
+            };
+            if lower > b.get() {
                 skipped += 1;
                 continue;
             }
-            if tk.push(c.dist, id) && tk.is_full() {
+            // Only exact distances may tighten the shared bound; approximate
+            // SQ distances could over-prune sibling segments.
+            if tk.push(c.dist, id) && tk.is_full() && exact {
                 b.update(tk.threshold());
             }
         }
@@ -415,10 +470,18 @@ impl VectorIndex for HnswIndex {
                 w.put_u8(0);
                 w.put_f32_slice(data);
             }
-            Store::Sq { sq, codes } => {
+            Store::Sq { sq, codes, rho } => {
                 w.put_u8(1);
                 sq.save(&mut w);
                 w.put_bytes(codes);
+                // v2 margin section.
+                match rho {
+                    Some(r) => {
+                        w.put_u8(1);
+                        w.put_f32(*r);
+                    }
+                    None => w.put_u8(0),
+                }
             }
         }
         Ok(w.finish())
@@ -713,10 +776,22 @@ impl IndexBuilder for HnswBuilder {
                     .ok_or_else(|| BhError::Index("hnswsq: finish before train/add".into()))?;
                 let n = self.ids.len();
                 let mut codes = Vec::with_capacity(n * dim);
+                // Measure the actual reconstruction radius over the build
+                // rows rather than trusting the per-dimension step bound:
+                // `encode` clamps out-of-range values, so drifted rows can
+                // exceed step/2 per dimension — the measured max is the
+                // sound margin for exactly this data.
+                let mut rho_sq = 0.0f32;
                 for i in 0..n {
-                    codes.extend(sq.encode(&self.raw[i * dim..(i + 1) * dim])?);
+                    let row = &self.raw[i * dim..(i + 1) * dim];
+                    let code = sq.encode(row)?;
+                    let recon = sq.decode(&code);
+                    let err: f32 =
+                        row.iter().zip(&recon).map(|(a, b)| (a - b) * (a - b)).sum();
+                    rho_sq = rho_sq.max(err);
+                    codes.extend(code);
                 }
-                Store::Sq { sq, codes }
+                Store::Sq { sq, codes, rho: Some(rho_sq.max(0.0).sqrt()) }
             }
             // lint: allow(panic) - the builder constructor rejects every
             // kind except Hnsw and HnswSq before this point
@@ -947,6 +1022,70 @@ mod tests {
             hnswsq.search_with_filter(q, 5, &params, None).unwrap(),
             loaded.search_with_filter(q, 5, &params, None).unwrap()
         );
+    }
+
+    #[test]
+    fn sq_bound_prunes_far_candidates_without_dropping_true_ones() {
+        let dim = 8;
+        let n = 300;
+        let (hnswsq, flat, data) = build_pair(n, dim, IndexKind::HnswSq, 12);
+        // Wide beam on small clusters so the candidate list spans clusters:
+        // far-cluster candidates sit ~4 per dim away, far outside the
+        // rho-adjusted lower bound.
+        let params = SearchParams::default().with_ef(160);
+        let q = &data[0..dim];
+        let k = 40;
+        let truth = flat.search_with_filter(q, 10, &params, None).unwrap();
+        let bound_val = truth[9].distance;
+        let b = SharedBound::new();
+        b.update(bound_val);
+        let plain = hnswsq.search_with_filter(q, k, &params, None).unwrap();
+        let got = hnswsq.search_with_bound(q, k, &params, None, Some(&b)).unwrap();
+        assert!(b.skips() > 0, "tight bound produced no skips");
+        let got_ids: Vec<u64> = got.iter().map(|nb| nb.id).collect();
+        for cand in &plain {
+            let row = &data[cand.id as usize * dim..(cand.id as usize + 1) * dim];
+            let exact = Metric::L2.distance(q, row);
+            assert!(
+                exact > bound_val || got_ids.contains(&cand.id),
+                "candidate {} (exact {exact} <= bound {bound_val}) was pruned",
+                cand.id
+            );
+        }
+        // Roundtrip keeps rho, so the loaded index prunes too.
+        let loaded = HnswIndex::load_bytes(&hnswsq.save_bytes().unwrap()).unwrap();
+        let b2 = SharedBound::new();
+        b2.update(bound_val);
+        let got2 = loaded.search_with_bound(q, k, &params, None, Some(&b2)).unwrap();
+        assert_eq!(got, got2);
+        assert_eq!(b.skips(), b2.skips());
+    }
+
+    #[test]
+    fn sq_v1_blob_without_rho_loads_and_falls_back() {
+        let dim = 8;
+        let (hnswsq, _, data) = build_pair(200, dim, IndexKind::HnswSq, 13);
+        let mut v1 = hnswsq.save_bytes().unwrap().to_vec();
+        // Rewrite the header version (bytes [4,6) little-endian) to 1 and
+        // strip the v2 rho section (flag byte + f32).
+        v1[4] = 1;
+        v1[5] = 0;
+        v1.truncate(v1.len() - 5);
+        let loaded = HnswIndex::load_bytes(&v1).unwrap();
+        let params = SearchParams::default().with_ef(96);
+        let q = &data[0..dim];
+        assert_eq!(
+            hnswsq.search_with_filter(q, 5, &params, None).unwrap(),
+            loaded.search_with_filter(q, 5, &params, None).unwrap(),
+            "v1 payload must search identically"
+        );
+        // No rho → the bound path must fall back: nothing skipped even
+        // under an impossibly tight bound.
+        let b = SharedBound::new();
+        b.update(0.0);
+        let got = loaded.search_with_bound(q, 5, &params, None, Some(&b)).unwrap();
+        assert_eq!(got, loaded.search_with_filter(q, 5, &params, None).unwrap());
+        assert_eq!(b.skips(), 0);
     }
 
     #[test]

@@ -6,19 +6,29 @@
 //! * `IVFFLAT` — raw vectors per cell, exact in-cell distances.
 //! * `IVFPQ` — 8-bit product-quantized **residuals** (vector minus its cell
 //!   centroid), scanned with per-cell ADC tables.
-//! * `IVFPQFS` — 4-bit PQ residuals (fast-scan code layout): smallest memory
-//!   and fastest build of the three, lowest recall — the trade-off Table V /
-//!   Table VI / Fig. 13 characterize.
+//! * `IVFPQFS` — 4-bit PQ residuals stored in the 32-vector *blocked*
+//!   fast-scan layout and scanned with in-register shuffle LUTs
+//!   ([`crate::quant::fastscan`]): smallest memory and fastest scan of the
+//!   three, lowest recall — the trade-off Table V / Table VI / Fig. 13
+//!   characterize.
 //!
 //! PQ variants report approximate distances and set
 //! [`VectorIndex::needs_refine`], letting the executor re-rank `σ·k`
 //! candidates with exact distances (the refine term in cost Eqs. 2–3).
+//!
+//! Quantized scans still participate in cross-segment [`SharedBound`]
+//! pruning: the index records the worst per-subspace encoding error at build
+//! time, which yields a sound *lower bound* on any candidate's exact
+//! distance (DESIGN.md §10). Candidates whose lower bound exceeds the shared
+//! exact threshold are dropped after the scan; approximate distances are
+//! never *published* to the bound.
 
 use crate::codec::{Reader, Writer};
 use crate::flat::{metric_from_u8, metric_to_u8};
 use crate::iterator::{GenericSearchIterator, SearchIterator};
 use crate::kmeans::{train_kmeans, KMeans, KMeansParams};
-use crate::quant::pq::{CodeBits, Pq, PqParams};
+use crate::quant::fastscan::FastScanCodes;
+use crate::quant::pq::{AdcTable, CodeBits, Pq, PqParams};
 use crate::types::{
     check_batch, IndexBuilder, IndexMeta, IndexSpec, Neighbor, SearchParams, VectorIndex,
 };
@@ -29,13 +39,35 @@ use bytes::Bytes;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"BHIV";
-const VERSION: u16 = 1;
+/// v2 appends the per-subspace worst-case encoding errors for PQ payloads
+/// (the margins behind bound-aware quantized pruning); v1 blobs still load,
+/// with margins absent and bound pruning disabled.
+const VERSION: u16 = 2;
+
+/// PQ code storage. 8-bit codes stay packed per cell; 4-bit codes keep only
+/// the blocked fast-scan transpose (same byte count, register-shuffle
+/// friendly) and reconstruct packed bytes on demand for serialization.
+#[derive(Debug, Clone)]
+enum PqStore {
+    Bytes(Vec<Vec<u8>>),
+    Blocked(Vec<FastScanCodes>),
+}
 
 /// Per-cell payload.
 #[derive(Debug, Clone)]
 enum Cells {
-    Flat { vectors: Vec<Vec<f32>> },
-    Pq { pq: Pq, codes: Vec<Vec<u8>> },
+    Flat {
+        vectors: Vec<Vec<f32>>,
+    },
+    Pq {
+        pq: Pq,
+        store: PqStore,
+        /// Per-subspace maximum squared encoding error over every stored
+        /// vector (`m` entries). `sqrt(sum)` bounds any stored vector's
+        /// reconstruction error — the margin that makes pruning quantized
+        /// distances against an exact bound sound. `None` for v1 blobs.
+        margins: Option<Vec<f32>>,
+    },
 }
 
 /// An immutable IVF index.
@@ -122,12 +154,13 @@ impl IvfIndex {
                     tk.push(d * scale, id);
                 }
             }
-            Cells::Pq { pq, codes } => {
+            Cells::Pq { pq, store, .. } => {
                 // Residual ADC table for this cell.
                 let centroid = self.coarse.centroid(cell);
                 let resid: Vec<f32> = q.iter().zip(centroid).map(|(a, b)| a - b).collect();
                 let Ok(table) = pq.adc_table(&resid) else { return };
-                let cs = pq.code_size();
+                let mut out = Vec::new();
+                self.pq_cell_distances(pq, store, cell, &table, &mut out);
                 for (i, &id) in self.ids[cell].iter().enumerate() {
                     *visited += 1;
                     if let Some(f) = filter {
@@ -135,17 +168,60 @@ impl IvfIndex {
                             continue;
                         }
                     }
-                    let d = table.distance(&codes[cell][i * cs..(i + 1) * cs]);
-                    tk.push(d * scale, id);
+                    tk.push(out[i] * scale, id);
                 }
             }
         }
     }
 
+    /// Fill `out` with the (unscaled) approximate distance of every row in
+    /// `cell`. Returns the quantization error bound of the produced values:
+    /// positive when the u8 fast-scan kernel ran, zero when the exact f32
+    /// ADC table was used. Both [`Self::scan_cell`] and the bound-aware path
+    /// go through here so batched and sequential executions see identical
+    /// candidate distances.
+    fn pq_cell_distances(
+        &self,
+        pq: &Pq,
+        store: &PqStore,
+        cell: usize,
+        table: &AdcTable,
+        out: &mut Vec<f32>,
+    ) -> f32 {
+        let n = self.ids[cell].len();
+        out.clear();
+        out.resize(n, 0.0);
+        match store {
+            PqStore::Bytes(codes) => {
+                let cs = pq.code_size();
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = table.distance(&codes[cell][i * cs..(i + 1) * cs]);
+                }
+                0.0
+            }
+            PqStore::Blocked(cells) => {
+                let codes = &cells[cell];
+                if let Some(lut) = table.quantized() {
+                    if lut.scan(codes, out).is_ok() {
+                        return lut.error_bound();
+                    }
+                }
+                // Unquantizable table: exact f32 ADC over reconstructed
+                // per-vector codes.
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = table.distance(&codes.code_bytes(i));
+                }
+                0.0
+            }
+        }
+    }
+
     /// Deserialize an index written by [`VectorIndex::save_bytes`].
+    /// Accepts both the current v2 layout and v1 blobs (which carry no
+    /// margin section — bound-aware pruning is then disabled).
     pub fn load_bytes(bytes: &[u8]) -> Result<IvfIndex> {
         let mut r = Reader::new(bytes);
-        let _v = r.expect_header(MAGIC)?;
+        let version = r.expect_header(MAGIC)?;
         let kind = match r.get_u8()? {
             0 => IndexKind::IvfFlat,
             1 => IndexKind::IvfPq,
@@ -175,11 +251,47 @@ impl IvfIndex {
             }
             1 => {
                 let pq = Pq::load(&mut r)?;
+                let cs = pq.code_size();
                 let mut codes = Vec::with_capacity(nlist);
-                for _ in 0..nlist {
-                    codes.push(r.get_bytes()?);
+                for cell_ids in ids.iter().take(nlist) {
+                    let cell = r.get_bytes()?;
+                    if cell.len() != cell_ids.len() * cs {
+                        return Err(BhError::Serde("ivf: pq cell size mismatch".into()));
+                    }
+                    codes.push(cell);
                 }
-                Cells::Pq { pq, codes }
+                let store = match pq.bits() {
+                    CodeBits::B8 => PqStore::Bytes(codes),
+                    CodeBits::B4 => {
+                        // Rebuild the blocked fast-scan transpose from the
+                        // on-disk packed layout.
+                        let mut blocked = Vec::with_capacity(nlist);
+                        for cell in &codes {
+                            let mut fc = FastScanCodes::new(cs);
+                            for code in cell.chunks_exact(cs) {
+                                fc.push(code)?;
+                            }
+                            blocked.push(fc);
+                        }
+                        PqStore::Blocked(blocked)
+                    }
+                };
+                let margins = if version >= 2 {
+                    match r.get_u8()? {
+                        0 => None,
+                        1 => {
+                            let mg = r.get_f32_vec()?;
+                            if mg.len() != pq.m() {
+                                return Err(BhError::Serde("ivf: corrupt margin section".into()));
+                            }
+                            Some(mg)
+                        }
+                        x => return Err(BhError::Serde(format!("ivf: bad margin flag {x}"))),
+                    }
+                } else {
+                    None
+                };
+                Cells::Pq { pq, store, margins }
             }
             x => return Err(BhError::Serde(format!("ivf: bad payload byte {x}"))),
         };
@@ -222,10 +334,157 @@ impl VectorIndex for IvfIndex {
         filter: Option<&Bitset>,
         bound: Option<&SharedBound>,
     ) -> Result<Vec<Neighbor>> {
-        let (Some(b), Cells::Flat { vectors }) = (bound, &self.cells) else {
-            // PQ cells return ADC approximations: never prune on or publish
-            // an approximate distance — fall back to the plain path.
+        let Some(b) = bound else {
             return self.search_with_filter(query, k, params, filter);
+        };
+        match &self.cells {
+            Cells::Flat { .. } => self.flat_search_with_bound(query, k, params, filter, b),
+            Cells::Pq { pq, store, margins } => {
+                // Margin pruning needs build-time margins (v2 blobs) and a
+                // metric whose approximate scan value bounds the exact
+                // distance from below — L2, and Cosine via normalized L2.
+                // The residual-IP approximation has no such relation, and a
+                // v1 blob carries no margins: both fall back to the plain
+                // path (no pruning, no publishing).
+                let (Some(margins), false) = (margins, self.metric == Metric::InnerProduct) else {
+                    return self.search_with_filter(query, k, params, filter);
+                };
+                self.pq_search_with_bound(pq, store, margins, query, k, params, filter, b)
+            }
+        }
+    }
+
+    fn search_with_range(
+        &self,
+        query: &[f32],
+        radius: f32,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        if self.len == 0 {
+            return Ok(Vec::new());
+        }
+        let q = self.prep_query(query);
+        let nprobe = params.nprobe.clamp(1, self.nlist());
+        let probes = self.coarse.nearest_centroids(&q, nprobe);
+        // Collect everything within radius from the probed cells.
+        let mut tk = TopK::new(self.len);
+        let mut visited = 0usize;
+        for (cell, _) in probes {
+            self.scan_cell(cell, &q, filter, &mut tk, &mut visited);
+        }
+        Ok(tk
+            .into_sorted()
+            .into_iter()
+            .filter(|s| s.distance <= radius)
+            .map(|s| Neighbor::new(s.item, s.distance))
+            .collect())
+    }
+
+    fn search_iterator<'a>(
+        &'a self,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<Box<dyn SearchIterator + 'a>> {
+        self.check_query(query)?;
+        // IVF has no natural incremental order → generic doubling-k wrapper.
+        Ok(Box::new(GenericSearchIterator::new(self, query, params)))
+    }
+
+    fn needs_refine(&self) -> bool {
+        matches!(self.cells, Cells::Pq { .. })
+    }
+
+    fn memory_usage(&self) -> usize {
+        let id_bytes: usize = self.ids.iter().map(|v| v.len() * 8 + 24).sum();
+        let cell_bytes: usize = match &self.cells {
+            Cells::Flat { vectors } => vectors.iter().map(|v| v.len() * 4 + 24).sum(),
+            Cells::Pq { pq, store, margins } => {
+                let code_bytes: usize = match store {
+                    PqStore::Bytes(codes) => codes.iter().map(|c| c.len() + 24).sum(),
+                    PqStore::Blocked(cells) => cells.iter().map(|c| c.memory_usage()).sum(),
+                };
+                pq.memory_usage()
+                    + code_bytes
+                    + margins.as_ref().map_or(0, |m| m.len() * 4 + 24)
+            }
+        };
+        self.coarse.centroids.len() * 4 + id_bytes + cell_bytes + std::mem::size_of::<Self>()
+    }
+
+    fn save_bytes(&self) -> Result<Bytes> {
+        let mut w = Writer::with_header(MAGIC, VERSION);
+        w.put_u8(match self.kind {
+            IndexKind::IvfFlat => 0,
+            IndexKind::IvfPq => 1,
+            IndexKind::IvfPqFs => 2,
+            _ => return Err(BhError::Internal("ivf: impossible kind".into())),
+        });
+        w.put_u64(self.dim as u64);
+        w.put_u8(metric_to_u8(self.metric));
+        w.put_u64(self.nlist() as u64);
+        w.put_f32_slice(&self.coarse.centroids);
+        for cell in &self.ids {
+            w.put_u64_slice(cell);
+        }
+        match &self.cells {
+            Cells::Flat { vectors } => {
+                w.put_u8(0);
+                for v in vectors {
+                    w.put_f32_slice(v);
+                }
+            }
+            Cells::Pq { pq, store, margins } => {
+                w.put_u8(1);
+                pq.save(&mut w);
+                // Cells keep the v1 packed per-vector byte layout on disk;
+                // the blocked transpose is rebuilt at load time.
+                match store {
+                    PqStore::Bytes(codes) => {
+                        for c in codes {
+                            w.put_bytes(c);
+                        }
+                    }
+                    PqStore::Blocked(cells) => {
+                        let mut buf = Vec::new();
+                        for c in cells {
+                            buf.clear();
+                            for i in 0..c.len() {
+                                buf.extend(c.code_bytes(i));
+                            }
+                            w.put_bytes(&buf);
+                        }
+                    }
+                }
+                // v2 margin section.
+                match margins {
+                    Some(mg) => {
+                        w.put_u8(1);
+                        w.put_f32_slice(mg);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+        }
+        Ok(w.finish())
+    }
+}
+
+impl IvfIndex {
+    /// Exact-distance bounded scan over flat cells: prunes on and publishes
+    /// to the shared bound (distances are exact, in the post-scale domain
+    /// for cosine).
+    fn flat_search_with_bound(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+        b: &SharedBound,
+    ) -> Result<Vec<Neighbor>> {
+        let Cells::Flat { vectors } = &self.cells else {
+            return Err(BhError::Internal("ivf: flat bound path on pq cells".into()));
         };
         self.check_query(query)?;
         if self.len == 0 || k == 0 {
@@ -285,90 +544,82 @@ impl VectorIndex for IvfIndex {
         Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
     }
 
-    fn search_with_range(
+    /// Bound-aware scan over PQ cells: runs the *same* quantized scan as the
+    /// unbounded path (identical candidate values, so batched and sequential
+    /// executions merge identically), then drops candidates whose exact
+    /// distance provably exceeds the shared exact threshold.
+    ///
+    /// For a candidate reported at quantized distance `d` (unscaled), the
+    /// exact f32 ADC value is at least `d - err_q`, the distance to the
+    /// *reconstruction* is at least `sqrt(max(0, d - err_q))`, and by the
+    /// triangle inequality the distance to the true vector is at least that
+    /// minus `rho = sqrt(sum of per-subspace worst-case squared errors)`.
+    /// Squaring (and post-scaling for cosine) gives a lower bound on the
+    /// exact distance; a candidate is skipped only when that bound strictly
+    /// exceeds `b.get()`. Approximate distances are never published.
+    #[allow(clippy::too_many_arguments)]
+    fn pq_search_with_bound(
         &self,
+        pq: &Pq,
+        store: &PqStore,
+        margins: &[f32],
         query: &[f32],
-        radius: f32,
+        k: usize,
         params: &SearchParams,
         filter: Option<&Bitset>,
+        b: &SharedBound,
     ) -> Result<Vec<Neighbor>> {
         self.check_query(query)?;
-        if self.len == 0 {
+        if self.len == 0 || k == 0 {
             return Ok(Vec::new());
         }
         let q = self.prep_query(query);
+        let scale = self.post_scale();
         let nprobe = params.nprobe.clamp(1, self.nlist());
         let probes = self.coarse.nearest_centroids(&q, nprobe);
-        // Collect everything within radius from the probed cells.
-        let mut tk = TopK::new(self.len);
-        let mut visited = 0usize;
+        let mut tk = TopK::new(k);
+        let mut max_errq = 0.0f32;
+        let mut out: Vec<f32> = Vec::new();
         for (cell, _) in probes {
-            self.scan_cell(cell, &q, filter, &mut tk, &mut visited);
+            if self.ids[cell].is_empty() {
+                continue;
+            }
+            let centroid = self.coarse.centroid(cell);
+            let resid: Vec<f32> = q.iter().zip(centroid).map(|(a, b)| a - b).collect();
+            let Ok(table) = pq.adc_table(&resid) else { continue };
+            let errq = self.pq_cell_distances(pq, store, cell, &table, &mut out);
+            // Cells may differ in LUT quantization step; the max across
+            // probed cells is a uniform (conservative) error bound.
+            max_errq = max_errq.max(errq);
+            for (i, &id) in self.ids[cell].iter().enumerate() {
+                if let Some(f) = filter {
+                    if !f.contains(id as usize) {
+                        continue;
+                    }
+                }
+                tk.push(out[i] * scale, id);
+            }
         }
-        Ok(tk
+        let rho = margins.iter().map(|e| e.max(0.0)).sum::<f32>().sqrt();
+        let mut skipped = 0u64;
+        let hits: Vec<Neighbor> = tk
             .into_sorted()
             .into_iter()
-            .filter(|s| s.distance <= radius)
+            .filter(|s| {
+                // post_scale is 1.0 or 0.5: the division below is exact.
+                let d = s.distance / scale;
+                let base = ((d - max_errq).max(0.0).sqrt() - rho).max(0.0);
+                if base * base * scale > b.get() {
+                    skipped += 1;
+                    false
+                } else {
+                    true
+                }
+            })
             .map(|s| Neighbor::new(s.item, s.distance))
-            .collect())
-    }
-
-    fn search_iterator<'a>(
-        &'a self,
-        query: &[f32],
-        params: &SearchParams,
-    ) -> Result<Box<dyn SearchIterator + 'a>> {
-        self.check_query(query)?;
-        // IVF has no natural incremental order → generic doubling-k wrapper.
-        Ok(Box::new(GenericSearchIterator::new(self, query, params)))
-    }
-
-    fn needs_refine(&self) -> bool {
-        matches!(self.cells, Cells::Pq { .. })
-    }
-
-    fn memory_usage(&self) -> usize {
-        let id_bytes: usize = self.ids.iter().map(|v| v.len() * 8 + 24).sum();
-        let cell_bytes: usize = match &self.cells {
-            Cells::Flat { vectors } => vectors.iter().map(|v| v.len() * 4 + 24).sum(),
-            Cells::Pq { pq, codes } => {
-                pq.memory_usage() + codes.iter().map(|c| c.len() + 24).sum::<usize>()
-            }
-        };
-        self.coarse.centroids.len() * 4 + id_bytes + cell_bytes + std::mem::size_of::<Self>()
-    }
-
-    fn save_bytes(&self) -> Result<Bytes> {
-        let mut w = Writer::with_header(MAGIC, VERSION);
-        w.put_u8(match self.kind {
-            IndexKind::IvfFlat => 0,
-            IndexKind::IvfPq => 1,
-            IndexKind::IvfPqFs => 2,
-            _ => return Err(BhError::Internal("ivf: impossible kind".into())),
-        });
-        w.put_u64(self.dim as u64);
-        w.put_u8(metric_to_u8(self.metric));
-        w.put_u64(self.nlist() as u64);
-        w.put_f32_slice(&self.coarse.centroids);
-        for cell in &self.ids {
-            w.put_u64_slice(cell);
-        }
-        match &self.cells {
-            Cells::Flat { vectors } => {
-                w.put_u8(0);
-                for v in vectors {
-                    w.put_f32_slice(v);
-                }
-            }
-            Cells::Pq { pq, codes } => {
-                w.put_u8(1);
-                pq.save(&mut w);
-                for c in codes {
-                    w.put_bytes(c);
-                }
-            }
-        }
-        Ok(w.finish())
+            .collect();
+        b.record_skips(skipped);
+        Ok(hits)
     }
 }
 
@@ -383,6 +634,9 @@ pub struct IvfBuilder {
     ids: Vec<Vec<u64>>,
     flat: Vec<Vec<f32>>,
     codes: Vec<Vec<u8>>,
+    blocked: Vec<FastScanCodes>,
+    /// Running per-subspace maximum squared encoding error.
+    max_sq_err: Vec<f32>,
     len: usize,
 }
 
@@ -409,6 +663,8 @@ impl IvfBuilder {
             ids: Vec::new(),
             flat: Vec::new(),
             codes: Vec::new(),
+            blocked: Vec::new(),
+            max_sq_err: Vec::new(),
             len: 0,
         })
     }
@@ -495,7 +751,11 @@ impl IndexBuilder for IvfBuilder {
                 metric,
                 &PqParams { m, bits, seed: self.seed, kmeans_iters: 8 },
             )?;
-            self.codes = vec![Vec::new(); nlist];
+            match bits {
+                CodeBits::B4 => self.blocked = vec![FastScanCodes::new(pq.code_size()); nlist],
+                CodeBits::B8 => self.codes = vec![Vec::new(); nlist],
+            }
+            self.max_sq_err = vec![0.0; m];
             self.pq = Some(pq);
         } else {
             self.flat = vec![Vec::new(); nlist];
@@ -526,7 +786,14 @@ impl IndexBuilder for IvfBuilder {
                 (Some(pq), _) => {
                     let c = coarse.centroid(cell);
                     let resid: Vec<f32> = v.iter().zip(c).map(|(a, b)| a - b).collect();
-                    self.codes[cell].extend(pq.encode(&resid)?);
+                    let (code, errs) = pq.encode_with_errors(&resid)?;
+                    for (slot, &e) in self.max_sq_err.iter_mut().zip(&errs) {
+                        *slot = slot.max(e);
+                    }
+                    match pq.bits() {
+                        CodeBits::B4 => self.blocked[cell].push(&code)?,
+                        CodeBits::B8 => self.codes[cell].extend(code),
+                    }
                 }
                 (None, false) => {
                     self.flat[cell].extend_from_slice(v);
@@ -545,7 +812,13 @@ impl IndexBuilder for IvfBuilder {
             .coarse
             .ok_or_else(|| BhError::Index("ivf: finish before train/add".into()))?;
         let cells = match self.pq {
-            Some(pq) => Cells::Pq { pq, codes: self.codes },
+            Some(pq) => {
+                let store = match pq.bits() {
+                    CodeBits::B4 => PqStore::Blocked(self.blocked),
+                    CodeBits::B8 => PqStore::Bytes(self.codes),
+                };
+                Cells::Pq { pq, store, margins: Some(self.max_sq_err) }
+            }
             None => Cells::Flat { vectors: self.flat },
         };
         Ok(Arc::new(IvfIndex {
@@ -570,6 +843,7 @@ mod tests {
     use crate::flat::FlatBuilder;
     use crate::recall::recall_at_k;
     use bh_common::rng::rng;
+    use proptest::prelude::*;
     use rand::Rng;
 
     fn clustered(n: usize, dim: usize, seed: u64) -> Vec<f32> {
@@ -761,6 +1035,99 @@ mod tests {
         let (ivf, _, _) = build(IndexKind::IvfFlat, 100, 4, 4, Metric::L2, 10);
         let blob = ivf.save_bytes().unwrap();
         assert!(IvfIndex::load_bytes(&blob[..16]).is_err());
+    }
+
+    #[test]
+    fn pq_bound_prunes_and_records_skips() {
+        // Small clusters force the 80-deep candidate list to span clusters:
+        // far-cluster candidates sit ~sqrt(dim)*5 away, far outside the
+        // margin-adjusted lower bound, so a kth-exact bound must skip them.
+        let dim = 16;
+        let (ivf, flat, data) = build(IndexKind::IvfPqFs, 300, dim, 8, Metric::L2, 20);
+        let params = SearchParams::default().with_nprobe(8);
+        let q = &data[0..dim];
+        let truth = flat.search_with_filter(q, 10, &params, None).unwrap();
+        let b = SharedBound::new();
+        b.update(truth[9].distance);
+        let got = ivf.search_with_bound(q, 80, &params, None, Some(&b)).unwrap();
+        assert!(!got.is_empty());
+        // Clustered data: candidates from far clusters have exact lower
+        // bounds far above the exact kth distance and must be skipped.
+        assert!(b.skips() > 0, "tight bound produced no skips");
+        // The surviving list is the unbounded list minus skipped tail
+        // entries only (post-scan filter preserves order and values).
+        let unbounded = ivf.search_with_filter(q, 80, &params, None).unwrap();
+        let got_ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+        let sub: Vec<u64> =
+            unbounded.iter().map(|n| n.id).filter(|id| got_ids.contains(id)).collect();
+        assert_eq!(got_ids, sub, "bound filter must preserve scan order");
+    }
+
+    #[test]
+    fn v1_blob_without_margins_loads_and_falls_back() {
+        let dim = 8;
+        let (ivf, _, data) = build(IndexKind::IvfPqFs, 400, dim, 8, Metric::L2, 21);
+        let blob = ivf.save_bytes().unwrap();
+        let mut v1 = blob.to_vec();
+        // Rewrite the header version (bytes [4,6) little-endian) to 1 and
+        // strip the v2 margin tail: flag byte + u64 len + m f32s, with
+        // m = 2 for dim 8 (largest divisor of 8 that is <= dim/4).
+        v1[4] = 1;
+        v1[5] = 0;
+        v1.truncate(v1.len() - (1 + 8 + 4 * 2));
+        let loaded = IvfIndex::load_bytes(&v1).unwrap();
+        let params = SearchParams::default().with_nprobe(8);
+        let q = &data[0..dim];
+        assert_eq!(
+            ivf.search_with_filter(q, 5, &params, None).unwrap(),
+            loaded.search_with_filter(q, 5, &params, None).unwrap(),
+            "v1 payload must scan identically"
+        );
+        // No margins → the bound path must fall back: nothing skipped even
+        // under an impossibly tight bound.
+        let b = SharedBound::new();
+        b.update(0.0);
+        let got = loaded.search_with_bound(q, 5, &params, None, Some(&b)).unwrap();
+        assert_eq!(got, loaded.search_with_filter(q, 5, &params, None).unwrap());
+        assert_eq!(b.skips(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Satellite 4: bound-aware quantized pruning never drops a result
+        /// whose exact distance is within the published exact threshold —
+        /// for both PQ code widths (B8 scalar ADC and B4 fast-scan).
+        #[test]
+        fn prop_quantized_pruning_never_drops_true_topk(
+            seed in 0u64..8,
+            kindsel in 0usize..2,
+            qrow in 0usize..40,
+        ) {
+            let dim = 8;
+            let kind = [IndexKind::IvfPq, IndexKind::IvfPqFs][kindsel];
+            let (ivf, flat, data) = build(kind, 800, dim, 8, Metric::L2, 100 + seed);
+            let params = SearchParams::default().with_nprobe(8);
+            let q = &data[qrow * dim..(qrow + 1) * dim];
+            let truth = flat.search_with_filter(q, 10, &params, None).unwrap();
+            let bound_val = truth[truth.len() - 1].distance;
+            let b = SharedBound::new();
+            b.update(bound_val);
+            let unbounded = ivf.search_with_filter(q, 30, &params, None).unwrap();
+            let got = ivf.search_with_bound(q, 30, &params, None, Some(&b)).unwrap();
+            let got_ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+            for cand in &unbounded {
+                let row = &data[cand.id as usize * dim..(cand.id as usize + 1) * dim];
+                let exact = Metric::L2.distance(q, row);
+                if exact <= bound_val {
+                    prop_assert!(
+                        got_ids.contains(&cand.id),
+                        "candidate {} (exact {} <= bound {}) was pruned",
+                        cand.id, exact, bound_val
+                    );
+                }
+            }
+        }
     }
 
     #[test]

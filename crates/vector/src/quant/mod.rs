@@ -4,12 +4,16 @@
 //!   `HNSWSQ` index: ~4x memory reduction at a small recall cost.
 //! * [`pq`] — product quantization with asymmetric distance computation
 //!   (ADC, Jégou et al.), backing `IVFPQ` (8-bit codes) and `IVFPQFS`
-//!   (4-bit codes — the algorithmic content of faiss' fast-scan variant; we
-//!   substitute the hand-written SIMD kernel with the same LUT math, which
-//!   preserves the memory/recall trade-off shape the paper evaluates).
+//!   (4-bit codes).
+//! * [`fastscan`] — the register-resident half of `IVFPQFS`: 4-bit codes in
+//!   a 32-vector blocked layout scanned with `u8`-quantized LUTs via
+//!   in-register byte shuffles (`vpshufb` / `vqtbl1q_u8`), faiss' `PQx4fs`
+//!   kernel shape.
 
+pub mod fastscan;
 pub mod pq;
 pub mod sq;
 
+pub use fastscan::{FastScanCodes, QuantizedLut};
 pub use pq::{Pq, PqParams};
 pub use sq::Sq8;

@@ -16,8 +16,9 @@
 //!   by the same LUT arithmetic (documented in DESIGN.md).
 
 use crate::codec::{Reader, Writer};
-use crate::distance::distance_batch;
+use crate::distance::{distance_batch, dot};
 use crate::kmeans::{train_kmeans, KMeansParams};
+use crate::quant::fastscan::QuantizedLut;
 use crate::Metric;
 use bh_common::rng::derive_seed;
 use bh_common::{BhError, Result};
@@ -70,7 +71,16 @@ pub struct Pq {
     dsub: usize,
     /// Codebooks: `m * ks * dsub` floats, subspace-major.
     codebooks: Vec<f32>,
+    /// Squared centroid norms (`m * ks`), hoisted out of the per-query ADC
+    /// table build: the L2 entry expands to `‖q‖² + ‖c‖² - 2⟨q,c⟩`, so with
+    /// these precomputed only the dot products are evaluated per query.
+    cent_norms: Vec<f32>,
     metric: Metric,
+}
+
+/// Squared norm of every centroid, `m * ks` entries subspace-major.
+fn centroid_norms(codebooks: &[f32], dsub: usize) -> Vec<f32> {
+    codebooks.chunks_exact(dsub).map(|c| dot(c, c)).collect()
 }
 
 impl Pq {
@@ -115,7 +125,8 @@ impl Pq {
                 codebooks[dst..dst + dsub].copy_from_slice(src);
             }
         }
-        Ok(Pq { dim, m: params.m, bits: params.bits, dsub, codebooks, metric })
+        let cent_norms = centroid_norms(&codebooks, dsub);
+        Ok(Pq { dim, m: params.m, bits: params.bits, dsub, codebooks, cent_norms, metric })
     }
 
     /// Vector dimensionality the quantizer was trained for.
@@ -156,11 +167,20 @@ impl Pq {
 
     /// Encode one vector into `code_size()` bytes.
     pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
+        Ok(self.encode_with_errors(v)?.0)
+    }
+
+    /// Encode one vector and also report the squared reconstruction error of
+    /// each subspace (the distance to the chosen centroid). IVF aggregates
+    /// these into the per-subspace worst-case margins that make quantized
+    /// pruning against an exact bound sound.
+    pub fn encode_with_errors(&self, v: &[f32]) -> Result<(Vec<u8>, Vec<f32>)> {
         if v.len() != self.dim {
             return Err(BhError::DimensionMismatch { expected: self.dim, got: v.len() });
         }
         let ks = self.bits.ks();
         let mut ids = Vec::with_capacity(self.m);
+        let mut errs = Vec::with_capacity(self.m);
         let mut dists = vec![0.0f32; ks];
         for sub in 0..self.m {
             let sv = &v[sub * self.dsub..(sub + 1) * self.dsub];
@@ -172,8 +192,9 @@ impl Pq {
                 }
             }
             ids.push(best as u8);
+            errs.push(dists[best].max(0.0));
         }
-        Ok(match self.bits {
+        let code = match self.bits {
             CodeBits::B8 => ids,
             CodeBits::B4 => {
                 let mut packed = vec![0u8; self.code_size()];
@@ -182,7 +203,8 @@ impl Pq {
                 }
                 packed
             }
-        })
+        };
+        Ok((code, errs))
     }
 
     /// Decode a code to its reconstruction.
@@ -209,17 +231,24 @@ impl Pq {
             return Err(BhError::DimensionMismatch { expected: self.dim, got: query.len() });
         }
         let ks = self.bits.ks();
-        // Cosine rides the L2 batch kernel (IVF searches normalized space);
-        // the InnerProduct batch already returns negated dot.
-        let bm = match self.metric {
-            Metric::InnerProduct => Metric::InnerProduct,
-            Metric::L2 | Metric::Cosine => Metric::L2,
-        };
+        // Cosine rides the L2 form (IVF searches normalized space); the
+        // InnerProduct batch already returns negated dot. L2 entries use the
+        // expansion `‖q-c‖² = ‖q‖² + ‖c‖² - 2⟨q,c⟩` with the centroid norms
+        // hoisted into the trained model, so each query pays one dot-product
+        // batch per subspace instead of a full subtract-square pass.
         let mut table = vec![0.0f32; self.m * ks];
         for sub in 0..self.m {
             let qv = &query[sub * self.dsub..(sub + 1) * self.dsub];
             let out = &mut table[sub * ks..(sub + 1) * ks];
-            distance_batch(bm, qv, self.codebook(sub), self.dsub, out)?;
+            distance_batch(Metric::InnerProduct, qv, self.codebook(sub), self.dsub, out)?;
+            if !matches!(self.metric, Metric::InnerProduct) {
+                let qn = dot(qv, qv);
+                for (c, slot) in out.iter_mut().enumerate() {
+                    // `*slot` holds -⟨q,c⟩; the true L2 value is >= 0, so
+                    // clamp the float cancellation residue away.
+                    *slot = (qn + self.cent_norms[sub * ks + c] + 2.0 * *slot).max(0.0);
+                }
+            }
         }
         Ok(AdcTable { table, ks, m: self.m, bits: self.bits })
     }
@@ -268,7 +297,9 @@ impl Pq {
         if codebooks.len() != m * bits.ks() * dsub {
             return Err(BhError::Serde("pq: corrupt codebook size".into()));
         }
-        Ok(Pq { dim, m, bits, dsub, codebooks, metric })
+        // Norms are derived state: recomputed on load, never serialized.
+        let cent_norms = centroid_norms(&codebooks, dsub);
+        Ok(Pq { dim, m, bits, dsub, codebooks, cent_norms, metric })
     }
 }
 
@@ -299,6 +330,17 @@ impl AdcTable {
             }
         }
         sum
+    }
+
+    /// Quantize this table for the in-register fast-scan kernel. `None` for
+    /// 8-bit tables (they do not fit a shuffle register) and for tables the
+    /// `u8` quantization cannot soundly represent — callers fall back to the
+    /// scalar [`Self::distance`] path.
+    pub fn quantized(&self) -> Option<QuantizedLut> {
+        match self.bits {
+            CodeBits::B4 => QuantizedLut::build(&self.table, self.m),
+            CodeBits::B8 => None,
+        }
     }
 }
 

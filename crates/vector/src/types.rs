@@ -241,12 +241,16 @@ pub trait VectorIndex: Send + Sync {
     /// distance upper bound published by peer workers of the same query
     /// (batched execution, DESIGN.md §7).
     ///
-    /// Implementations may (a) skip candidates whose exact distance is
-    /// **strictly** greater than `bound.get()` — such rows cannot enter the
-    /// final top-k — and (b) lower the bound with their own exact local k-th
-    /// distance once `k` exact candidates are collected. Indexes returning
-    /// approximate distances (`needs_refine`) must neither prune on nor
-    /// publish them. The default ignores the bound entirely, which is always
+    /// Implementations may (a) skip candidates whose exact distance — or a
+    /// proven **lower bound** on it — is **strictly** greater than
+    /// `bound.get()` (such rows cannot enter the final top-k), and (b) lower
+    /// the bound with their own exact local k-th distance once `k` exact
+    /// candidates are collected. Indexes returning approximate distances
+    /// (`needs_refine`) must never publish them; they may still prune using
+    /// a conservative margin (quantization error bound) subtracted from the
+    /// approximate distance, as the IVFPQ and HNSW-SQ stores do (DESIGN.md
+    /// §10) — the exact k-th for publication then comes from the refine
+    /// stage. The default ignores the bound entirely, which is always
     /// correct.
     fn search_with_bound(
         &self,

@@ -1,14 +1,20 @@
 //! Workspace automation tasks (`cargo xtask` pattern).
 //!
-//! Currently one subcommand:
+//! Subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint
+//! cargo run -p xtask -- bench-diff [--fresh <dir>] [--threshold <pct>]
 //! ```
 //!
-//! runs the project-specific static analysis described in [`lint`] and
-//! DESIGN.md §8, exiting non-zero if any invariant is violated.
+//! `lint` runs the project-specific static analysis described in [`lint`]
+//! and DESIGN.md §8, exiting non-zero if any invariant is violated.
+//! `bench-diff` compares freshly generated benchmark JSON (default
+//! `target/bench-fresh/BENCH_*.json`) against the committed copies at the
+//! workspace root and fails on any latency regression beyond the threshold
+//! (default 15%); see [`bench_diff`].
 
+mod bench_diff;
 mod lint;
 
 use std::env;
@@ -19,6 +25,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("bench-diff") => run_bench_diff(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
             eprintln!();
@@ -36,8 +43,11 @@ fn usage() {
     eprintln!("usage: cargo run -p xtask -- <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint    enforce workspace invariants (SAFETY comments, clock/rng");
-    eprintln!("          gates, panic-free serving crates, no stdout in libraries)");
+    eprintln!("  lint        enforce workspace invariants (SAFETY comments, clock/rng");
+    eprintln!("              gates, panic-free serving crates, no stdout in libraries)");
+    eprintln!("  bench-diff  compare fresh BENCH_*.json (--fresh <dir>, default");
+    eprintln!("              target/bench-fresh) against committed copies; fail on");
+    eprintln!("              latency regressions beyond --threshold <pct> (default 15)");
 }
 
 /// Workspace root: xtask lives at `<root>/crates/xtask`.
@@ -74,4 +84,61 @@ fn run_lint() -> ExitCode {
         findings.len()
     );
     ExitCode::FAILURE
+}
+
+fn run_bench_diff(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut fresh = root.join("target").join("bench-fresh");
+    let mut threshold = bench_diff::DEFAULT_THRESHOLD_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fresh" => match it.next() {
+                Some(dir) => fresh = PathBuf::from(dir),
+                None => {
+                    eprintln!("xtask bench-diff: --fresh requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("xtask bench-diff: --threshold requires a positive percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask bench-diff: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (comparisons, notes) = match bench_diff::diff_benchmarks(&root, &fresh, threshold) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for note in &notes {
+        eprintln!("xtask bench-diff: note: {note}");
+    }
+    for c in &comparisons {
+        eprintln!("{c}");
+    }
+    let regressions = comparisons.iter().filter(|c| c.regressed).count();
+    if regressions > 0 {
+        eprintln!();
+        eprintln!(
+            "xtask bench-diff: {regressions} latency field(s) regressed beyond {threshold}% \
+             (of {} compared)",
+            comparisons.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask bench-diff: {} latency field(s) within {threshold}% of committed baselines",
+        comparisons.len()
+    );
+    ExitCode::SUCCESS
 }
