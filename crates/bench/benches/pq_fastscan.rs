@@ -247,19 +247,5 @@ fn main() {
         agreement,
         skip_rate,
     );
-    // Anchor at the workspace root (bench binaries run with the package
-    // directory as cwd), where `cargo xtask bench-diff` looks.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .unwrap_or_else(|| std::path::Path::new("."))
-        .join("target")
-        .join("bench-fresh");
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join("BENCH_pq.json");
-        match std::fs::write(&path, &json) {
-            Ok(()) => println!("[pq_fastscan] wrote {}", path.display()),
-            Err(e) => eprintln!("[pq_fastscan] could not write {}: {e}", path.display()),
-        }
-    }
+    bh_bench::harness::write_fresh_json("BENCH_pq.json", &json);
 }

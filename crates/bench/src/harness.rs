@@ -126,6 +126,29 @@ impl Drop for CpuSlot<'_> {
     }
 }
 
+/// Write a fresh benchmark JSON file to `<workspace>/target/bench-fresh/`,
+/// where `cargo xtask bench-diff` picks it up and compares it against the
+/// committed copy at the workspace root. `name` is the full file name, e.g.
+/// `"BENCH_pq.json"`. Failures are reported but never panic: emitting the
+/// file is a side product of the printed results, not the benchmark itself.
+pub fn write_fresh_json(name: &str, json: &str) {
+    // Anchor at the workspace root (bench binaries run with the package
+    // directory as cwd).
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("target")
+        .join("bench-fresh");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(name);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("[bench] wrote {}", path.display()),
+            Err(e) => eprintln!("[bench] could not write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Format a `Duration` in adaptive units.
 pub fn fmt_duration(d: Duration) -> String {
     let us = d.as_secs_f64() * 1e6;

@@ -146,6 +146,7 @@ mod tests {
             column_stats: stats,
             index_kind: None,
             index_bytes: 0,
+            index_head_bytes: 0,
         })
     }
 

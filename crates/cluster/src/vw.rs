@@ -219,6 +219,15 @@ impl VirtualWarehouse {
         Ok(n)
     }
 
+    /// Start fetching a segment's index blob on its assigned worker without
+    /// blocking, so the transfer overlaps with whatever runs before that
+    /// segment's search. No-op (false) when the segment is already resident
+    /// or the remote store cannot defer transfers.
+    pub fn prefetch_index(&self, meta: &Arc<SegmentMeta>) -> Result<bool> {
+        let (_, target) = self.owner_of(meta)?;
+        target.index_cache().prefetch(meta)
+    }
+
     /// One segment's ANN search with serving + retry (the VW data path).
     pub fn search_segment(
         &self,
@@ -286,13 +295,19 @@ impl VirtualWarehouse {
                     let mut span = self.metrics.tracer().span("serving");
                     span.attr("segment", meta.id.raw());
                     span.attr("bytes", query.len() * 4);
-                    target.charge_rpc(&self.cfg.rpc, query.len() * 4);
+                    // Overlap-capable charge: with a reactor-backed worker
+                    // the wire time runs concurrently with the peer's search.
+                    let pending = target.charge_rpc_begin(&self.cfg.rpc, query.len() * 4);
                     self.metrics.counter("vw.serving_calls").inc();
-                    let mut result = prev.serve_remote_search_batch(
+                    let result = prev.serve_remote_search_batch(
                         meta,
                         &[SegmentQuery { query, k, filter, bound }],
                         params,
-                    )?;
+                    );
+                    if let Some((reactor, ticket)) = pending {
+                        reactor.wait(ticket);
+                    }
+                    let mut result = result?;
                     self.warm(target.clone(), meta.clone());
                     return Ok(result.pop().unwrap_or_default());
                 }
@@ -350,9 +365,13 @@ impl VirtualWarehouse {
                     span.attr("segment", meta.id.raw());
                     span.attr("queries", queries.len());
                     span.attr("bytes", bytes);
-                    target.charge_rpc(&self.cfg.rpc, bytes);
+                    let pending = target.charge_rpc_begin(&self.cfg.rpc, bytes);
                     self.metrics.counter("vw.serving_calls").inc();
-                    let result = prev.serve_remote_search_batch(meta, queries, params)?;
+                    let result = prev.serve_remote_search_batch(meta, queries, params);
+                    if let Some((reactor, ticket)) = pending {
+                        reactor.wait(ticket);
+                    }
+                    let result = result?;
                     self.warm(target.clone(), meta.clone());
                     return Ok(result);
                 }
@@ -590,6 +609,66 @@ mod tests {
         // Synchronous warm: the batch leaves the new owner resident.
         let (_, w) = v.owner_of(&meta).unwrap();
         assert!(w.index_resident(&meta));
+    }
+
+    #[test]
+    fn overlapped_serving_hides_rpc_behind_peer_compute() {
+        // With a reactor-backed target worker, the serving RPC's wire time
+        // runs concurrently with the previous owner's search compute:
+        // simulated cost is max(rpc, compute), not the sum.
+        let run = |overlap: bool| -> u64 {
+            let t = table(300, 300);
+            let clock = VirtualClock::shared();
+            let v = VirtualWarehouse::new(
+                VwId(0),
+                "vw",
+                VwConfig {
+                    rpc: LatencyModel::fixed(Duration::from_micros(200)),
+                    worker: WorkerConfig {
+                        overlap,
+                        compute_per_segment: LatencyModel::fixed(Duration::from_micros(300)),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                t.remote_store().clone(),
+                t.registry().clone(),
+                clock.clone(),
+                t.metrics().clone(),
+                Arc::new(IdGenerator::starting_at(100)),
+            );
+            v.scale_up(&[]);
+            let metas = t.segments();
+            v.preload(&metas).unwrap();
+            let meta = metas[0].clone();
+            let (old_owner, _) = v.owner_of(&meta).unwrap();
+            let mut moved = false;
+            for _ in 0..20 {
+                v.scale_up(&metas);
+                let (now_owner, w) = v.owner_of(&meta).unwrap();
+                if now_owner != old_owner && !w.index_resident(&meta) {
+                    moved = true;
+                    break;
+                }
+            }
+            assert!(moved, "segment never moved after 20 scale-ups");
+            let t0 = clock.now_nanos();
+            v.search_segment(&t, &meta, &[5.0; 4], 2, &SearchParams::default(), None).unwrap();
+            clock.now_nanos() - t0
+        };
+        assert_eq!(run(false), 500_000, "blocking: rpc then compute");
+        assert_eq!(run(true), 300_000, "overlapped: max(rpc, compute)");
+    }
+
+    #[test]
+    fn prefetch_index_noop_on_resident_or_non_deferred() {
+        let t = table(300, 300);
+        let v = vw(&t, VwConfig::default(), 2);
+        let metas = t.segments();
+        // for_tests store has no reactor → prefetch declines.
+        assert!(!v.prefetch_index(&metas[0]).unwrap());
+        v.preload(&metas).unwrap();
+        assert!(!v.prefetch_index(&metas[0]).unwrap());
     }
 
     #[test]

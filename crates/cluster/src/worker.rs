@@ -45,6 +45,16 @@ pub struct WorkerConfig {
     /// Zero by default; the elasticity experiments set it so that capacity —
     /// not the host's core count — bounds throughput, as in a real cluster.
     pub compute_per_segment: bh_common::LatencyModel,
+    /// Route this worker's simulated RPC charges through a completion-queue
+    /// reactor so callers can overlap the wire time with other work
+    /// ([`Worker::charge_rpc_begin`]). Off by default: blocking charges keep
+    /// existing latency accounting bit-identical.
+    pub overlap: bool,
+    /// Serve cold segments from a head-only partial index when the blob is
+    /// tiered (v3), instead of brute-forcing while the full index loads.
+    /// Off by default so the overlapped path stays byte-identical to the
+    /// blocking path (head results are approximate until the body arrives).
+    pub tiered_loading: bool,
 }
 
 impl Default for WorkerConfig {
@@ -56,6 +66,8 @@ impl Default for WorkerConfig {
             cache_row_limit: 100_000,
             fine_grained_reads: true,
             compute_per_segment: bh_common::LatencyModel::ZERO,
+            overlap: false,
+            tiered_loading: false,
         }
     }
 }
@@ -95,6 +107,8 @@ pub struct Worker {
     cfg: WorkerConfig,
     metrics: MetricsRegistry,
     clock: SharedClock,
+    /// Completion-queue reactor for overlapped RPC charges (`cfg.overlap`).
+    reactor: Option<Arc<bh_common::Reactor>>,
 }
 
 impl Worker {
@@ -126,6 +140,7 @@ impl Worker {
             bh_storage::lru::LruCache::with_metrics(cfg.block_data_bytes, &metrics, "column");
         let decoded_blocks =
             bh_storage::lru::LruCache::with_metrics(cfg.block_data_bytes, &metrics, "decoded");
+        let reactor = cfg.overlap.then(|| Arc::new(bh_common::Reactor::new(clock.clone())));
         Self {
             id,
             index_cache,
@@ -137,6 +152,7 @@ impl Worker {
             cfg,
             metrics,
             clock,
+            reactor,
         }
     }
 
@@ -247,11 +263,30 @@ impl Worker {
             span.attr("mode", "local");
             return idx.search_with_bound(query, k, params, filter, bound);
         }
-        // Cache miss → brute force over the raw vector column (§II-D), so
-        // the query is served immediately instead of stalling on index load.
+        // Cache miss. With tiered loading enabled, a head-only partial index
+        // (upper HNSW layers + entry vectors) serves indexed results after
+        // only the head prefix of the blob has arrived; the body keeps
+        // streaming in the background.
+        if let Some(head) = self.head_handle(meta)? {
+            self.metrics.counter("worker.head_search").inc();
+            span.attr("mode", "head");
+            return head.search_with_bound(query, k, params, filter, bound);
+        }
+        // Otherwise brute force over the raw vector column (§II-D), so the
+        // query is served immediately instead of stalling on index load.
         self.metrics.counter("worker.brute_force").inc();
         span.attr("mode", "brute");
         self.brute_force_segment_bounded(table, meta, query, k, filter, bound)
+    }
+
+    /// The head-only partial index for a cold tiered segment, when
+    /// `tiered_loading` is on and the head can actually answer searches
+    /// (e.g. IVF heads hold no rows → `None` → brute-force fallback).
+    fn head_handle(&self, meta: &SegmentMeta) -> Result<Option<Arc<dyn bh_vector::VectorIndex>>> {
+        if !self.cfg.tiered_loading {
+            return Ok(None);
+        }
+        Ok(self.index_cache.get_head(meta)?.filter(|h| h.head_servable()))
     }
 
     /// Batched variant of [`Self::search_segment`]: one aliveness check, one
@@ -271,6 +306,7 @@ impl Worker {
         span.attr("segment", meta.id.raw());
         span.attr("queries", queries.len());
         let mut handle: Option<Arc<dyn bh_vector::VectorIndex>> = None;
+        let mut head: Option<Arc<dyn bh_vector::VectorIndex>> = None;
         let mut out = Vec::with_capacity(queries.len());
         for q in queries {
             if handle.is_none() && self.index_cache.resident(meta.id) {
@@ -282,8 +318,23 @@ impl Worker {
                     out.push(idx.search_with_bound(q.query, q.k, params, q.filter, q.bound)?);
                 }
                 None => {
-                    self.metrics.counter("worker.brute_force").inc();
-                    out.push(self.brute_force_inner(table, meta, q.query, q.k, q.filter, q.bound)?);
+                    if head.is_none() {
+                        head = self.head_handle(meta)?;
+                    }
+                    match &head {
+                        Some(h) => {
+                            self.metrics.counter("worker.head_search").inc();
+                            out.push(h.search_with_bound(
+                                q.query, q.k, params, q.filter, q.bound,
+                            )?);
+                        }
+                        None => {
+                            self.metrics.counter("worker.brute_force").inc();
+                            out.push(self.brute_force_inner(
+                                table, meta, q.query, q.k, q.filter, q.bound,
+                            )?);
+                        }
+                    }
                 }
             }
         }
@@ -697,8 +748,29 @@ impl Worker {
     /// Charge an RPC round-trip on this worker's clock (callers use this
     /// before invoking a peer's `serve_remote_search`).
     pub fn charge_rpc(&self, model: &LatencyModel, bytes: usize) {
-        model.charge(self.clock.as_ref(), bytes);
+        if let Some((reactor, ticket)) = self.charge_rpc_begin(model, bytes) {
+            reactor.wait(ticket);
+        }
+    }
+
+    /// Start charging an RPC round-trip. With `overlap` enabled the cost is
+    /// submitted to this worker's reactor and the returned ticket lets the
+    /// caller overlap the wire time with the peer's compute — `wait` the
+    /// ticket once the response is needed. Without a reactor the charge
+    /// happens synchronously here and `None` is returned (nothing to wait).
+    pub fn charge_rpc_begin(
+        &self,
+        model: &LatencyModel,
+        bytes: usize,
+    ) -> Option<(Arc<bh_common::Reactor>, bh_common::Ticket)> {
         self.metrics.counter("worker.rpc_calls").inc();
+        match &self.reactor {
+            Some(r) => Some((r.clone(), r.submit(model.cost(bytes)))),
+            None => {
+                model.charge(self.clock.as_ref(), bytes);
+                None
+            }
+        }
     }
 }
 
@@ -780,6 +852,64 @@ mod tests {
         let warm = w.search_segment(&t, &meta, &q, 3, &params, None).unwrap();
         assert_eq!(warm[0].id, 5);
         assert_eq!(t.metrics().counter_value("worker.local_search"), 1);
+    }
+
+    #[test]
+    fn tiered_loading_serves_head_before_body() {
+        let t = table(400);
+        let w = worker(&t, WorkerConfig { tiered_loading: true, ..Default::default() });
+        let meta = t.segments()[0].clone();
+        assert!(meta.index_head_bytes > 0, "default config persists tiered blobs");
+        let q = vec![5.0; 4];
+        let params = SearchParams::default();
+
+        // Cold: served from the head-only partial, not brute force.
+        let cold = w.search_segment(&t, &meta, &q, 3, &params, None).unwrap();
+        assert!(!cold.is_empty());
+        assert_eq!(t.metrics().counter_value("worker.head_search"), 1);
+        assert_eq!(t.metrics().counter_value("worker.brute_force"), 0);
+        assert!(!w.index_resident(&meta), "head serving is not residency");
+
+        // Once the full index lands, searches upgrade and recall is back.
+        w.warm_index(&meta).unwrap();
+        let warm = w.search_segment(&t, &meta, &q, 3, &params, None).unwrap();
+        assert_eq!(warm[0].id, 5);
+        assert_eq!(t.metrics().counter_value("worker.local_search"), 1);
+    }
+
+    #[test]
+    fn tiered_loading_off_keeps_brute_force_fallback() {
+        let t = table(400);
+        let w = worker(&t, WorkerConfig::default());
+        let meta = t.segments()[0].clone();
+        let cold =
+            w.search_segment(&t, &meta, &[5.0; 4], 3, &SearchParams::default(), None).unwrap();
+        assert_eq!(cold[0].id, 5, "brute force is exact");
+        assert_eq!(t.metrics().counter_value("worker.brute_force"), 1);
+        assert_eq!(t.metrics().counter_value("worker.head_search"), 0);
+    }
+
+    #[test]
+    fn overlapped_rpc_charge_matches_blocking_when_sequential() {
+        let t = table(50);
+        let model = bh_common::LatencyModel::fixed(std::time::Duration::from_micros(100));
+        let elapsed = |overlap: bool| {
+            let clock = VirtualClock::shared();
+            let w = Worker::new(
+                WorkerId(0),
+                WorkerConfig { overlap, ..Default::default() },
+                t.remote_store().clone(),
+                None,
+                t.registry().clone(),
+                clock.clone(),
+                MetricsRegistry::new(),
+            );
+            w.charge_rpc(&model, 10);
+            w.charge_rpc(&model, 10);
+            clock.now_nanos()
+        };
+        assert_eq!(elapsed(false), 200_000);
+        assert_eq!(elapsed(true), 200_000, "sequential charges are time-identical");
     }
 
     #[test]

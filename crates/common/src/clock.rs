@@ -22,6 +22,26 @@ pub trait Clock: Send + Sync + std::fmt::Debug {
 
     /// Charge `d` of simulated latency (sleep or advance).
     fn advance(&self, d: Duration);
+
+    /// Move the clock forward to an absolute `deadline_nanos` (no-op if the
+    /// clock is already past it). Unlike `advance`, concurrent `advance_to`
+    /// calls targeting overlapping deadlines cost `max(deadlines)`, not the
+    /// sum — this is the primitive the [`crate::cq`] reactor uses to make
+    /// simultaneous transfers overlap instead of serializing.
+    ///
+    /// The default implementation loops `advance` over the remaining gap;
+    /// [`VirtualClock`] overrides it with an atomic `fetch_max` and
+    /// [`RealClock`] sleeps only the remainder, so neither over-advances
+    /// under contention.
+    fn advance_to(&self, deadline_nanos: u64) {
+        loop {
+            let now = self.now_nanos();
+            if now >= deadline_nanos {
+                return;
+            }
+            self.advance(Duration::from_nanos(deadline_nanos - now));
+        }
+    }
 }
 
 /// Shared, dynamically-dispatched clock handle.
@@ -59,6 +79,15 @@ impl Clock for RealClock {
     fn advance(&self, d: Duration) {
         if !d.is_zero() {
             std::thread::sleep(d);
+        }
+    }
+
+    fn advance_to(&self, deadline_nanos: u64) {
+        // Sleep only the remainder: concurrent sleepers targeting the same
+        // deadline all wake around it instead of stacking their sleeps.
+        let now = self.now_nanos();
+        if now < deadline_nanos {
+            std::thread::sleep(Duration::from_nanos(deadline_nanos - now));
         }
     }
 }
@@ -124,6 +153,11 @@ impl Clock for VirtualClock {
 
     fn advance(&self, d: Duration) {
         self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn advance_to(&self, deadline_nanos: u64) {
+        // Monotonic jump: racing callers cost max(deadlines), never the sum.
+        self.nanos.fetch_max(deadline_nanos, Ordering::Relaxed);
     }
 }
 
@@ -232,6 +266,40 @@ mod tests {
         c.advance(Duration::from_micros(5));
         c.advance(Duration::from_micros(7));
         assert_eq!(c.now_nanos(), 12_000);
+    }
+
+    #[test]
+    fn advance_to_is_max_not_sum() {
+        let c = VirtualClock::new();
+        c.advance_to(50_000);
+        assert_eq!(c.now_nanos(), 50_000);
+        // Earlier deadline: no-op, never rewinds.
+        c.advance_to(20_000);
+        assert_eq!(c.now_nanos(), 50_000);
+        // Racing threads targeting the same window cost max, not sum.
+        let c = std::sync::Arc::new(VirtualClock::new());
+        let hs: Vec<_> = (1..=8u64)
+            .map(|i| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || c.advance_to(i * 10_000))
+            })
+            .collect();
+        for h in hs {
+            let _ = h.join();
+        }
+        assert_eq!(c.now_nanos(), 80_000);
+    }
+
+    #[test]
+    fn real_clock_advance_to_sleeps_remainder() {
+        let c = RealClock::new();
+        let target = c.now_nanos() + 2_000_000;
+        c.advance_to(target);
+        assert!(c.now_nanos() >= target);
+        // Past deadlines return immediately.
+        let before = c.now_nanos();
+        c.advance_to(before.saturating_sub(1_000_000));
+        assert!(c.now_nanos() < before + 1_000_000_000);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   compaction fan-out.
 //! * [`loom`] — an in-tree model checker (loom-lite) that exhaustively
 //!   explores interleavings of the lock-free paths under `--cfg loom`.
+//! * [`cq`] — a completion-queue reactor over the shared clock so
+//!   simultaneous simulated transfers overlap (cost `max`) instead of
+//!   serializing (cost `sum`).
 //! * [`clock`] — real and virtual clocks plus latency models, so the
 //!   disaggregated-architecture simulation can inject remote-storage and RPC
 //!   latencies deterministically in tests and realistically in benchmarks.
@@ -26,6 +29,7 @@
 pub mod bitset;
 pub mod bound;
 pub mod clock;
+pub mod cq;
 pub mod cursor;
 pub mod error;
 pub mod ids;
@@ -42,6 +46,7 @@ pub use cursor::StealingCursor;
 pub use clock::{
     Clock, DeploymentLatencies, LatencyModel, RealClock, SharedClock, Stopwatch, VirtualClock,
 };
+pub use cq::{Reactor, Ticket};
 pub use error::{BhError, Result};
 pub use ids::{RowId, SegmentId, TableId, VwId, WorkerId};
 pub use metrics::MetricsRegistry;

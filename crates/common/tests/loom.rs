@@ -13,6 +13,7 @@
 
 #![cfg(loom)]
 
+use bh_common::cq::{OpTable, Ticket};
 use bh_common::loom::{self, sync::Arc, thread};
 use bh_common::{SharedBound, StealingCursor};
 
@@ -125,5 +126,91 @@ fn stealing_cursor_claims_each_index_exactly_once() {
         all.extend(theirs);
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2], "indices must partition 0..{LEN}");
+    });
+}
+
+/// Completion-queue invariant #1 (DESIGN.md §11): however a driver and a
+/// racing `is_complete`-then-reap waiter interleave, completion for one
+/// submitted operation is delivered exactly once, and so is the reap that
+/// recycles its slot.
+#[test]
+fn optable_completion_is_exactly_once() {
+    loom::model(|| {
+        let t = Arc::new(OpTable::with_capacity(1));
+        let tk = t.try_submit(0).expect("empty slot must accept a submission");
+        let t1 = Arc::clone(&t);
+        let racer = thread::spawn(move || t1.try_complete(tk));
+        let mine = t.try_complete(tk);
+        let theirs = racer.join().unwrap();
+        assert!(
+            mine ^ theirs,
+            "completion must be delivered exactly once (mine={mine}, theirs={theirs})"
+        );
+        assert!(t.is_complete(tk));
+        assert!(t.reap(tk), "the completed slot must be reclaimable");
+        assert!(!t.reap(tk), "reaping is exactly-once too");
+    });
+}
+
+/// Completion-queue invariant #2: a slot can never be observed completed for
+/// a generation that was not submitted. A completer racing the submitter with
+/// a forged ticket either lands after the submission (and the completion is
+/// then observable) or bounces off the still-empty slot.
+#[test]
+fn optable_never_completes_before_submission() {
+    loom::model(|| {
+        let t = Arc::new(OpTable::with_capacity(1));
+        let forged = Ticket::forged(0, 0);
+        let t1 = Arc::clone(&t);
+        let completer = thread::spawn(move || t1.try_complete(forged));
+        let submitted = t.try_submit(0);
+        let completed = completer.join().unwrap();
+        assert!(submitted.is_some(), "the only submitter must win the empty slot");
+        if completed {
+            assert!(t.is_complete(forged), "a delivered completion must be observable");
+        } else {
+            assert!(
+                !t.is_complete(forged),
+                "no completion may be visible before one is delivered"
+            );
+            assert!(t.try_complete(forged), "the submitted op must remain completable");
+        }
+    });
+}
+
+/// Completion-queue invariant #3: a full submit → complete → reap drain by
+/// two concurrent workers over a shared table neither deadlocks nor leaks a
+/// slot, and retired generations stay inert — stale tickets read complete
+/// but can never re-complete a recycled slot (the ABA guard behind
+/// [`bh_common::Reactor::forget`]).
+#[test]
+fn optable_drains_without_deadlock_or_slot_leak() {
+    loom::model(|| {
+        let t = Arc::new(OpTable::with_capacity(2));
+        let t1 = Arc::clone(&t);
+        let worker = thread::spawn(move || {
+            let tk = (0..2)
+                .find_map(|s| t1.try_submit(s))
+                .expect("two slots, two workers: a free slot must exist");
+            assert!(t1.try_complete(tk));
+            assert!(t1.reap(tk));
+            tk
+        });
+        let mine = (0..2)
+            .find_map(|s| t.try_submit(s))
+            .expect("two slots, two workers: a free slot must exist");
+        assert!(t.try_complete(mine));
+        assert!(t.reap(mine));
+        let theirs = worker.join().unwrap();
+
+        // Retired generations: stale handles read complete, cannot re-fire.
+        for stale in [mine, theirs] {
+            assert!(t.is_complete(stale), "reaped generation must read complete");
+            assert!(!t.try_complete(stale), "stale ticket must not re-complete");
+        }
+        // No slot leaked: both are claimable again at a fresh generation.
+        let a = t.try_submit(0).expect("slot 0 must be reusable after the drain");
+        let b = t.try_submit(1).expect("slot 1 must be reusable after the drain");
+        assert!(!t.is_complete(a) && !t.is_complete(b));
     });
 }

@@ -435,6 +435,20 @@ impl QueryEngine {
             if seg_tasks.is_empty() {
                 break;
             }
+            // Overlapped cold-path I/O: before fanning out, start every
+            // scheduled segment's index transfer (reactor-backed stores
+            // only) so the blob fetches run concurrently and each task
+            // finds its transfer already in flight instead of paying the
+            // full remote latency serially.
+            let mut prefetched = 0u64;
+            for (meta, _) in &seg_tasks {
+                if matches!(vw.prefetch_index(meta), Ok(true)) {
+                    prefetched += 1;
+                }
+            }
+            if prefetched > 0 {
+                self.metrics.counter("query.index_prefetches").add(prefetched);
+            }
             let per_task = self.run_segment_tasks(table, vw, opts, &states, &seg_tasks)?;
 
             // Move task outputs into a (segment, query)-keyed map so each

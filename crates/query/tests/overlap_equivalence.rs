@@ -1,0 +1,170 @@
+//! Property test: the overlapped execution path (reactor-backed object
+//! store, `WorkerConfig::overlap`, executor-issued index prefetches) is
+//! bit-identical to the blocking path across cold, mixed, and warm cache
+//! residency. Overlap only changes *when* simulated latencies are paid —
+//! never which bytes come back — so every query must merge the exact same
+//! rows either way (DESIGN.md §11).
+
+use bh_cluster::vw::{VirtualWarehouse, VwConfig};
+use bh_cluster::worker::WorkerConfig;
+use bh_common::ids::IdGenerator;
+use bh_common::{LatencyModel, MetricsRegistry, Reactor, SharedClock, VirtualClock, VwId};
+use bh_query::exec::{QueryEngine, QueryOptions};
+use bh_sql::ast::SelectStmt;
+use bh_storage::objectstore::InMemoryObjectStore;
+use bh_storage::schema::TableSchema;
+use bh_storage::table::{TableStore, TableStoreConfig};
+use bh_storage::value::{ColumnType, Value};
+use bh_vector::{IndexKind, IndexRegistry, Metric};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+struct Fixture {
+    table: Arc<TableStore>,
+    clock: SharedClock,
+    metrics: MetricsRegistry,
+    engine: QueryEngine,
+}
+
+/// 480 rows in 4 clusters across 8 segments, persisted through a
+/// reactor-backed in-memory store with nonzero transfer latency so deferred
+/// gets and executor prefetches actually engage the completion queue.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let clock: SharedClock = VirtualClock::shared();
+        let metrics = MetricsRegistry::new();
+        let reactor = Arc::new(Reactor::new(clock.clone()));
+        let store = Arc::new(
+            InMemoryObjectStore::new(
+                clock.clone(),
+                LatencyModel::new(Duration::from_micros(50), Duration::from_nanos(2)),
+                metrics.clone(),
+                "remote",
+            )
+            .with_reactor(reactor),
+        );
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("emb", ColumnType::Vector(4))
+            .with_vector_index("i", "emb", IndexKind::Hnsw, 4, Metric::L2);
+        let table = TableStore::new(
+            schema,
+            store,
+            Arc::new(IndexRegistry::with_builtins()),
+            TableStoreConfig { segment_max_rows: 60, ..Default::default() },
+            Arc::new(IdGenerator::new()),
+            metrics.clone(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..480)
+            .map(|i| {
+                let c = (i % 4) as f32 * 8.0 + (i as f32) * 1e-4;
+                vec![
+                    Value::UInt64(i as u64),
+                    Value::Vector(vec![c, c + 0.1, c + 0.2, c - 0.1]),
+                ]
+            })
+            .collect();
+        table.insert_rows(rows).unwrap();
+        Fixture {
+            table: Arc::new(table),
+            clock,
+            engine: QueryEngine::new(metrics.clone()),
+            metrics,
+        }
+    })
+}
+
+/// A fresh two-worker VW over the shared table. `overlap` routes worker RPC
+/// charges through a per-worker reactor; everything else is identical so the
+/// only difference between the two warehouses under test is the overlap path.
+fn make_vw(fix: &Fixture, overlap: bool) -> VirtualWarehouse {
+    let vw = VirtualWarehouse::new(
+        if overlap { VwId(1) } else { VwId(0) },
+        if overlap { "ovl" } else { "blk" },
+        VwConfig {
+            rpc: LatencyModel::fixed(Duration::from_micros(100)),
+            worker: WorkerConfig { overlap, ..Default::default() },
+            ..Default::default()
+        },
+        fix.table.remote_store().clone(),
+        fix.table.registry().clone(),
+        fix.clock.clone(),
+        fix.metrics.clone(),
+        Arc::new(IdGenerator::starting_at(1000)),
+    );
+    vw.scale_up(&[]);
+    vw.scale_up(&[]);
+    vw
+}
+
+fn parse(sql: &str) -> SelectStmt {
+    match bh_sql::parse_statement(sql).unwrap() {
+        bh_sql::Statement::Select(sel) => sel,
+        other => panic!("expected SELECT, got {other:?}"),
+    }
+}
+
+fn stmt_strategy() -> impl Strategy<Value = String> {
+    (0u32..4, 1usize..=20, any::<bool>()).prop_map(|(cluster, k, filtered)| {
+        let c = cluster as f32 * 8.0;
+        let w = if filtered { "WHERE id < 240 " } else { "" };
+        format!(
+            "SELECT id, dist FROM t {w}ORDER BY \
+             L2Distance(emb, [{c}.0, {:.1}, {:.1}, {:.1}]) AS dist LIMIT {k}",
+            c + 0.1,
+            c + 0.2,
+            c - 0.1,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn overlapped_batch_is_bit_identical_to_blocking(
+        sqls in prop::collection::vec(stmt_strategy(), 1..=6),
+        residency in 0usize..3,
+    ) {
+        let fix = fixture();
+        let stmts: Vec<SelectStmt> = sqls.iter().map(|s| parse(s)).collect();
+        let metas = fix.table.segments();
+        let vw_blocking = make_vw(fix, false);
+        let vw_overlap = make_vw(fix, true);
+        // Same starting residency on both warehouses: none, half, or all of
+        // the segments preloaded. Cold queries warm caches synchronously, so
+        // identical statements evolve both warehouses identically.
+        let preload = &metas[..metas.len() * residency / 2];
+        vw_blocking.preload(preload).unwrap();
+        vw_overlap.preload(preload).unwrap();
+
+        let opts = QueryOptions::default();
+        // Two rounds: the first runs at the chosen residency, the second on
+        // whatever mix the first round's warming produced.
+        for round in 0..2 {
+            let blocking = fix
+                .engine
+                .execute_select_batch(&fix.table, &vw_blocking, &opts, &stmts)
+                .unwrap();
+            let overlapped = fix
+                .engine
+                .execute_select_batch(&fix.table, &vw_overlap, &opts, &stmts)
+                .unwrap();
+            prop_assert_eq!(blocking.len(), overlapped.len());
+            for (i, (b, o)) in blocking.iter().zip(&overlapped).enumerate() {
+                prop_assert_eq!(
+                    &b.rows,
+                    &o.rows,
+                    "statement {} diverged (residency={}, round={}): {}",
+                    i,
+                    residency,
+                    round,
+                    sqls[i]
+                );
+            }
+        }
+    }
+}

@@ -15,11 +15,13 @@
 //! `cache.index.{mem,disk}.{hit,miss}` for the index-cache tiers.
 
 use crate::lru::LruCache;
-use crate::objectstore::ObjectStore;
+use crate::objectstore::{ObjectStore, PendingGet};
 use crate::segment::SegmentMeta;
 use bh_common::{MetricsRegistry, Result, SegmentId};
-use bh_vector::{IndexRegistry, VectorIndex};
+use bh_vector::{IndexKind, IndexRegistry, VectorIndex};
 use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Per-worker hierarchical vector-index cache.
@@ -30,6 +32,18 @@ pub struct IndexCache {
     remote: Arc<dyn ObjectStore>,
     registry: Arc<IndexRegistry>,
     metrics: MetricsRegistry,
+    /// Segments whose blob fetch is currently in flight (single-flight
+    /// dedup): one caller fetches, the rest wait on `inflight_cv` and then
+    /// re-check the memory tier.
+    inflight: Mutex<HashSet<SegmentId>>,
+    inflight_cv: Condvar,
+    /// In-flight prefetched blobs, consumed by the next [`IndexCache::get`].
+    /// Never promoted to `mem` by themselves — `resident` stays false until
+    /// someone actually asks for the index.
+    pending: Mutex<HashMap<SegmentId, PendingGet>>,
+    /// Head-only partial indexes (tiered v3 blobs), served while the body is
+    /// still in flight; dropped once the full index lands in `mem`.
+    partial: Mutex<HashMap<SegmentId, Arc<dyn VectorIndex>>>,
 }
 
 impl IndexCache {
@@ -41,7 +55,17 @@ impl IndexCache {
         registry: Arc<IndexRegistry>,
         metrics: MetricsRegistry,
     ) -> Self {
-        Self { mem: LruCache::new(mem_capacity_bytes), disk, remote, registry, metrics }
+        Self {
+            mem: LruCache::new(mem_capacity_bytes),
+            disk,
+            remote,
+            registry,
+            metrics,
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            pending: Mutex::new(HashMap::new()),
+            partial: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Is the index resident in memory right now? (Used by the scheduler's
@@ -52,39 +76,146 @@ impl IndexCache {
 
     /// Fetch the index for a segment through the hierarchy, promoting on the
     /// way up. Returns `None` if the segment has no index.
+    ///
+    /// Concurrent gets for the same cold segment are deduplicated: one
+    /// caller performs the fetch, the others park on a condvar and read the
+    /// promoted index from memory (`cache.index.singleflight.wait` counts
+    /// the parked callers).
     pub fn get(&self, meta: &SegmentMeta) -> Result<Option<Arc<dyn VectorIndex>>> {
         let Some(kind) = meta.index_kind else { return Ok(None) };
         let mut span = self.metrics.tracer().span("cache.index.get");
         span.attr("segment", meta.id.raw());
-        if let Some(idx) = self.mem.get(&meta.id) {
-            self.metrics.counter("cache.index.mem.hit").inc();
-            span.attr("tier", "mem");
-            return Ok(Some(idx));
-        }
-        self.metrics.counter("cache.index.mem.miss").inc();
-
-        let key = meta.index_key();
-        let blob: Bytes = match &self.disk {
-            Some(disk) if disk.exists(&key) => {
-                self.metrics.counter("cache.index.disk.hit").inc();
-                span.attr("tier", "disk");
-                disk.get(&key)?
+        loop {
+            if let Some(idx) = self.mem.get(&meta.id) {
+                self.metrics.counter("cache.index.mem.hit").inc();
+                span.attr("tier", "mem");
+                return Ok(Some(idx));
             }
-            _ => {
-                if self.disk.is_some() {
-                    self.metrics.counter("cache.index.disk.miss").inc();
-                }
-                let blob = self.remote.get(&key)?;
-                self.metrics.counter("cache.index.remote.fetch").inc();
-                span.attr("tier", "remote");
+            self.metrics.counter("cache.index.mem.miss").inc();
+            let mut g = self.inflight.lock();
+            if g.insert(meta.id) {
+                break; // we own the fetch
+            }
+            // Another caller is already fetching this segment: wait for it
+            // to finish, then re-check the memory tier.
+            self.metrics.counter("cache.index.singleflight.wait").inc();
+            self.inflight_cv.wait(&mut g);
+        }
+        let result = self.fetch_and_promote(meta, kind, &mut span);
+        let mut g = self.inflight.lock();
+        g.remove(&meta.id);
+        drop(g);
+        self.inflight_cv.notify_all();
+        result
+    }
+
+    /// The cold path of [`IndexCache::get`]: pull the blob through
+    /// prefetch → disk → remote, deserialize, promote to memory.
+    fn fetch_and_promote(
+        &self,
+        meta: &SegmentMeta,
+        kind: IndexKind,
+        span: &mut bh_common::Span,
+    ) -> Result<Option<Arc<dyn VectorIndex>>> {
+        let key = meta.index_key();
+        let pending = self.pending.lock().remove(&meta.id);
+        let blob: Bytes = match pending {
+            Some(p) => {
+                self.metrics.counter("cache.index.prefetch.hit").inc();
+                span.attr("tier", "prefetch");
+                let blob = p.wait();
                 if let Some(disk) = &self.disk {
                     disk.put(&key, blob.clone())?;
                 }
                 blob
             }
+            None => match &self.disk {
+                Some(disk) if disk.exists(&key) => {
+                    self.metrics.counter("cache.index.disk.hit").inc();
+                    span.attr("tier", "disk");
+                    disk.get(&key)?
+                }
+                _ => {
+                    if self.disk.is_some() {
+                        self.metrics.counter("cache.index.disk.miss").inc();
+                    }
+                    let blob = self.remote.get(&key)?;
+                    self.metrics.counter("cache.index.remote.fetch").inc();
+                    span.attr("tier", "remote");
+                    if let Some(disk) = &self.disk {
+                        disk.put(&key, blob.clone())?;
+                    }
+                    blob
+                }
+            },
         };
         let idx = self.registry.load(kind, &blob)?;
         self.mem.put(meta.id, idx.clone(), idx.memory_usage());
+        // The full index supersedes any head-only partial.
+        self.partial.lock().remove(&meta.id);
+        Ok(Some(idx))
+    }
+
+    /// Begin fetching a segment's index blob without blocking, so a later
+    /// [`IndexCache::get`] finds the transfer already in flight and its
+    /// latency overlaps with intervening work. Submit-only: requires a
+    /// deferred-capable remote store (reactor-backed); on stores without
+    /// deferral this is a no-op, as a synchronous fetch here would serialize
+    /// rather than overlap. Never mutates the memory tier — `resident`
+    /// reports false until the blob is consumed by a real `get`.
+    ///
+    /// Returns whether a new transfer was started.
+    pub fn prefetch(&self, meta: &SegmentMeta) -> Result<bool> {
+        if meta.index_kind.is_none()
+            || !self.remote.supports_deferred()
+            || self.mem.contains(&meta.id)
+        {
+            return Ok(false);
+        }
+        let key = meta.index_key();
+        if let Some(disk) = &self.disk {
+            if disk.exists(&key) {
+                return Ok(false); // cheap local read; nothing to overlap
+            }
+        }
+        let mut pending = self.pending.lock();
+        if pending.contains_key(&meta.id) {
+            return Ok(false);
+        }
+        let p = self.remote.get_begin(&key)?;
+        self.metrics.counter("cache.index.prefetch").inc();
+        pending.insert(meta.id, p);
+        Ok(true)
+    }
+
+    /// Tiered partial load (v3 blobs): fetch only the head prefix of the
+    /// index blob, deserialize it into a head-only partial index, and start
+    /// prefetching the full blob so the next `get` completes without a
+    /// second cold stall. Returns `None` when the segment has no index or
+    /// its blob is untiered (`index_head_bytes == 0`); returns the full
+    /// index when it is already resident.
+    pub fn get_head(&self, meta: &SegmentMeta) -> Result<Option<Arc<dyn VectorIndex>>> {
+        let Some(kind) = meta.index_kind else { return Ok(None) };
+        if let Some(idx) = self.mem.get(&meta.id) {
+            self.metrics.counter("cache.index.mem.hit").inc();
+            return Ok(Some(idx));
+        }
+        if meta.index_head_bytes == 0 || meta.index_head_bytes >= meta.index_bytes {
+            return Ok(None);
+        }
+        if let Some(idx) = self.partial.lock().get(&meta.id) {
+            self.metrics.counter("cache.index.head.hit").inc();
+            return Ok(Some(idx.clone()));
+        }
+        let mut span = self.metrics.tracer().span("cache.index.get_head");
+        span.attr("segment", meta.id.raw());
+        span.attr("head_bytes", meta.index_head_bytes);
+        let prefix = self.remote.get_range(&meta.index_key(), 0, meta.index_head_bytes)?;
+        let idx = self.registry.load_head(kind, &prefix)?;
+        self.metrics.counter("cache.index.head.fetch").inc();
+        self.partial.lock().insert(meta.id, idx.clone());
+        // Body follow-up: overlap the full-blob transfer with head serving.
+        self.prefetch(meta)?;
         Ok(Some(idx))
     }
 
@@ -105,6 +236,9 @@ impl IndexCache {
     /// Drop a segment from memory and disk tiers (e.g. after compaction).
     pub fn invalidate(&self, meta: &SegmentMeta) {
         self.mem.remove(&meta.id);
+        self.partial.lock().remove(&meta.id);
+        // Dropping a PendingGet forgets its reactor ticket (no stranded op).
+        self.pending.lock().remove(&meta.id);
         if let Some(disk) = &self.disk {
             let _ = disk.delete(&meta.index_key());
         }
@@ -113,6 +247,8 @@ impl IndexCache {
     /// Drop everything from the memory tier (simulates worker restart).
     pub fn clear_memory(&self) {
         self.mem.clear();
+        self.partial.lock().clear();
+        self.pending.lock().clear();
     }
 
     /// Bytes of index currently resident in memory.
@@ -373,6 +509,217 @@ mod tests {
             .search_with_filter(&[5.0, 5.0, 5.0, 5.0], 1, &SearchParams::default(), None)
             .unwrap();
         assert_eq!(got[0].id, 5);
+    }
+
+    fn build_tiered_segment(
+        store: &dyn ObjectStore,
+        registry: &IndexRegistry,
+        id: u64,
+        n: usize,
+    ) -> SegmentMeta {
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::UInt64)
+            .with_column("emb", ColumnType::Vector(16))
+            .with_vector_index("i", "emb", IndexKind::Hnsw, 16, Metric::L2);
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let v: Vec<f32> = (0..16).map(|d| ((i * 31 + d * 7) % 97) as f32).collect();
+                vec![Value::UInt64(i as u64), Value::Vector(v)]
+            })
+            .collect();
+        let mut seg = Segment::from_rows(&schema, SegmentId(id), rows, vec![], None, 0).unwrap();
+        let spec = IndexSpec::new(IndexKind::Hnsw, 16, Metric::L2);
+        let mut b = registry.create_builder(&spec).unwrap();
+        let (data, _) = seg.columns["emb"].vector_data().unwrap();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        b.add_with_ids(data, &ids).unwrap();
+        let idx = b.finish().unwrap();
+        let (head, body) = idx.save_bytes_tiered().unwrap().unwrap();
+        let blob = bh_vector::tiered::frame(&head, &body);
+        seg.meta.index_kind = Some(IndexKind::Hnsw);
+        seg.meta.index_bytes = blob.len() as u64;
+        seg.meta.index_head_bytes = bh_vector::tiered::head_prefix_len(head.len() as u64);
+        store.put(&seg.meta.index_key(), blob).unwrap();
+        seg.persist(store).unwrap();
+        seg.meta
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_gets() {
+        use bh_common::RealClock;
+        let metrics = MetricsRegistry::new();
+        // Real clock so the fetch genuinely takes long enough for the other
+        // threads to arrive and park on the single-flight condvar.
+        let remote = Arc::new(InMemoryObjectStore::new(
+            RealClock::shared(),
+            LatencyModel::fixed(Duration::from_millis(60)),
+            metrics.clone(),
+            "remote",
+        ));
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let meta = build_indexed_segment(remote.as_ref(), &registry, 1, 40);
+        let cache = Arc::new(IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            metrics.clone(),
+        ));
+        std::thread::scope(|s| {
+            let leader = {
+                let (cache, meta) = (cache.clone(), meta.clone());
+                s.spawn(move || cache.get(&meta).unwrap().unwrap())
+            };
+            // Give the leader a head start into its 60ms fetch.
+            std::thread::sleep(Duration::from_millis(15));
+            let followers: Vec<_> = (0..3)
+                .map(|_| {
+                    let (cache, meta) = (cache.clone(), meta.clone());
+                    s.spawn(move || cache.get(&meta).unwrap().unwrap())
+                })
+                .collect();
+            leader.join().unwrap();
+            for f in followers {
+                assert_eq!(f.join().unwrap().meta().len, 40);
+            }
+        });
+        assert_eq!(
+            metrics.counter_value("cache.index.remote.fetch"),
+            1,
+            "one fetch serves every concurrent caller"
+        );
+        assert!(metrics.counter_value("cache.index.singleflight.wait") >= 3);
+        assert_eq!(metrics.counter_value("cache.index.mem.hit"), 3);
+    }
+
+    #[test]
+    fn prefetch_overlaps_and_get_consumes() {
+        let clock = VirtualClock::shared();
+        let metrics = MetricsRegistry::new();
+        let reactor = Arc::new(bh_common::Reactor::new(clock.clone()));
+        let remote = Arc::new(
+            InMemoryObjectStore::new(
+                clock.clone(),
+                LatencyModel::fixed(Duration::from_micros(500)),
+                metrics.clone(),
+                "remote",
+            )
+            .with_reactor(reactor.clone()),
+        );
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let m1 = build_indexed_segment(remote.as_ref(), &registry, 1, 20);
+        let m2 = build_indexed_segment(remote.as_ref(), &registry, 2, 20);
+        let after_setup = clock.now_nanos();
+
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            metrics.clone(),
+        );
+        // Submissions start both transfers without advancing the clock and
+        // without making anything resident.
+        assert!(cache.prefetch(&m1).unwrap());
+        assert!(cache.prefetch(&m2).unwrap());
+        assert!(!cache.prefetch(&m1).unwrap(), "already in flight");
+        assert_eq!(clock.now_nanos(), after_setup);
+        assert!(!cache.resident(m1.id) && !cache.resident(m2.id));
+
+        // Both gets consume the in-flight transfers: total simulated time is
+        // max(cost, cost) = 500µs, not the 1ms two serial fetches would take.
+        cache.get(&m1).unwrap().unwrap();
+        cache.get(&m2).unwrap().unwrap();
+        assert_eq!(clock.now_nanos() - after_setup, 500_000);
+        assert_eq!(metrics.counter_value("cache.index.prefetch"), 2);
+        assert_eq!(metrics.counter_value("cache.index.prefetch.hit"), 2);
+        assert!(cache.resident(m1.id) && cache.resident(m2.id));
+    }
+
+    #[test]
+    fn prefetch_is_noop_without_deferred_store() {
+        let remote = InMemoryObjectStore::for_tests();
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let meta = build_indexed_segment(remote.as_ref(), &registry, 1, 10);
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            MetricsRegistry::new(),
+        );
+        assert!(!cache.prefetch(&meta).unwrap());
+        assert!(cache.get(&meta).unwrap().is_some());
+    }
+
+    #[test]
+    fn get_head_serves_partial_then_full_supersedes() {
+        let clock = VirtualClock::shared();
+        let metrics = MetricsRegistry::new();
+        // Per-byte-only model so charged time measures transferred bytes.
+        let reactor = Arc::new(bh_common::Reactor::new(clock.clone()));
+        let remote = Arc::new(
+            InMemoryObjectStore::new(
+                clock.clone(),
+                LatencyModel::new(Duration::ZERO, Duration::from_nanos(10)),
+                metrics.clone(),
+                "remote",
+            )
+            .with_reactor(reactor),
+        );
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let meta = build_tiered_segment(remote.as_ref(), &registry, 7, 600);
+        let t0 = clock.now_nanos();
+
+        let cache = IndexCache::new(
+            1 << 24,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            metrics.clone(),
+        );
+        let head = cache.get_head(&meta).unwrap().unwrap();
+        assert!(head.is_partial());
+        assert!(head.head_servable());
+        assert_eq!(head.meta().len, 600);
+        assert!(!cache.resident(meta.id), "head serving is not residency");
+        // The head fetch transferred only the head prefix (the body prefetch
+        // was submitted but not yet waited on).
+        let head_cost = clock.now_nanos() - t0;
+        assert_eq!(head_cost, meta.index_head_bytes * 10);
+        assert!(meta.index_head_bytes * 10 <= meta.index_bytes, "head ≤ 10% of blob");
+        // Partial serves real neighbors.
+        let q: Vec<f32> = (0..16).map(|d| ((31 + d * 7) % 97) as f32).collect();
+        let got = head.search_with_filter(&q, 3, &SearchParams::default(), None).unwrap();
+        assert!(!got.is_empty());
+        // Second head read hits the partial cache.
+        cache.get_head(&meta).unwrap().unwrap();
+        assert_eq!(metrics.counter_value("cache.index.head.fetch"), 1);
+        assert_eq!(metrics.counter_value("cache.index.head.hit"), 1);
+
+        // A full get consumes the body prefetch and supersedes the partial.
+        let full = cache.get(&meta).unwrap().unwrap();
+        assert!(!full.is_partial());
+        assert!(cache.resident(meta.id));
+        assert_eq!(metrics.counter_value("cache.index.prefetch.hit"), 1);
+        let after_full = cache.get_head(&meta).unwrap().unwrap();
+        assert!(!after_full.is_partial(), "resident full index wins");
+    }
+
+    #[test]
+    fn get_head_returns_none_for_untiered_blob() {
+        let remote = InMemoryObjectStore::for_tests();
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let meta = build_indexed_segment(remote.as_ref(), &registry, 4, 25);
+        assert_eq!(meta.index_head_bytes, 0);
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            MetricsRegistry::new(),
+        );
+        assert!(cache.get_head(&meta).unwrap().is_none());
     }
 
     #[test]

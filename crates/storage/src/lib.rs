@@ -36,7 +36,9 @@ pub mod value;
 
 pub use cache::{BlockCache, IndexCache};
 pub use delete::DeleteMap;
-pub use objectstore::{DiskObjectStore, InMemoryObjectStore, ObjectStore, SharedObjectStore};
+pub use objectstore::{
+    DiskObjectStore, InMemoryObjectStore, ObjectStore, PendingGet, SharedObjectStore,
+};
 pub use predicate::Predicate;
 pub use schema::{ColumnDef, TableSchema, VectorIndexDef};
 pub use segment::{Segment, SegmentMeta};

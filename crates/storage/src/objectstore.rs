@@ -13,12 +13,70 @@
 //! bumps metrics counters, so experiments can observe both simulated time and
 //! I/O counts.
 
-use bh_common::{BhError, LatencyModel, MetricsRegistry, Result, SharedClock};
+use bh_common::{BhError, LatencyModel, MetricsRegistry, Reactor, Result, SharedClock, Ticket};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// An in-flight `get`: the bytes are already in hand (the simulation reads
+/// eagerly) but the simulated transfer time may still be outstanding on a
+/// [`Reactor`]. Call [`PendingGet::wait`] to settle the time and take the
+/// bytes; dropping without waiting forgets the ticket (an abandoned prefetch
+/// costs nothing extra — the reactor reclaims the slot when the deadline
+/// passes).
+#[derive(Debug)]
+pub struct PendingGet {
+    bytes: Bytes,
+    ticket: Option<(Arc<Reactor>, Ticket)>,
+}
+
+impl PendingGet {
+    /// A get whose transfer time was already charged synchronously.
+    pub fn ready(bytes: Bytes) -> Self {
+        Self { bytes, ticket: None }
+    }
+
+    /// A get whose transfer completes at a reactor deadline.
+    pub fn deferred(bytes: Bytes, reactor: Arc<Reactor>, ticket: Ticket) -> Self {
+        Self { bytes, ticket: Some((reactor, ticket)) }
+    }
+
+    /// Whether the simulated transfer has already completed.
+    pub fn is_ready(&self) -> bool {
+        match &self.ticket {
+            None => true,
+            Some((r, t)) => r.is_complete(*t),
+        }
+    }
+
+    /// Number of bytes this get will deliver.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the blob is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Block until the simulated transfer completes, then take the bytes.
+    pub fn wait(mut self) -> Bytes {
+        if let Some((r, t)) = self.ticket.take() {
+            r.wait(t);
+        }
+        std::mem::take(&mut self.bytes)
+    }
+}
+
+impl Drop for PendingGet {
+    fn drop(&mut self) {
+        if let Some((r, t)) = self.ticket.take() {
+            r.forget(t);
+        }
+    }
+}
 
 /// Blob store interface (S3-alike: whole-object put/get).
 pub trait ObjectStore: Send + Sync {
@@ -34,6 +92,33 @@ pub trait ObjectStore: Send + Sync {
     fn list(&self, prefix: &str) -> Vec<String>;
     /// Sum of stored blob sizes.
     fn total_bytes(&self) -> u64;
+
+    /// Begin fetching `key` without blocking on the simulated transfer.
+    /// Stores without a reactor charge synchronously and return a ready get;
+    /// reactor-backed stores return a deferred get whose transfers overlap
+    /// with other in-flight operations.
+    fn get_begin(&self, key: &str) -> Result<PendingGet> {
+        Ok(PendingGet::ready(self.get(key)?))
+    }
+
+    /// Fetch `len` bytes of `key` starting at `offset` (clamped to the blob).
+    /// The default fetches the whole blob — charging full transfer cost — and
+    /// slices; stores that can address sub-ranges override this to charge
+    /// only the bytes read (this is what makes tiered head-only index loads
+    /// cheap).
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let blob = self.get(key)?;
+        let start = (offset as usize).min(blob.len());
+        let end = start.saturating_add(len as usize).min(blob.len());
+        Ok(blob.slice(start..end))
+    }
+
+    /// Whether [`ObjectStore::get_begin`] actually defers transfer time
+    /// (i.e. the store is reactor-backed). Callers use this to decide if
+    /// prefetching buys overlap.
+    fn supports_deferred(&self) -> bool {
+        false
+    }
 }
 
 /// Shared handle.
@@ -47,12 +132,22 @@ pub struct InMemoryObjectStore {
     metrics: MetricsRegistry,
     /// Metric name prefix, e.g. `"remote"` → counters `remote.get`, …
     label: String,
+    /// When set, transfer time is deferred through the reactor so concurrent
+    /// gets overlap instead of serializing.
+    reactor: Option<Arc<Reactor>>,
 }
 
 impl InMemoryObjectStore {
     /// A store charging `model` against `clock` per operation.
     pub fn new(clock: SharedClock, model: LatencyModel, metrics: MetricsRegistry, label: &str) -> Self {
-        Self { blobs: RwLock::new(BTreeMap::new()), clock, model, metrics, label: label.into() }
+        Self {
+            blobs: RwLock::new(BTreeMap::new()),
+            clock,
+            model,
+            metrics,
+            label: label.into(),
+            reactor: None,
+        }
     }
 
     /// A zero-latency store for tests.
@@ -65,14 +160,35 @@ impl InMemoryObjectStore {
         ))
     }
 
-    fn charge(&self, op: &str, bytes: usize) {
+    /// Route transfer-time charges through `reactor` (which must share this
+    /// store's clock) so simultaneous transfers cost `max`, not `sum`.
+    pub fn with_reactor(mut self, reactor: Arc<Reactor>) -> Self {
+        self.reactor = Some(reactor);
+        self
+    }
+
+    /// Emit the span + counters for `op` and either charge synchronously
+    /// (no reactor) or submit the cost and hand back the ticket.
+    fn charge_begin(&self, op: &str, bytes: usize) -> Option<(Arc<Reactor>, Ticket)> {
         let mut span = self.metrics.tracer().span(store_span_name(op));
         span.attr("store", self.label.as_str());
         span.attr("bytes", bytes);
         span.attr("sim_nanos", self.model.cost(bytes).as_nanos() as u64);
-        self.model.charge(self.clock.as_ref(), bytes);
         self.metrics.counter(&format!("{}.{op}", self.label)).inc();
         self.metrics.counter(&format!("{}.{op}.bytes", self.label)).add(bytes as u64);
+        match &self.reactor {
+            Some(r) => Some((Arc::clone(r), r.submit_transfer(&self.model, bytes))),
+            None => {
+                self.model.charge(self.clock.as_ref(), bytes);
+                None
+            }
+        }
+    }
+
+    fn charge(&self, op: &str, bytes: usize) {
+        if let Some((r, t)) = self.charge_begin(op, bytes) {
+            r.wait(t);
+        }
     }
 }
 
@@ -94,14 +210,38 @@ impl ObjectStore for InMemoryObjectStore {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
+        Ok(self.get_begin(key)?.wait())
+    }
+
+    fn get_begin(&self, key: &str) -> Result<PendingGet> {
         let blob = self
             .blobs
             .read()
             .get(key)
             .cloned()
             .ok_or_else(|| BhError::Storage(format!("blob not found: {key}")))?;
-        self.charge("get", blob.len());
-        Ok(blob)
+        Ok(match self.charge_begin("get", blob.len()) {
+            Some((r, t)) => PendingGet::deferred(blob, r, t),
+            None => PendingGet::ready(blob),
+        })
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let blob = self
+            .blobs
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| BhError::Storage(format!("blob not found: {key}")))?;
+        let start = (offset as usize).min(blob.len());
+        let end = start.saturating_add(len as usize).min(blob.len());
+        let slice = blob.slice(start..end);
+        self.charge("get", slice.len());
+        Ok(slice)
+    }
+
+    fn supports_deferred(&self) -> bool {
+        self.reactor.is_some()
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -185,6 +325,21 @@ impl ObjectStore for DiskObjectStore {
             .map_err(|e| BhError::Storage(format!("blob not found: {key} ({e})")))?;
         self.charge("get", data.len());
         Ok(Bytes::from(data))
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        use std::io::{Read, Seek, SeekFrom};
+        let path = self.path_of(key)?;
+        let mut f = std::fs::File::open(&path)
+            .map_err(|e| BhError::Storage(format!("blob not found: {key} ({e})")))?;
+        let total = f.metadata()?.len();
+        let start = offset.min(total);
+        let end = start.saturating_add(len).min(total);
+        f.seek(SeekFrom::Start(start))?;
+        let mut buf = vec![0u8; (end - start) as usize];
+        f.read_exact(&mut buf)?;
+        self.charge("get", buf.len());
+        Ok(Bytes::from(buf))
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -274,6 +429,74 @@ mod tests {
         assert_eq!(clock.now_nanos(), 220_000);
         assert_eq!(m.counter_value("remote.get"), 1);
         assert_eq!(m.counter_value("remote.put.bytes"), 1000);
+    }
+
+    #[test]
+    fn reactor_backed_gets_overlap() {
+        let clock = VirtualClock::shared();
+        let model = LatencyModel::new(Duration::from_micros(100), Duration::from_nanos(10));
+        let reactor = Reactor::shared(clock.clone());
+        let s = InMemoryObjectStore::new(clock.clone(), LatencyModel::ZERO, MetricsRegistry::new(), "remote");
+        let s = InMemoryObjectStore { model, ..s }.with_reactor(reactor);
+        assert!(s.supports_deferred());
+        s.put("a", Bytes::from(vec![0u8; 1000])).unwrap(); // 110µs (put waits)
+        s.put("b", Bytes::from(vec![0u8; 2000])).unwrap(); // +120µs
+        assert_eq!(clock.now_nanos(), 230_000);
+        // Two gets begun before either waits: transfers overlap, so the
+        // clock advances by max(110, 120) = 120µs, not 230µs.
+        let pa = s.get_begin("a").unwrap();
+        let pb = s.get_begin("b").unwrap();
+        let a = pa.wait();
+        let b = pb.wait();
+        assert_eq!((a.len(), b.len()), (1000, 2000));
+        assert_eq!(clock.now_nanos(), 230_000 + 120_000);
+    }
+
+    #[test]
+    fn abandoned_pending_get_charges_nothing_extra() {
+        let clock = VirtualClock::shared();
+        let model = LatencyModel::fixed(Duration::from_micros(50));
+        let reactor = Reactor::shared(clock.clone());
+        let s = InMemoryObjectStore::new(clock.clone(), LatencyModel::ZERO, MetricsRegistry::new(), "remote");
+        let s = InMemoryObjectStore { model, ..s }.with_reactor(reactor);
+        s.put("a", Bytes::from_static(b"x")).unwrap();
+        let now = clock.now_nanos();
+        let p = s.get_begin("a").unwrap();
+        drop(p); // forgotten, never waited
+        assert_eq!(clock.now_nanos(), now);
+    }
+
+    #[test]
+    fn get_range_charges_only_range_bytes() {
+        let clock = VirtualClock::shared();
+        let model = LatencyModel::new(Duration::ZERO, Duration::from_nanos(10));
+        let m = MetricsRegistry::new();
+        let s = InMemoryObjectStore::new(clock.clone(), model, m.clone(), "remote");
+        s.put("k", Bytes::from(vec![7u8; 1000])).unwrap();
+        let after_put = clock.now_nanos();
+        let head = s.get_range("k", 0, 100).unwrap();
+        assert_eq!(head.len(), 100);
+        assert_eq!(clock.now_nanos(), after_put + 1_000); // 100 bytes * 10ns
+        // Clamped past-the-end range.
+        let tail = s.get_range("k", 900, 500).unwrap();
+        assert_eq!(tail.len(), 100);
+    }
+
+    #[test]
+    fn disk_store_get_range_reads_subrange() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = DiskObjectStore::new(
+            dir.path(),
+            VirtualClock::shared(),
+            LatencyModel::ZERO,
+            MetricsRegistry::new(),
+            "disk",
+        )
+        .unwrap();
+        s.put("k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.get_range("k", 2, 3).unwrap(), Bytes::from_static(b"234"));
+        assert_eq!(s.get_range("k", 8, 10).unwrap(), Bytes::from_static(b"89"));
+        assert_eq!(s.get_range("k", 20, 5).unwrap(), Bytes::new());
     }
 
     #[test]

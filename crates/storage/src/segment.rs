@@ -53,6 +53,12 @@ pub struct SegmentMeta {
     pub index_kind: Option<IndexKind>,
     /// Size of the serialized index blob (cache weight / transfer size).
     pub index_bytes: u64,
+    /// Bytes of the index blob's *head* prefix when the blob uses the tiered
+    /// v3 container (container prefix + head section). `0` means the blob is
+    /// an untiered v2 whole-index and partial loading is unavailable.
+    /// `#[serde(default)]` keeps pre-tiered metadata blobs readable.
+    #[serde(default)]
+    pub index_head_bytes: u64,
 }
 
 impl SegmentMeta {
@@ -209,6 +215,7 @@ impl Segment {
             column_stats: stats,
             index_kind: None,
             index_bytes: 0,
+            index_head_bytes: 0,
         };
         Ok(Segment { meta, columns })
     }

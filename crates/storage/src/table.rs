@@ -68,6 +68,10 @@ pub struct TableStoreConfig {
     /// build) concurrently during [`TableStore::compact`]. `1` keeps the
     /// rebuild sequential; the default is the machine's parallelism.
     pub compact_parallelism: usize,
+    /// Persist index blobs in the tiered v3 container (head + body) when the
+    /// index kind supports it, enabling partial head-first loading on the
+    /// cold path. Kinds without a tiered form fall back to whole v2 blobs.
+    pub tiered_index: bool,
 }
 
 impl Default for TableStoreConfig {
@@ -81,6 +85,7 @@ impl Default for TableStoreConfig {
             compact_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            tiered_index: true,
         }
     }
 }
@@ -94,10 +99,14 @@ fn is_snapshot_race(e: &BhError) -> bool {
     }
 }
 
+/// A built index blob ready to upload: framed bytes, kind, and the head
+/// prefix length in bytes (`0` for untiered v2 blobs).
+type IndexBlob = (Bytes, bh_vector::IndexKind, u64);
+
 /// One compacted group staged by the parallel rebuild phase: rows dropped
 /// plus the merged segment and its index blob, ready to commit (`None` when
 /// every row of the group was deleted).
-type RebuiltGroup = (usize, Option<(Segment, Option<(Bytes, bh_vector::IndexKind)>)>);
+type RebuiltGroup = (usize, Option<(Segment, Option<IndexBlob>)>);
 
 /// Outcome of one compaction run.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -277,7 +286,7 @@ impl TableStore {
     fn ingest_pipelined(&self, pending: Vec<Segment>) -> Result<Vec<SegmentId>> {
         let mut created = Vec::with_capacity(pending.len());
         for mut seg in pending {
-            let index_blob: Option<(Bytes, bh_vector::IndexKind)> =
+            let index_blob: Option<IndexBlob> =
                 std::thread::scope(|scope| -> Result<_> {
                     let build = scope.spawn(|| self.build_index_blob(&seg));
                     seg.persist(self.remote.as_ref())?;
@@ -304,7 +313,7 @@ impl TableStore {
     }
 
     /// Build the per-segment vector index blob, if the schema declares one.
-    fn build_index_blob(&self, seg: &Segment) -> Result<Option<(Bytes, bh_vector::IndexKind)>> {
+    fn build_index_blob(&self, seg: &Segment) -> Result<Option<IndexBlob>> {
         let Some(idx_def) = self.schema.indexes.first() else { return Ok(None) };
         if seg.row_count() == 0 {
             return Ok(None);
@@ -328,18 +337,21 @@ impl TableStore {
         let ids: Vec<u64> = (0..seg.row_count() as u64).collect();
         builder.add_with_ids(data, &ids)?;
         let index = builder.finish()?;
-        Ok(Some((index.save_bytes()?, spec.kind)))
+        if self.cfg.tiered_index {
+            if let Some((head, body)) = index.save_bytes_tiered()? {
+                let head_bytes = bh_vector::tiered::head_prefix_len(head.len() as u64);
+                return Ok(Some((bh_vector::tiered::frame(&head, &body), spec.kind, head_bytes)));
+            }
+        }
+        Ok(Some((index.save_bytes()?, spec.kind, 0)))
     }
 
     /// Persist index + final metadata and register the segment.
-    fn finish_segment(
-        &self,
-        seg: &mut Segment,
-        index_blob: Option<(Bytes, bh_vector::IndexKind)>,
-    ) -> Result<()> {
-        if let Some((blob, kind)) = index_blob {
+    fn finish_segment(&self, seg: &mut Segment, index_blob: Option<IndexBlob>) -> Result<()> {
+        if let Some((blob, kind, head_bytes)) = index_blob {
             seg.meta.index_kind = Some(kind);
             seg.meta.index_bytes = blob.len() as u64;
+            seg.meta.index_head_bytes = head_bytes;
             self.remote.put(&seg.meta.index_key(), blob)?;
             // Re-persist meta with the index information included.
             let meta_json = serde_json::to_vec(&seg.meta)
@@ -1053,6 +1065,44 @@ mod tests {
         assert_eq!(ts2.visible_rows(), 120);
         for meta in ts2.segments() {
             assert!(ts2.load_index(&meta).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn tiered_index_blobs_persist_and_load() {
+        let ts = store(schema(None), TableStoreConfig::default());
+        ts.insert_rows(mk_rows(300, 30)).unwrap();
+        for meta in ts.segments() {
+            assert!(meta.index_head_bytes > 0, "HNSW should persist tiered");
+            assert!(meta.index_head_bytes < meta.index_bytes);
+            // The stored blob is a v3 container whose prefix is the head.
+            let blob = ts.remote_store().get(&meta.index_key()).unwrap();
+            assert!(bh_vector::tiered::is_tiered(&blob));
+            // Whole-blob load still round-trips through the registry sniff.
+            let idx = ts.load_index(&meta).unwrap().unwrap();
+            assert_eq!(idx.meta().len, meta.row_count);
+            assert!(!idx.is_partial());
+            // The head prefix alone yields a servable partial index.
+            let prefix = blob.slice(0..meta.index_head_bytes as usize);
+            let partial =
+                ts.registry().load_head(meta.index_kind.unwrap(), &prefix).unwrap();
+            assert!(partial.is_partial());
+            assert_eq!(partial.meta().len, meta.row_count);
+        }
+    }
+
+    #[test]
+    fn untiered_config_writes_v2_blobs() {
+        let ts = store(
+            schema(None),
+            TableStoreConfig { tiered_index: false, ..Default::default() },
+        );
+        ts.insert_rows(mk_rows(120, 31)).unwrap();
+        for meta in ts.segments() {
+            assert_eq!(meta.index_head_bytes, 0);
+            let blob = ts.remote_store().get(&meta.index_key()).unwrap();
+            assert!(!bh_vector::tiered::is_tiered(&blob));
+            assert!(ts.load_index(&meta).unwrap().is_some());
         }
     }
 

@@ -76,6 +76,69 @@ enum Store {
 }
 
 impl Store {
+    /// Rows `rows` (in order) extracted into a standalone store. Quantizer
+    /// state is duplicated — it is small (two f32 vectors) next to the codes.
+    fn subset(&self, dim: usize, rows: &[u32]) -> Store {
+        match self {
+            Store::Raw { data } => {
+                let mut out = Vec::with_capacity(rows.len() * dim);
+                for &r in rows {
+                    let r = r as usize;
+                    out.extend_from_slice(&data[r * dim..(r + 1) * dim]);
+                }
+                Store::Raw { data: out }
+            }
+            Store::Sq { sq, codes, rho } => {
+                let mut out = Vec::with_capacity(rows.len() * dim);
+                for &r in rows {
+                    let r = r as usize;
+                    out.extend_from_slice(&codes[r * dim..(r + 1) * dim]);
+                }
+                Store::Sq { sq: sq.clone(), codes: out, rho: *rho }
+            }
+        }
+    }
+
+    /// Serialize as the v2 store payload (tag, payload, rho section).
+    fn write(&self, w: &mut Writer) {
+        match self {
+            Store::Raw { data } => {
+                w.put_u8(0);
+                w.put_f32_slice(data);
+            }
+            Store::Sq { sq, codes, rho } => {
+                w.put_u8(1);
+                sq.save(w);
+                w.put_bytes(codes);
+                match rho {
+                    Some(r) => {
+                        w.put_u8(1);
+                        w.put_f32(*r);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+        }
+    }
+
+    /// Deserialize a v2 store payload written by [`Store::write`].
+    fn read(r: &mut Reader<'_>) -> Result<Store> {
+        match r.get_u8()? {
+            0 => Ok(Store::Raw { data: r.get_f32_vec()? }),
+            1 => {
+                let sq = Sq8::load(r)?;
+                let codes = r.get_bytes()?;
+                let rho = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_f32()?),
+                    x => return Err(BhError::Serde(format!("hnsw: bad rho flag {x}"))),
+                };
+                Ok(Store::Sq { sq, codes, rho })
+            }
+            x => Err(BhError::Serde(format!("hnsw: bad store byte {x}"))),
+        }
+    }
+
     fn len(&self, dim: usize) -> usize {
         match self {
             Store::Raw { data } => data.len() / dim,
@@ -257,6 +320,411 @@ impl HnswIndex {
             return Err(BhError::Serde("hnsw: corrupt geometry".into()));
         }
         Ok(idx)
+    }
+
+    /// Node indices (in node order) of every node participating in levels
+    /// ≥ 1 — the nodes the head section carries vectors and links for.
+    /// With the standard level distribution this is ~1/M of all nodes.
+    fn upper_nodes(&self) -> Vec<u32> {
+        (0..self.n() as u32).filter(|&i| self.links[i as usize].len() >= 2).collect()
+    }
+
+    /// Serialize as `(head, body)` sections for the v3 tiered container.
+    ///
+    /// The head carries everything needed to run greedy descent + a level-1
+    /// beam over the upper graph: per-node level counts, the upper nodes'
+    /// links, row ids, and vector payload (raw or SQ codes + quantizer).
+    /// The body carries the base layer: all ids, every node's layer-0
+    /// adjacency, and the full vector store. `load_tiered_parts(head, body)`
+    /// reconstructs an index identical to `self`.
+    pub fn save_tiered_parts(&self) -> Result<(Bytes, Bytes)> {
+        let mut hw = Writer::with_header(HEAD_MAGIC, TIERED_PART_VERSION);
+        hw.put_u8(match self.kind {
+            IndexKind::Hnsw => 0,
+            IndexKind::HnswSq => 1,
+            _ => return Err(BhError::Internal("hnsw: impossible kind".into())),
+        });
+        hw.put_u64(self.dim as u64);
+        hw.put_u8(metric_to_u8(self.metric));
+        hw.put_u64(self.m as u64);
+        hw.put_u32(self.entry);
+        hw.put_u64(self.max_level as u64);
+        let mut level_counts = Vec::with_capacity(self.n());
+        for per in &self.links {
+            if per.len() > u8::MAX as usize {
+                return Err(BhError::Internal("hnsw: level count exceeds u8".into()));
+            }
+            level_counts.push(per.len() as u8);
+        }
+        hw.put_bytes(&level_counts);
+        let upper = self.upper_nodes();
+        for &node in &upper {
+            let per = &self.links[node as usize];
+            for l in &per[1..] {
+                hw.put_u32_slice(l);
+            }
+        }
+        hw.put_u64_slice(&upper.iter().map(|&u| self.ids[u as usize]).collect::<Vec<_>>());
+        self.store.subset(self.dim, &upper).write(&mut hw);
+
+        let mut bw = Writer::with_header(BODY_MAGIC, TIERED_PART_VERSION);
+        bw.put_u64_slice(&self.ids);
+        for per in &self.links {
+            bw.put_u32_slice(&per[0]);
+        }
+        self.store.write(&mut bw);
+        Ok((hw.finish(), bw.finish()))
+    }
+
+    /// Reconstruct a full index from tiered `(head, body)` sections written
+    /// by [`HnswIndex::save_tiered_parts`].
+    pub fn load_tiered_parts(head: &[u8], body: &[u8]) -> Result<HnswIndex> {
+        let h = HnswHead::parse(head)?;
+        let mut r = Reader::new(body);
+        r.expect_header(BODY_MAGIC)?;
+        let ids = r.get_u64_vec()?;
+        if ids.len() != h.level_counts.len() {
+            return Err(BhError::Serde(format!(
+                "hnsw tiered: head describes {} nodes, body has {}",
+                h.level_counts.len(),
+                ids.len()
+            )));
+        }
+        let n = ids.len();
+        let mut links: Vec<Vec<Vec<u32>>> = Vec::with_capacity(n);
+        for node in 0..n {
+            let mut per = Vec::with_capacity(h.level_counts[node] as usize);
+            per.push(r.get_u32_vec()?);
+            links.push(per);
+        }
+        let store = Store::read(&mut r)?;
+        // Graft the upper levels from the head onto the base layer.
+        for (dense, &node) in h.upper.iter().enumerate() {
+            links[node as usize].extend(h.upper_links[dense].iter().cloned());
+        }
+        for (node, per) in links.iter().enumerate() {
+            if per.len() != h.level_counts[node] as usize {
+                return Err(BhError::Serde("hnsw tiered: level count mismatch".into()));
+            }
+        }
+        let idx = HnswIndex {
+            dim: h.dim,
+            metric: h.metric,
+            kind: h.kind,
+            m: h.m,
+            ids,
+            links,
+            entry: h.entry,
+            max_level: h.max_level,
+            store,
+        };
+        if idx.dim == 0 || (idx.n() > 0 && idx.store.len(idx.dim) != idx.n()) {
+            return Err(BhError::Serde("hnsw tiered: corrupt geometry".into()));
+        }
+        Ok(idx)
+    }
+}
+
+/// Magic for the head section of a tiered HNSW blob.
+const HEAD_MAGIC: &[u8; 4] = b"BHH3";
+/// Magic for the body section of a tiered HNSW blob.
+const BODY_MAGIC: &[u8; 4] = b"BHB3";
+const TIERED_PART_VERSION: u16 = 1;
+
+/// Parsed head section, shared by the full tiered load (which grafts it onto
+/// the body) and the head-only partial load.
+struct HnswHead {
+    kind: IndexKind,
+    dim: usize,
+    metric: Metric,
+    m: usize,
+    entry: u32,
+    max_level: usize,
+    /// Per node (all nodes), its level count + 1.
+    level_counts: Vec<u8>,
+    /// Global node indices of upper nodes, ascending.
+    upper: Vec<u32>,
+    /// Per upper node (dense order), its links for levels 1..=level.
+    upper_links: Vec<Vec<Vec<u32>>>,
+    /// Per upper node, its row id.
+    upper_ids: Vec<u64>,
+    /// Vector payload for the upper nodes only.
+    upper_store: Store,
+}
+
+impl HnswHead {
+    fn parse(head: &[u8]) -> Result<HnswHead> {
+        let mut r = Reader::new(head);
+        r.expect_header(HEAD_MAGIC)?;
+        let kind = match r.get_u8()? {
+            0 => IndexKind::Hnsw,
+            1 => IndexKind::HnswSq,
+            x => return Err(BhError::Serde(format!("hnsw head: bad kind byte {x}"))),
+        };
+        let dim = r.get_u64()? as usize;
+        let metric = metric_from_u8(r.get_u8()?)?;
+        let m = r.get_u64()? as usize;
+        let entry = r.get_u32()?;
+        let max_level = r.get_u64()? as usize;
+        let level_counts = r.get_bytes()?;
+        let upper: Vec<u32> = (0..level_counts.len() as u32)
+            .filter(|&i| level_counts[i as usize] >= 2)
+            .collect();
+        let mut upper_links = Vec::with_capacity(upper.len());
+        for &node in &upper {
+            let levels = level_counts[node as usize] as usize;
+            let mut per = Vec::with_capacity(levels - 1);
+            for _ in 1..levels {
+                per.push(r.get_u32_vec()?);
+            }
+            upper_links.push(per);
+        }
+        let upper_ids = r.get_u64_vec()?;
+        if upper_ids.len() != upper.len() {
+            return Err(BhError::Serde("hnsw head: upper id count mismatch".into()));
+        }
+        let upper_store = Store::read(&mut r)?;
+        if dim == 0 || upper_store.len(dim) != upper.len() {
+            return Err(BhError::Serde("hnsw head: corrupt geometry".into()));
+        }
+        Ok(HnswHead {
+            kind,
+            dim,
+            metric,
+            m,
+            entry,
+            max_level,
+            level_counts,
+            upper,
+            upper_links,
+            upper_ids,
+            upper_store,
+        })
+    }
+}
+
+/// A head-only partial HNSW index: the upper layers (levels ≥ 1) with their
+/// vectors, loadable from ~1/M of the blob bytes. Serves real (approximate)
+/// top-k immediately after a head-sized fetch by running greedy descent plus
+/// a level-1 beam over the upper graph — candidates are genuine rows with
+/// exact (or asymmetric-SQ) distances, just drawn from the upper sample of
+/// the dataset instead of the full base layer.
+pub struct HnswHeadIndex {
+    kind: IndexKind,
+    dim: usize,
+    metric: Metric,
+    entry: u32,
+    max_level: usize,
+    /// Total rows in the full index (reported in meta).
+    total_len: usize,
+    /// Global node index per dense upper slot, ascending.
+    upper: Vec<u32>,
+    /// Global node index → dense upper slot.
+    dense_of: std::collections::HashMap<u32, u32>,
+    /// Per dense slot, links for levels 1..=level (global node refs).
+    links: Vec<Vec<Vec<u32>>>,
+    /// Per dense slot, the row id.
+    ids: Vec<u64>,
+    /// Vector payload, rows addressed by dense slot.
+    store: Store,
+}
+
+impl HnswHeadIndex {
+    /// Deserialize the head section of a tiered HNSW blob into a partial
+    /// index.
+    pub fn load_bytes(head: &[u8]) -> Result<HnswHeadIndex> {
+        let h = HnswHead::parse(head)?;
+        let dense_of = h
+            .upper
+            .iter()
+            .enumerate()
+            .map(|(dense, &node)| (node, dense as u32))
+            .collect();
+        Ok(HnswHeadIndex {
+            kind: h.kind,
+            dim: h.dim,
+            metric: h.metric,
+            entry: h.entry,
+            max_level: h.max_level,
+            total_len: h.level_counts.len(),
+            upper: h.upper,
+            dense_of,
+            links: h.upper_links,
+            ids: h.upper_ids,
+            store: h.upper_store,
+        })
+    }
+
+    /// Number of upper nodes resident in the head.
+    pub fn head_len(&self) -> usize {
+        self.upper.len()
+    }
+
+    #[inline]
+    fn dist_dense(&self, query: &[f32], dense: u32) -> f32 {
+        self.store.distance_to(self.metric, self.dim, query, dense as usize)
+    }
+
+    /// Links of dense node `dense` at graph level `level` (≥ 1).
+    fn links_at(&self, dense: u32, level: usize) -> &[u32] {
+        let per = &self.links[dense as usize];
+        match per.get(level - 1) {
+            Some(l) => l,
+            None => &[],
+        }
+    }
+
+    /// Greedy descent from the global entry through levels
+    /// `max_level..level+1`, returning the best dense node seen.
+    fn greedy_to_level(&self, query: &[f32], to: usize) -> Option<u32> {
+        let mut cur = *self.dense_of.get(&self.entry)?;
+        let mut cur_d = self.dist_dense(query, cur);
+        for level in (to + 1..=self.max_level).rev() {
+            let mut improved = true;
+            while improved {
+                improved = false;
+                for &nb in self.links_at(cur, level) {
+                    let Some(&nd) = self.dense_of.get(&nb) else { continue };
+                    let d = self.dist_dense(query, nd);
+                    if d < cur_d {
+                        cur_d = d;
+                        cur = nd;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        Some(cur)
+    }
+
+    /// Beam search over level 1 (the lowest level present in the head).
+    fn search_upper(&self, query: &[f32], ef: usize) -> Vec<DistNode> {
+        let Some(entry) = self.greedy_to_level(query, 1) else { return Vec::new() };
+        let mut visited = vec![false; self.upper.len()];
+        visited[entry as usize] = true;
+        let d0 = self.dist_dense(query, entry);
+        let mut candidates = BinaryHeap::new();
+        candidates.push(Reverse(DistNode { dist: d0, node: entry }));
+        let mut results: BinaryHeap<DistNode> = BinaryHeap::new();
+        results.push(DistNode { dist: d0, node: entry });
+        while let Some(Reverse(c)) = candidates.pop() {
+            let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+            if results.len() >= ef && c.dist > worst {
+                break;
+            }
+            for &nb in self.links_at(c.node, 1) {
+                let Some(&nd) = self.dense_of.get(&nb) else { continue };
+                if visited[nd as usize] {
+                    continue;
+                }
+                visited[nd as usize] = true;
+                let d = self.dist_dense(query, nd);
+                let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+                if results.len() < ef || d < worst {
+                    candidates.push(Reverse(DistNode { dist: d, node: nd }));
+                    results.push(DistNode { dist: d, node: nd });
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<DistNode> = results.into_vec();
+        out.sort();
+        out
+    }
+}
+
+impl VectorIndex for HnswHeadIndex {
+    fn meta(&self) -> IndexMeta {
+        IndexMeta { kind: self.kind, dim: self.dim, metric: self.metric, len: self.total_len }
+    }
+
+    fn search_with_filter(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        if self.upper.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let ef = params.ef_search.max(k);
+        let ef = if filter.is_some() { ef.saturating_mul(2) } else { ef };
+        let mut tk = TopK::new(k);
+        for c in self.search_upper(query, ef) {
+            let id = self.ids[c.node as usize];
+            if let Some(f) = filter {
+                if !f.contains(id as usize) {
+                    continue;
+                }
+            }
+            tk.push(c.dist, id);
+        }
+        Ok(tk.into_sorted().into_iter().map(|s| Neighbor::new(s.item, s.distance)).collect())
+    }
+
+    fn search_with_range(
+        &self,
+        query: &[f32],
+        radius: f32,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        let ef = params.ef_search.max(16).saturating_mul(2);
+        let mut out: Vec<Neighbor> = self
+            .search_upper(query, ef)
+            .into_iter()
+            .filter(|c| c.dist <= radius)
+            .map(|c| Neighbor::new(self.ids[c.node as usize], c.dist))
+            .filter(|nb| filter.map(|f| f.contains(nb.id as usize)).unwrap_or(true))
+            .collect();
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        Ok(out)
+    }
+
+    fn search_iterator<'a>(
+        &'a self,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<Box<dyn SearchIterator + 'a>> {
+        self.check_query(query)?;
+        Ok(Box::new(crate::iterator::GenericSearchIterator::new(self, query, params)))
+    }
+
+    fn needs_refine(&self) -> bool {
+        matches!(self.kind, IndexKind::HnswSq)
+    }
+
+    fn memory_usage(&self) -> usize {
+        let link_bytes: usize = self
+            .links
+            .iter()
+            .map(|per| per.iter().map(|l| l.len() * 4 + 24).sum::<usize>() + 24)
+            .sum();
+        self.store.memory_usage()
+            + link_bytes
+            + self.ids.len() * 8
+            + self.upper.len() * 4
+            + self.dense_of.len() * 12
+            + std::mem::size_of::<Self>()
+    }
+
+    fn save_bytes(&self) -> Result<Bytes> {
+        Err(BhError::Internal("head-only partial index cannot be re-saved".into()))
+    }
+
+    fn is_partial(&self) -> bool {
+        true
+    }
+
+    fn head_servable(&self) -> bool {
+        // A graph with no upper layers (tiny segment) has an empty head;
+        // the caller must brute-force until the body arrives.
+        !self.upper.is_empty()
     }
 }
 
@@ -485,6 +953,10 @@ impl VectorIndex for HnswIndex {
             }
         }
         Ok(w.finish())
+    }
+
+    fn save_bytes_tiered(&self) -> Result<Option<(Bytes, Bytes)>> {
+        Ok(Some(self.save_tiered_parts()?))
     }
 }
 
@@ -856,6 +1328,87 @@ mod tests {
         fb.add_with_ids(&data, &ids).unwrap();
         let flat = (fb as Box<dyn IndexBuilder>).finish().unwrap();
         (hnsw, flat, data)
+    }
+
+    #[test]
+    fn tiered_roundtrip_is_bit_identical() {
+        for kind in [IndexKind::Hnsw, IndexKind::HnswSq] {
+            let (hnsw, _, data) = build_pair(600, 12, kind, 7);
+            let whole = hnsw.save_bytes().unwrap();
+            let (head, body) = hnsw.save_bytes_tiered().unwrap().unwrap();
+            let rebuilt = HnswIndex::load_tiered_parts(&head, &body).unwrap();
+            // The reconstructed index must serialize to the exact v2 blob.
+            assert_eq!(rebuilt.save_bytes().unwrap(), whole, "{kind:?}");
+            // And search identically.
+            let params = SearchParams::default().with_ef(64);
+            let a = hnsw.search_with_filter(&data[..12], 10, &params, None).unwrap();
+            let b = rebuilt.search_with_filter(&data[..12], 10, &params, None).unwrap();
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn tiered_head_is_small_and_serves() {
+        let dim = 32;
+        let n = 2000;
+        let (hnsw, flat, data) = build_pair(n, dim, IndexKind::Hnsw, 3);
+        let (head, body) = hnsw.save_bytes_tiered().unwrap().unwrap();
+        let total = head.len() + body.len();
+        assert!(
+            head.len() * 10 <= total,
+            "head {} of {} bytes exceeds 10%",
+            head.len(),
+            total
+        );
+        let partial = HnswHeadIndex::load_bytes(&head).unwrap();
+        assert!(partial.is_partial());
+        assert!(partial.head_servable());
+        assert_eq!(partial.meta().len, n);
+        assert!(partial.head_len() < n / 8, "upper layer unexpectedly large");
+        // Head-only search returns genuine rows with exact distances, drawn
+        // from the upper sample: every hit must match the flat oracle's
+        // distance for that id.
+        let params = SearchParams::default().with_ef(64);
+        let q = &data[..dim];
+        let got = partial.search_with_filter(q, 5, &params, None).unwrap();
+        assert!(!got.is_empty(), "head-only search returned nothing");
+        let truth = flat.search_with_filter(q, n, &params, None).unwrap();
+        for nb in &got {
+            let t = truth.iter().find(|t| t.id == nb.id).unwrap();
+            assert!(
+                (t.distance - nb.distance).abs() <= 1e-4 * (1.0 + t.distance.abs()),
+                "id {} head distance {} vs exact {}",
+                nb.id,
+                nb.distance,
+                t.distance
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_head_respects_filter() {
+        let (hnsw, _, data) = build_pair(800, 8, IndexKind::Hnsw, 11);
+        let (head, _) = hnsw.save_bytes_tiered().unwrap().unwrap();
+        let partial = HnswHeadIndex::load_bytes(&head).unwrap();
+        let allow = Bitset::from_positions(800, (0..800).step_by(2));
+        let got = partial
+            .search_with_filter(&data[..8], 10, &SearchParams::default(), Some(&allow))
+            .unwrap();
+        for nb in got {
+            assert_eq!(nb.id % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tiered_truncated_sections_error() {
+        let (hnsw, _, _) = build_pair(300, 8, IndexKind::Hnsw, 5);
+        let (head, body) = hnsw.save_bytes_tiered().unwrap().unwrap();
+        assert!(HnswHeadIndex::load_bytes(&head[..head.len() - 4]).is_err());
+        assert!(HnswIndex::load_tiered_parts(&head, &body[..body.len() - 4]).is_err());
+        // Mismatched sections (head from a different build) must not load.
+        let (other, _, _) = build_pair(301, 8, IndexKind::Hnsw, 6);
+        let (head2, _) = other.save_bytes_tiered().unwrap().unwrap();
+        assert!(HnswIndex::load_tiered_parts(&head2, &body).is_err());
     }
 
     #[test]

@@ -297,6 +297,271 @@ impl IvfIndex {
         };
         Ok(IvfIndex { dim, metric, kind, coarse, ids, cells, len })
     }
+
+    fn kind_byte(&self) -> Result<u8> {
+        match self.kind {
+            IndexKind::IvfFlat => Ok(0),
+            IndexKind::IvfPq => Ok(1),
+            IndexKind::IvfPqFs => Ok(2),
+            _ => Err(BhError::Internal("ivf: impossible kind".into())),
+        }
+    }
+
+    /// Serialize as `(head, body)` sections for the v3 tiered container.
+    ///
+    /// The head carries the coarse centroids (plus the PQ codebook and
+    /// margins for quantized payloads) — everything a cold worker needs to
+    /// route queries to cells. The body carries the posting lists: per-cell
+    /// ids and vector/code payloads.
+    pub fn save_tiered_parts(&self) -> Result<(Bytes, Bytes)> {
+        let mut hw = Writer::with_header(HEAD_MAGIC, TIERED_PART_VERSION);
+        hw.put_u8(self.kind_byte()?);
+        hw.put_u64(self.dim as u64);
+        hw.put_u8(metric_to_u8(self.metric));
+        hw.put_u64(self.len as u64);
+        hw.put_u64(self.nlist() as u64);
+        hw.put_f32_slice(&self.coarse.centroids);
+        match &self.cells {
+            Cells::Flat { .. } => hw.put_u8(0),
+            Cells::Pq { pq, margins, .. } => {
+                hw.put_u8(1);
+                pq.save(&mut hw);
+                match margins {
+                    Some(mg) => {
+                        hw.put_u8(1);
+                        hw.put_f32_slice(mg);
+                    }
+                    None => hw.put_u8(0),
+                }
+            }
+        }
+
+        let mut bw = Writer::with_header(BODY_MAGIC, TIERED_PART_VERSION);
+        for cell in &self.ids {
+            bw.put_u64_slice(cell);
+        }
+        match &self.cells {
+            Cells::Flat { vectors } => {
+                for v in vectors {
+                    bw.put_f32_slice(v);
+                }
+            }
+            Cells::Pq { store, .. } => match store {
+                PqStore::Bytes(codes) => {
+                    for c in codes {
+                        bw.put_bytes(c);
+                    }
+                }
+                PqStore::Blocked(cells) => {
+                    let mut buf = Vec::new();
+                    for c in cells {
+                        buf.clear();
+                        for i in 0..c.len() {
+                            buf.extend(c.code_bytes(i));
+                        }
+                        bw.put_bytes(&buf);
+                    }
+                }
+            },
+        }
+        Ok((hw.finish(), bw.finish()))
+    }
+
+    /// Reconstruct a full index from tiered `(head, body)` sections written
+    /// by [`IvfIndex::save_tiered_parts`].
+    pub fn load_tiered_parts(head: &[u8], body: &[u8]) -> Result<IvfIndex> {
+        let h = IvfHead::parse(head)?;
+        let mut r = Reader::new(body);
+        r.expect_header(BODY_MAGIC)?;
+        let nlist = h.coarse.k;
+        let mut ids = Vec::with_capacity(nlist);
+        for _ in 0..nlist {
+            ids.push(r.get_u64_vec()?);
+        }
+        let len: usize = ids.iter().map(|v| v.len()).sum();
+        if len != h.len {
+            return Err(BhError::Serde(format!(
+                "ivf tiered: head says {} rows, body holds {len}",
+                h.len
+            )));
+        }
+        let cells = match h.payload {
+            IvfHeadPayload::Flat => {
+                let mut vectors = Vec::with_capacity(nlist);
+                for _ in 0..nlist {
+                    vectors.push(r.get_f32_vec()?);
+                }
+                Cells::Flat { vectors }
+            }
+            IvfHeadPayload::Pq { pq, margins } => {
+                let cs = pq.code_size();
+                let mut codes = Vec::with_capacity(nlist);
+                for cell_ids in ids.iter().take(nlist) {
+                    let cell = r.get_bytes()?;
+                    if cell.len() != cell_ids.len() * cs {
+                        return Err(BhError::Serde("ivf tiered: pq cell size mismatch".into()));
+                    }
+                    codes.push(cell);
+                }
+                let store = match pq.bits() {
+                    CodeBits::B8 => PqStore::Bytes(codes),
+                    CodeBits::B4 => {
+                        let mut blocked = Vec::with_capacity(nlist);
+                        for cell in &codes {
+                            let mut fc = FastScanCodes::new(cs);
+                            for code in cell.chunks_exact(cs) {
+                                fc.push(code)?;
+                            }
+                            blocked.push(fc);
+                        }
+                        PqStore::Blocked(blocked)
+                    }
+                };
+                Cells::Pq { pq, store, margins }
+            }
+        };
+        Ok(IvfIndex { dim: h.dim, metric: h.metric, kind: h.kind, coarse: h.coarse, ids, cells, len })
+    }
+}
+
+/// Magic for the head section of a tiered IVF blob.
+const HEAD_MAGIC: &[u8; 4] = b"BHIH";
+/// Magic for the body section of a tiered IVF blob.
+const BODY_MAGIC: &[u8; 4] = b"BHIB";
+const TIERED_PART_VERSION: u16 = 1;
+
+enum IvfHeadPayload {
+    Flat,
+    Pq { pq: Pq, margins: Option<Vec<f32>> },
+}
+
+/// Parsed head section of a tiered IVF blob.
+struct IvfHead {
+    kind: IndexKind,
+    dim: usize,
+    metric: Metric,
+    len: usize,
+    coarse: KMeans,
+    payload: IvfHeadPayload,
+}
+
+impl IvfHead {
+    fn parse(head: &[u8]) -> Result<IvfHead> {
+        let mut r = Reader::new(head);
+        r.expect_header(HEAD_MAGIC)?;
+        let kind = match r.get_u8()? {
+            0 => IndexKind::IvfFlat,
+            1 => IndexKind::IvfPq,
+            2 => IndexKind::IvfPqFs,
+            x => return Err(BhError::Serde(format!("ivf head: bad kind byte {x}"))),
+        };
+        let dim = r.get_u64()? as usize;
+        let metric = metric_from_u8(r.get_u8()?)?;
+        let len = r.get_u64()? as usize;
+        let nlist = r.get_u64()? as usize;
+        let centroids = r.get_f32_vec()?;
+        if dim == 0 || centroids.len() != nlist * dim {
+            return Err(BhError::Serde("ivf head: corrupt centroids".into()));
+        }
+        let coarse = KMeans { dim, k: nlist, centroids };
+        let payload = match r.get_u8()? {
+            0 => IvfHeadPayload::Flat,
+            1 => {
+                let pq = Pq::load(&mut r)?;
+                let margins = match r.get_u8()? {
+                    0 => None,
+                    1 => {
+                        let mg = r.get_f32_vec()?;
+                        if mg.len() != pq.m() {
+                            return Err(BhError::Serde("ivf head: corrupt margin section".into()));
+                        }
+                        Some(mg)
+                    }
+                    x => return Err(BhError::Serde(format!("ivf head: bad margin flag {x}"))),
+                };
+                IvfHeadPayload::Pq { pq, margins }
+            }
+            x => return Err(BhError::Serde(format!("ivf head: bad payload byte {x}"))),
+        };
+        Ok(IvfHead { kind, dim, metric, len, coarse, payload })
+    }
+}
+
+/// A head-only partial IVF index: coarse centroids (and PQ codebook) without
+/// posting lists. It cannot serve searches by itself —
+/// [`VectorIndex::head_servable`] is `false`, so cold workers brute-force
+/// scan until the body arrives — but loading it warms the routing structures
+/// and pins the codebook while the posting lists stream in.
+pub struct IvfHeadIndex {
+    kind: IndexKind,
+    dim: usize,
+    metric: Metric,
+    len: usize,
+    coarse: KMeans,
+}
+
+impl IvfHeadIndex {
+    /// Deserialize the head section of a tiered IVF blob.
+    pub fn load_bytes(head: &[u8]) -> Result<IvfHeadIndex> {
+        let h = IvfHead::parse(head)?;
+        Ok(IvfHeadIndex { kind: h.kind, dim: h.dim, metric: h.metric, len: h.len, coarse: h.coarse })
+    }
+
+    /// Number of coarse cells resident in the head.
+    pub fn nlist(&self) -> usize {
+        self.coarse.k
+    }
+}
+
+impl VectorIndex for IvfHeadIndex {
+    fn meta(&self) -> IndexMeta {
+        IndexMeta { kind: self.kind, dim: self.dim, metric: self.metric, len: self.len }
+    }
+
+    fn search_with_filter(
+        &self,
+        query: &[f32],
+        _k: usize,
+        _params: &SearchParams,
+        _filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        // Posting lists are not resident; there is nothing to return. The
+        // caller gates on `head_servable()` and brute-forces instead.
+        Ok(Vec::new())
+    }
+
+    fn search_with_range(
+        &self,
+        query: &[f32],
+        _radius: f32,
+        _params: &SearchParams,
+        _filter: Option<&Bitset>,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_query(query)?;
+        Ok(Vec::new())
+    }
+
+    fn search_iterator<'a>(
+        &'a self,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<Box<dyn SearchIterator + 'a>> {
+        self.check_query(query)?;
+        Ok(Box::new(crate::iterator::GenericSearchIterator::new(self, query, params)))
+    }
+
+    fn memory_usage(&self) -> usize {
+        self.coarse.centroids.len() * 4 + std::mem::size_of::<Self>()
+    }
+
+    fn save_bytes(&self) -> Result<Bytes> {
+        Err(BhError::Internal("head-only partial index cannot be re-saved".into()))
+    }
+
+    fn is_partial(&self) -> bool {
+        true
+    }
 }
 
 impl VectorIndex for IvfIndex {
@@ -468,6 +733,10 @@ impl VectorIndex for IvfIndex {
             }
         }
         Ok(w.finish())
+    }
+
+    fn save_bytes_tiered(&self) -> Result<Option<(Bytes, Bytes)>> {
+        Ok(Some(self.save_tiered_parts()?))
     }
 }
 
@@ -899,6 +1168,49 @@ mod tests {
             total += recall_at_k(&truth, &got, 10);
         }
         total / queries as f64
+    }
+
+    #[test]
+    fn tiered_roundtrip_is_bit_identical() {
+        for kind in [IndexKind::IvfFlat, IndexKind::IvfPq, IndexKind::IvfPqFs] {
+            let (ivf, _, data) = build(kind, 400, 8, 8, Metric::L2, 9);
+            let whole = ivf.save_bytes().unwrap();
+            let (head, body) = ivf.save_bytes_tiered().unwrap().unwrap();
+            let rebuilt = IvfIndex::load_tiered_parts(&head, &body).unwrap();
+            assert_eq!(rebuilt.save_bytes().unwrap(), whole, "{kind:?}");
+            let params = SearchParams::default().with_nprobe(8);
+            let a = ivf.search_with_filter(&data[..8], 10, &params, None).unwrap();
+            let b = rebuilt.search_with_filter(&data[..8], 10, &params, None).unwrap();
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn tiered_head_loads_but_is_not_servable() {
+        let (ivf, _, data) = build(IndexKind::IvfFlat, 500, 8, 10, Metric::L2, 4);
+        let (head, body) = ivf.save_bytes_tiered().unwrap().unwrap();
+        // Centroid-only head is a small fraction of the blob.
+        assert!(head.len() * 5 <= head.len() + body.len());
+        let partial = IvfHeadIndex::load_bytes(&head).unwrap();
+        assert!(partial.is_partial());
+        assert!(!partial.head_servable(), "IVF head holds no rows");
+        assert_eq!(partial.meta().len, 500);
+        assert_eq!(partial.nlist(), 10);
+        // Searches are well-formed but empty (caller brute-forces instead).
+        let got =
+            partial.search_with_filter(&data[..8], 5, &SearchParams::default(), None).unwrap();
+        assert!(got.is_empty());
+        // Dimension checks still apply.
+        assert!(partial.search_with_filter(&[0.0; 3], 5, &SearchParams::default(), None).is_err());
+    }
+
+    #[test]
+    fn tiered_mismatched_sections_error() {
+        let (a, _, _) = build(IndexKind::IvfFlat, 300, 8, 8, Metric::L2, 1);
+        let (b, _, _) = build(IndexKind::IvfFlat, 301, 8, 8, Metric::L2, 2);
+        let (head_a, _) = a.save_bytes_tiered().unwrap().unwrap();
+        let (_, body_b) = b.save_bytes_tiered().unwrap().unwrap();
+        assert!(IvfIndex::load_tiered_parts(&head_a, &body_b).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod kmeans;
 pub mod quant;
 pub mod recall;
 pub mod registry;
+pub mod tiered;
 pub mod types;
 pub mod vamana;
 

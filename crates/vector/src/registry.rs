@@ -19,6 +19,7 @@ use crate::ivf::{IvfBuilder, IvfIndex};
 use crate::types::{IndexBuilder, IndexKind, IndexSpec, VectorIndex};
 use crate::vamana::{DiskAnnBuilder, DiskAnnIndex};
 use bh_common::{BhError, Result};
+use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,6 +37,34 @@ pub trait IndexFactory: Send + Sync {
 
     /// `LoadIndex`: deserialize a previously saved index of `kind`.
     fn load(&self, kind: IndexKind, bytes: &[u8]) -> Result<Arc<dyn VectorIndex>>;
+
+    /// Deserialize only the head section of a v3 tiered blob into a partial
+    /// index ([`VectorIndex::is_partial`]). Factories without tiered support
+    /// keep the default error; the caller then falls back to a full load.
+    fn load_head(&self, kind: IndexKind, head: &[u8]) -> Result<Arc<dyn VectorIndex>> {
+        let _ = head;
+        Err(BhError::InvalidArgument(format!(
+            "{} does not support tiered loading of {}",
+            self.library(),
+            kind.name()
+        )))
+    }
+
+    /// Deserialize head + body sections of a v3 tiered blob into a full
+    /// index, equivalent to loading the legacy whole blob.
+    fn load_tiered(
+        &self,
+        kind: IndexKind,
+        head: &[u8],
+        body: &[u8],
+    ) -> Result<Arc<dyn VectorIndex>> {
+        let _ = (head, body);
+        Err(BhError::InvalidArgument(format!(
+            "{} does not support tiered loading of {}",
+            self.library(),
+            kind.name()
+        )))
+    }
 }
 
 /// Built-in factory standing in for hnswlib.
@@ -57,6 +86,19 @@ impl IndexFactory for HnswlibFactory {
 
     fn load(&self, _kind: IndexKind, bytes: &[u8]) -> Result<Arc<dyn VectorIndex>> {
         Ok(Arc::new(HnswIndex::load_bytes(bytes)?))
+    }
+
+    fn load_head(&self, _kind: IndexKind, head: &[u8]) -> Result<Arc<dyn VectorIndex>> {
+        Ok(Arc::new(crate::hnsw::HnswHeadIndex::load_bytes(head)?))
+    }
+
+    fn load_tiered(
+        &self,
+        _kind: IndexKind,
+        head: &[u8],
+        body: &[u8],
+    ) -> Result<Arc<dyn VectorIndex>> {
+        Ok(Arc::new(HnswIndex::load_tiered_parts(head, body)?))
     }
 }
 
@@ -91,6 +133,29 @@ impl IndexFactory for FaissFactory {
         match kind {
             IndexKind::Flat => Ok(Arc::new(FlatIndex::load_bytes(bytes)?)),
             _ => Ok(Arc::new(IvfIndex::load_bytes(bytes)?)),
+        }
+    }
+
+    fn load_head(&self, kind: IndexKind, head: &[u8]) -> Result<Arc<dyn VectorIndex>> {
+        match kind {
+            IndexKind::Flat => Err(BhError::InvalidArgument(
+                "FLAT indexes have no tiered form".into(),
+            )),
+            _ => Ok(Arc::new(crate::ivf::IvfHeadIndex::load_bytes(head)?)),
+        }
+    }
+
+    fn load_tiered(
+        &self,
+        kind: IndexKind,
+        head: &[u8],
+        body: &[u8],
+    ) -> Result<Arc<dyn VectorIndex>> {
+        match kind {
+            IndexKind::Flat => Err(BhError::InvalidArgument(
+                "FLAT indexes have no tiered form".into(),
+            )),
+            _ => Ok(Arc::new(IvfIndex::load_tiered_parts(head, body)?)),
         }
     }
 }
@@ -172,9 +237,36 @@ impl IndexRegistry {
         self.factory_for(spec.kind)?.create_builder(spec)
     }
 
-    /// `LoadIndex` entry point.
+    /// `LoadIndex` entry point. Accepts both legacy whole-index blobs and v3
+    /// tiered containers (sniffed by magic), so callers never need to know
+    /// which format a segment was persisted with.
     pub fn load(&self, kind: IndexKind, bytes: &[u8]) -> Result<Arc<dyn VectorIndex>> {
-        self.factory_for(kind)?.load(kind, bytes)
+        let factory = self.factory_for(kind)?;
+        if crate::tiered::is_tiered(bytes) {
+            let blob = Bytes::copy_from_slice(bytes);
+            let (head, body) = crate::tiered::split(&blob)?;
+            return factory.load_tiered(kind, &head, &body);
+        }
+        factory.load(kind, bytes)
+    }
+
+    /// Zero-copy variant of [`IndexRegistry::load`] for callers that already
+    /// hold the blob as [`Bytes`].
+    pub fn load_blob(&self, kind: IndexKind, blob: &Bytes) -> Result<Arc<dyn VectorIndex>> {
+        let factory = self.factory_for(kind)?;
+        if crate::tiered::is_tiered(blob) {
+            let (head, body) = crate::tiered::split(blob)?;
+            return factory.load_tiered(kind, &head, &body);
+        }
+        factory.load(kind, blob)
+    }
+
+    /// Load a head-only partial index from a container prefix range-fetch
+    /// (at least `SegmentMeta::index_head_bytes` bytes of the blob). The
+    /// result has [`VectorIndex::is_partial`] `== true`.
+    pub fn load_head(&self, kind: IndexKind, prefix: &Bytes) -> Result<Arc<dyn VectorIndex>> {
+        let head = crate::tiered::head_from_prefix(prefix)?;
+        self.factory_for(kind)?.load_head(kind, &head)
     }
 }
 
@@ -232,6 +324,50 @@ mod tests {
                 .unwrap();
             assert!(!got.is_empty(), "{kind:?} returned nothing");
         }
+    }
+
+    #[test]
+    fn tiered_blobs_load_via_registry() {
+        let reg = IndexRegistry::with_builtins();
+        let dim = 16;
+        let n = 400;
+        let data: Vec<f32> = (0..n * dim).map(|i| ((i * 37) % 100) as f32 / 10.0).collect();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        for kind in [IndexKind::Hnsw, IndexKind::IvfFlat, IndexKind::IvfPq] {
+            let spec = IndexSpec::new(kind, dim, Metric::L2).with_param("nlist", 8);
+            let mut b = reg.create_builder(&spec).unwrap();
+            if b.requires_training() {
+                b.train(&data).unwrap();
+            }
+            b.add_with_ids(&data, &ids).unwrap();
+            let idx = b.finish().unwrap();
+            let (head, body) = idx.save_bytes_tiered().unwrap().expect("tiered support");
+            let framed = crate::tiered::frame(&head, &body);
+
+            // The full tiered container loads to an equivalent index.
+            let full = reg.load(kind, &framed).unwrap();
+            assert!(!full.is_partial(), "{kind:?}");
+            let params = SearchParams::default().with_nprobe(8);
+            let want = idx.search_with_filter(&data[0..dim], 5, &params, None).unwrap();
+            let got = full.search_with_filter(&data[0..dim], 5, &params, None).unwrap();
+            assert_eq!(want, got, "{kind:?}");
+
+            // A head-only prefix loads to a partial index.
+            let prefix_len = crate::tiered::head_prefix_len(head.len() as u64) as usize;
+            let prefix = framed.slice(0..prefix_len);
+            let partial = reg.load_head(kind, &prefix).unwrap();
+            assert!(partial.is_partial(), "{kind:?}");
+            assert_eq!(partial.meta().len, n, "{kind:?}");
+        }
+
+        // FLAT has no tiered form: declines the split, still loads whole blobs.
+        let spec = IndexSpec::new(IndexKind::Flat, dim, Metric::L2);
+        let mut b = reg.create_builder(&spec).unwrap();
+        b.add_with_ids(&data, &ids).unwrap();
+        let idx = b.finish().unwrap();
+        assert!(idx.save_bytes_tiered().unwrap().is_none());
+        let blob = idx.save_bytes().unwrap();
+        assert!(reg.load(IndexKind::Flat, &blob).is_ok());
     }
 
     /// A custom single-kind factory demonstrating third-party pluggability.

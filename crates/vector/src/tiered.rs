@@ -1,0 +1,173 @@
+//! v3 tiered index-blob container (head/body framing).
+//!
+//! A tiered blob wraps an index serialized as two sections:
+//!
+//! * **head** — the part needed to start serving: HNSW upper layers + entry
+//!   point (plus the upper nodes' vectors), IVF centroids + PQ codebooks.
+//!   For realistic indexes this is ≤ 10% of the blob.
+//! * **body** — the bulk: HNSW base layer + full vector store, IVF posting
+//!   lists.
+//!
+//! Layout (all integers little-endian, matching [`crate::codec`]):
+//!
+//! ```text
+//! [magic "BHT3" 4B][version u16][head_len u64][body_len u64][head…][body…]
+//! ```
+//!
+//! The fixed 22-byte prefix plus `head_len` is exactly the byte count a cold
+//! worker range-fetches to begin head-only serving
+//! ([`head_prefix_len`]); the remainder is demand-fetched and joined via
+//! [`split`]. Blobs not starting with the magic are v2 (or older) whole-index
+//! blobs and load through the legacy per-kind path — backward compatibility
+//! is a one-magic sniff ([`is_tiered`]).
+
+use bh_common::{BhError, Result};
+use bytes::Bytes;
+
+/// Magic prefix identifying a v3 tiered container.
+pub const TIERED_MAGIC: [u8; 4] = *b"BHT3";
+
+/// Container format version.
+pub const TIERED_VERSION: u16 = 1;
+
+/// Fixed byte length of the container prefix before the head section.
+pub const TIERED_PREFIX_LEN: u64 = 4 + 2 + 8 + 8;
+
+/// Whether `bytes` is a v3 tiered container (vs a legacy whole-index blob).
+pub fn is_tiered(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == TIERED_MAGIC
+}
+
+/// Total bytes a ranged get must fetch to obtain the head section:
+/// container prefix + head.
+pub fn head_prefix_len(head_len: u64) -> u64 {
+    TIERED_PREFIX_LEN + head_len
+}
+
+/// Frame `head` and `body` into one v3 container blob.
+pub fn frame(head: &[u8], body: &[u8]) -> Bytes {
+    let mut out =
+        Vec::with_capacity(TIERED_PREFIX_LEN as usize + head.len() + body.len());
+    out.extend_from_slice(&TIERED_MAGIC);
+    out.extend_from_slice(&TIERED_VERSION.to_le_bytes());
+    out.extend_from_slice(&(head.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(head);
+    out.extend_from_slice(body);
+    Bytes::from(out)
+}
+
+fn read_prefix(bytes: &[u8]) -> Result<(u64, u64)> {
+    if !is_tiered(bytes) {
+        return Err(BhError::InvalidArgument("not a tiered index container".into()));
+    }
+    if bytes.len() < TIERED_PREFIX_LEN as usize {
+        return Err(BhError::InvalidArgument("tiered container prefix truncated".into()));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != TIERED_VERSION {
+        return Err(BhError::InvalidArgument(format!(
+            "unsupported tiered container version {version}"
+        )));
+    }
+    let head_len = u64::from_le_bytes(bytes[6..14].try_into().map_err(|_| {
+        BhError::InvalidArgument("tiered container prefix truncated".into())
+    })?);
+    let body_len = u64::from_le_bytes(bytes[14..22].try_into().map_err(|_| {
+        BhError::InvalidArgument("tiered container prefix truncated".into())
+    })?);
+    Ok((head_len, body_len))
+}
+
+/// Split a full container blob into `(head, body)` sections (zero-copy
+/// slices of the input).
+pub fn split(blob: &Bytes) -> Result<(Bytes, Bytes)> {
+    let (head_len, body_len) = read_prefix(blob)?;
+    let head_start = TIERED_PREFIX_LEN as usize;
+    let head_end = head_start + head_len as usize;
+    let body_end = head_end + body_len as usize;
+    if blob.len() < body_end {
+        return Err(BhError::InvalidArgument(format!(
+            "tiered container truncated: {} bytes, sections need {body_end}",
+            blob.len()
+        )));
+    }
+    Ok((blob.slice(head_start..head_end), blob.slice(head_end..body_end)))
+}
+
+/// Extract the head section from a prefix range-fetch of at least
+/// [`head_prefix_len`] bytes (`prefix` may extend into the body; extra bytes
+/// are ignored).
+pub fn head_from_prefix(prefix: &Bytes) -> Result<Bytes> {
+    let (head_len, _) = read_prefix(prefix)?;
+    let head_start = TIERED_PREFIX_LEN as usize;
+    let head_end = head_start + head_len as usize;
+    if prefix.len() < head_end {
+        return Err(BhError::InvalidArgument(format!(
+            "tiered head truncated: {} bytes fetched, head needs {head_end}",
+            prefix.len()
+        )));
+    }
+    Ok(prefix.slice(head_start..head_end))
+}
+
+/// Byte offset and length of the body section, for a ranged body fetch.
+pub fn body_range(blob_prefix: &Bytes) -> Result<(u64, u64)> {
+    let (head_len, body_len) = read_prefix(blob_prefix)?;
+    Ok((head_prefix_len(head_len), body_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_split_roundtrip() {
+        let blob = frame(b"HEAD", b"BODYBYTES");
+        assert!(is_tiered(&blob));
+        assert_eq!(blob.len() as u64, head_prefix_len(4) + 9);
+        let (h, b) = split(&blob).unwrap();
+        assert_eq!(h, Bytes::from_static(b"HEAD"));
+        assert_eq!(b, Bytes::from_static(b"BODYBYTES"));
+    }
+
+    #[test]
+    fn head_from_prefix_fetch() {
+        let blob = frame(b"HEAD", b"BODYBYTES");
+        // Exactly the head prefix.
+        let prefix = blob.slice(..head_prefix_len(4) as usize);
+        assert_eq!(head_from_prefix(&prefix).unwrap(), Bytes::from_static(b"HEAD"));
+        // Over-fetch into the body is fine.
+        let over = blob.slice(..head_prefix_len(4) as usize + 3);
+        assert_eq!(head_from_prefix(&over).unwrap(), Bytes::from_static(b"HEAD"));
+        // Under-fetch errors.
+        let under = blob.slice(..head_prefix_len(4) as usize - 1);
+        assert!(head_from_prefix(&under).is_err());
+    }
+
+    #[test]
+    fn body_range_points_past_head() {
+        let blob = frame(b"HH", b"BBB");
+        let (off, len) = body_range(&blob).unwrap();
+        assert_eq!((off, len), (TIERED_PREFIX_LEN + 2, 3));
+        assert_eq!(&blob[off as usize..(off + len) as usize], b"BBB");
+    }
+
+    #[test]
+    fn legacy_blobs_are_not_tiered() {
+        assert!(!is_tiered(b"BHHN....v2 hnsw blob"));
+        assert!(!is_tiered(b""));
+        assert!(split(&Bytes::from_static(b"BHIV....")).is_err());
+    }
+
+    #[test]
+    fn truncated_container_errors() {
+        let blob = frame(b"HEAD", b"BODY");
+        assert!(split(&blob.slice(..blob.len() - 1)).is_err());
+        assert!(split(&blob.slice(..10)).is_err());
+        // Wrong version.
+        let mut v = blob.to_vec();
+        v[4] = 99;
+        assert!(split(&Bytes::from(v)).is_err());
+    }
+}

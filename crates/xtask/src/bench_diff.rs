@@ -33,9 +33,13 @@ pub struct Comparison {
     pub path: String,
     pub committed: f64,
     pub fresh: f64,
-    /// Relative change in percent; positive = slower.
+    /// Relative change in percent; positive = slower (for throughput
+    /// fields the sign is already inverted so this convention holds).
     pub change_pct: f64,
     pub regressed: bool,
+    /// Display unit of the raw values: "ns" for latency, "qps" for
+    /// throughput.
+    pub unit: &'static str,
 }
 
 impl fmt::Display for Comparison {
@@ -43,8 +47,8 @@ impl fmt::Display for Comparison {
         let tag = if self.regressed { "REGRESSED" } else { "ok" };
         write!(
             f,
-            "{:9} {:+7.1}%  {:>10.1} -> {:>10.1} ns  {}",
-            tag, self.change_pct, self.committed, self.fresh, self.path
+            "{:9} {:+7.1}%  {:>10.1} -> {:>10.1} {}  {}",
+            tag, self.change_pct, self.committed, self.fresh, self.unit, self.path
         )
     }
 }
@@ -106,7 +110,13 @@ fn load_json(path: &Path) -> Result<Json, String> {
 /// Latency fields are minimized; everything else (speedups, recalls, row
 /// counts, dates) is ignored.
 fn is_latency_key(key: &str) -> bool {
-    key.ends_with("_ns") || key.ends_with("_ns_per_row")
+    key.ends_with("_ns") || key.ends_with("_ns_per_row") || key.ends_with("_ns_per_op")
+}
+
+/// Throughput fields are maximized: the regression direction inverts
+/// (fresh *lower* than committed is the slowdown).
+fn is_throughput_key(key: &str) -> bool {
+    key.ends_with("_qps")
 }
 
 /// Walk committed and fresh trees in lockstep. Objects match by key, arrays
@@ -126,6 +136,20 @@ fn walk(path: &str, committed: &Json, fresh: &Json, threshold_pct: f64, out: &mu
                                 fresh: *f,
                                 change_pct,
                                 regressed: change_pct > threshold_pct,
+                                unit: "ns",
+                            });
+                        } else if is_throughput_key(key) && *f > 0.0 {
+                            // Throughput inverts: report the slowdown implied
+                            // by the rate change, positive = slower, so one
+                            // sign convention covers both field families.
+                            let change_pct = (c / f - 1.0) * 100.0;
+                            out.push(Comparison {
+                                path: format!("{path}.{key}"),
+                                committed: *c,
+                                fresh: *f,
+                                change_pct,
+                                regressed: change_pct > threshold_pct,
+                                unit: "qps",
                             });
                         }
                     } else {
@@ -370,6 +394,35 @@ mod tests {
         assert!(!scalar.regressed, "+5% is under the 15% gate");
         assert!(fast.regressed, "+100% must regress");
         assert!(fast.path.contains("l2,dim=128"), "path was {}", fast.path);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn throughput_keys_invert_regression_direction() {
+        let root = tmp_root("qps");
+        let fresh = root.join("fresh");
+        fixture(
+            &root,
+            "BENCH_b.json",
+            r#"{"results":[{"batch":8,"sequential_qps":1000.0,"batched_qps":4000.0,"op_ns_per_op":50.0}]}"#,
+        );
+        fixture(
+            &fresh,
+            "BENCH_b.json",
+            r#"{"results":[{"batch":8,"sequential_qps":1100.0,"batched_qps":2000.0,"op_ns_per_op":80.0}]}"#,
+        );
+        let (cmp, _) = diff_benchmarks(&root, &fresh, 15.0).unwrap();
+        assert_eq!(cmp.len(), 3);
+        let seq = cmp.iter().find(|c| c.path.contains("sequential_qps")).unwrap();
+        let bat = cmp.iter().find(|c| c.path.contains("batched_qps")).unwrap();
+        let op = cmp.iter().find(|c| c.path.contains("op_ns_per_op")).unwrap();
+        assert!(!seq.regressed, "faster throughput must not regress");
+        assert!(seq.change_pct < 0.0, "sign convention: faster is negative");
+        assert!(bat.regressed, "halved throughput must regress");
+        assert!((bat.change_pct - 100.0).abs() < 1e-9, "4000->2000 qps is a +100% slowdown");
+        assert_eq!(bat.unit, "qps");
+        assert!(op.regressed, "_ns_per_op is a latency key; +60% must regress");
+        assert_eq!(op.unit, "ns");
         let _ = fs::remove_dir_all(&root);
     }
 

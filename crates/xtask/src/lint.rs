@@ -23,6 +23,20 @@
 //!    annotated `// lint: allow(panic) - <reason>` (the reason is mandatory).
 //! 5. **No stdout in library crates** — `println!` & friends are reserved for
 //!    the bench harness; libraries report through `MetricsRegistry`.
+//! 6. **Import-graph hygiene** — a crate is consumed through its public
+//!    surface: the root re-exports plus its public-surface modules. Reaching
+//!    across crates into an *internal* module couples the consumer to
+//!    implementation layout the owning crate never promised and makes
+//!    intra-crate refactors breaking changes. Internal today:
+//!    `bh_common::loom` (the vendored model checker backing the `--cfg loom`
+//!    tests), `bh_vector::{flat, hnsw, ivf, vamana, quant, iterator}` (index
+//!    implementations — go through `IndexRegistry`/`VectorIndex`),
+//!    `bh_query::{plan, plancache}` and `bh_storage::{partition, delete}`
+//!    (planner and maintenance internals re-exported at their crate roots).
+//!    By contrast `bh_common::cq` *is* public surface: `Reactor` (submit /
+//!    submit_transfer / wait / forget / is_complete / charge), `Ticket`, and
+//!    the lock-free `OpTable` are the sanctioned async-I/O completion API
+//!    for every crate that overlaps simulated transfers (DESIGN.md §11).
 //!
 //! The scanner is a line-oriented lexer, not a full parser: it strips string
 //! literals and comments (so `"unsafe"` in an error message is not a
@@ -49,6 +63,8 @@ pub enum Rule {
     StdoutInLib,
     /// `// lint: allow(panic)` without a stated invariant.
     EmptyAllowReason,
+    /// Cross-crate import of another crate's internal module.
+    CrossCrateInternal,
 }
 
 impl Rule {
@@ -61,6 +77,7 @@ impl Rule {
             Rule::PanicInLib => "panic-in-lib",
             Rule::StdoutInLib => "stdout-in-lib",
             Rule::EmptyAllowReason => "empty-allow-reason",
+            Rule::CrossCrateInternal => "cross-crate-internal",
         }
     }
 }
@@ -91,6 +108,19 @@ const PANIC_FREE_CRATES: &[&str] = &["storage", "query", "cluster", "vector"];
 /// measures real wall time and prints reports by design, and xtask is a
 /// developer tool.
 const HARNESS_CRATES: &[&str] = &["bench", "xtask"];
+
+/// Rule 6: modules that are `pub` for intra-crate layering but are NOT part
+/// of the owning crate's cross-crate surface. Everything else reachable from
+/// a crate root (its re-exports and remaining public modules — e.g.
+/// `bh_common::cq`, `bh_storage::objectstore`, `bh_vector::registry`) is fair
+/// game. Promoting a module out of this list is a deliberate API decision
+/// made here, in review, not by the first caller that finds it convenient.
+const CROSS_CRATE_INTERNAL: &[(&str, &[&str])] = &[
+    ("bh_common", &["loom"]),
+    ("bh_vector", &["flat", "hnsw", "ivf", "vamana", "quant", "iterator"]),
+    ("bh_query", &["plan", "plancache"]),
+    ("bh_storage", &["partition", "delete"]),
+];
 
 // ------------------------------------------------------------------ scanner
 
@@ -344,6 +374,138 @@ fn panic_allow_reason_missing(lines: &[LineView], idx: usize) -> Option<usize> {
     None
 }
 
+// ------------------------------------------------- rule 6: import hygiene
+
+/// The external crate name a `crates/<dir>` directory compiles to.
+fn crate_token(dir: &str) -> String {
+    if dir == "core" { "blendhouse".to_string() } else { format!("bh_{dir}") }
+}
+
+/// Scan the file's code channel for cross-crate paths that reach an internal
+/// module of another crate. Returns `(line_idx, crate, module)` per hit.
+///
+/// Unlike the per-line rules this joins the whole code channel first: a
+/// rustfmt-wrapped `use bh_vector::{\n    distance,\n    quant::Pq,\n};`
+/// names the internal module on a different line than the crate.
+fn cross_crate_reach(lines: &[LineView], owner: &str) -> Vec<(usize, &'static str, &'static str)> {
+    let mut text = String::new();
+    let mut line_starts = Vec::with_capacity(lines.len());
+    for v in lines {
+        line_starts.push(text.len());
+        text.push_str(&v.code);
+        text.push('\n');
+    }
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let skip_ws = |mut j: usize| {
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        j
+    };
+    let line_of = |pos: usize| line_starts.partition_point(|&s| s <= pos).saturating_sub(1);
+
+    // Collect the first path segment of each entry after `crate::`, looking
+    // through `{...}` groups; consumes (and ignores) the rest of each path.
+    fn heads(text: &str, mut j: usize, out: &mut Vec<(usize, usize)>) -> usize {
+        let bytes = text.as_bytes();
+        let skip_ws = |mut j: usize| {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            j
+        };
+        j = skip_ws(j);
+        if j < bytes.len() && bytes[j] == b'{' {
+            j += 1;
+            loop {
+                j = heads(text, j, out);
+                j = skip_ws(j);
+                match bytes.get(j) {
+                    Some(b',') => j += 1,
+                    Some(b'}') => {
+                        j += 1;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            return j;
+        }
+        let start = j;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j > start {
+            out.push((start, j));
+        }
+        // Swallow the remaining `::segment` / `::{...}` / `::*` tail.
+        loop {
+            let at = skip_ws(j);
+            if !text[at..].starts_with("::") {
+                break;
+            }
+            j = skip_ws(at + 2);
+            match bytes.get(j) {
+                Some(b'{') => {
+                    let mut depth = 0usize;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                Some(b'*') => j += 1,
+                _ => {
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        j
+    }
+
+    let mut out = Vec::new();
+    for (krate, internals) in CROSS_CRATE_INTERNAL {
+        if *krate == owner {
+            continue;
+        }
+        let mut from = 0usize;
+        while let Some(pos) = text[from..].find(krate) {
+            let at = from + pos;
+            from = at + krate.len();
+            let left_ok = at == 0 || !is_ident(bytes[at - 1]);
+            let after = at + krate.len();
+            if !left_ok || after >= bytes.len() || is_ident(bytes[after]) {
+                continue;
+            }
+            let j = skip_ws(after);
+            if !text[j..].starts_with("::") {
+                continue;
+            }
+            let mut segs = Vec::new();
+            heads(&text, j + 2, &mut segs);
+            for (s, e) in segs {
+                if let Some(m) = internals.iter().find(|m| **m == &text[s..e]) {
+                    out.push((line_of(s), *krate, *m));
+                }
+            }
+        }
+    }
+    out
+}
+
 // -------------------------------------------------------------------- rules
 
 /// Lint one file. `rel` is the workspace-relative path with `/` separators
@@ -473,6 +635,25 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
             }
         }
     }
+
+    // Rule 6: cross-crate imports must stay on the public surface.
+    let owner = crate_token(crate_name);
+    for (idx, krate, module) in cross_crate_reach(&lines, &owner) {
+        if tests[idx] || allowed(&lines, idx, "cross_crate") {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: idx + 1,
+            rule: Rule::CrossCrateInternal,
+            msg: format!(
+                "`{krate}::{module}` is an internal module of `{krate}`; use its \
+                 crate-root surface (or promote the module in xtask lint's \
+                 CROSS_CRATE_INTERNAL after review)"
+            ),
+        });
+    }
+    findings.sort_by_key(|f| f.line);
     findings
 }
 
@@ -750,6 +931,55 @@ mod tests {
     fn dbg_is_caught_and_writeln_is_fine() {
         let src = "use std::fmt::Write;\nfn f(out: &mut String) {\n    let _ = writeln!(out, \"x\");\n    dbg!(42);\n}\n";
         assert_eq!(rules("crates/query/src/x.rs", src), vec![Rule::StdoutInLib]);
+    }
+
+    // ---- rule 6: cross-crate import hygiene ----
+
+    #[test]
+    fn reach_into_internal_module_is_caught() {
+        let src = "use bh_common::loom::thread;\nfn f() { thread::spawn(|| {}); }\n";
+        assert_eq!(rules("crates/query/src/x.rs", src), vec![Rule::CrossCrateInternal]);
+    }
+
+    #[test]
+    fn grouped_and_wrapped_imports_are_caught() {
+        let src = "use bh_vector::{\n    distance,\n    quant::ProductQuantizer,\n};\nfn f() { let _ = (distance::l2_sq, ProductQuantizer::default); }\n";
+        let f = lint_file("crates/storage/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::CrossCrateInternal);
+        assert_eq!(f[0].line, 3, "finding anchors on the line naming the module");
+    }
+
+    #[test]
+    fn inline_path_expression_is_caught() {
+        let src = "fn f(v: &[f32]) -> Vec<u32> {\n    bh_vector::hnsw::HnswIndex::probe(v)\n}\n";
+        assert_eq!(rules("crates/cluster/src/x.rs", src), vec![Rule::CrossCrateInternal]);
+    }
+
+    #[test]
+    fn public_surface_modules_pass() {
+        let src = "use bh_common::cq::{Reactor, Ticket};\nuse bh_vector::{distance::Metric, registry};\nuse bh_storage::objectstore::InMemoryObjectStore;\nfn f() { let _ = (Reactor::new, registry::IndexRegistry::with_builtins, InMemoryObjectStore::for_tests); }\n";
+        assert!(rules("crates/query/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn owning_crate_may_use_its_own_internals() {
+        let src = "use bh_common::loom::sync::Arc;\nfn f() { let _ = Arc::<u32>::new; }\n";
+        assert!(rules("crates/common/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cross_crate_allow_annotation_and_tests_are_exempt() {
+        let allowed = "fn f() {\n    // lint: allow(cross_crate) - loom model shim for the cq harness\n    let _ = bh_common::loom::model;\n}\n";
+        assert!(rules("crates/query/src/x.rs", allowed).is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n    use bh_query::plan::PhysicalPlan;\n    #[test]\n    fn t() { let _ = std::any::type_name::<PhysicalPlan>(); }\n}\n";
+        assert!(rules("crates/storage/src/x.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn internal_module_name_in_string_or_comment_passes() {
+        let src = "// docs may mention bh_common::loom::model freely\nfn f() -> &'static str {\n    \"bh_vector::quant::ProductQuantizer\"\n}\n";
+        assert!(rules("crates/query/src/x.rs", src).is_empty());
     }
 
     // ---- scanner edge cases ----
