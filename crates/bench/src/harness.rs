@@ -1,6 +1,6 @@
 //! Measurement utilities shared by all experiment benches.
 
-use std::sync::{Condvar, Mutex};
+use bh_common::sync::{classes, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Wall-clock timer.
@@ -94,7 +94,7 @@ pub struct CpuPool {
 impl CpuPool {
     /// A pool with the given number of slots.
     pub fn new(slots: usize) -> CpuPool {
-        CpuPool { state: Mutex::new(slots), cv: Condvar::new(), capacity: slots }
+        CpuPool { state: Mutex::new(&classes::BENCH_CPUPOOL, slots), cv: Condvar::new(), capacity: slots }
     }
 
     /// Configured slot count.
@@ -104,9 +104,9 @@ impl CpuPool {
 
     /// Acquire one slot, blocking until available.
     pub fn acquire(&self) -> CpuSlot<'_> {
-        let mut free = self.state.lock().expect("pool poisoned");
+        let mut free = self.state.lock();
         while *free == 0 {
-            free = self.cv.wait(free).expect("pool poisoned");
+            self.cv.wait(&mut free);
         }
         *free -= 1;
         CpuSlot { pool: self }
@@ -120,7 +120,7 @@ pub struct CpuSlot<'a> {
 
 impl Drop for CpuSlot<'_> {
     fn drop(&mut self) {
-        let mut free = self.pool.state.lock().expect("pool poisoned");
+        let mut free = self.pool.state.lock();
         *free += 1;
         self.pool.cv.notify_one();
     }

@@ -25,7 +25,7 @@ use bh_storage::objectstore::ObjectStore;
 use bh_storage::segment::SegmentMeta;
 use bh_storage::table::TableStore;
 use bh_vector::{IndexRegistry, Neighbor, SearchParams};
-use parking_lot::RwLock;
+use bh_common::sync::{classes, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -96,9 +96,9 @@ impl VirtualWarehouse {
             clock,
             metrics,
             ids,
-            workers: RwLock::new(BTreeMap::new()),
-            ring: RwLock::new(MultiProbeRing::new(probes)),
-            previous_owner: RwLock::new(HashMap::new()),
+            workers: RwLock::new(&classes::VW_WORKERS, BTreeMap::new()),
+            ring: RwLock::new(&classes::VW_RING, MultiProbeRing::new(probes)),
+            previous_owner: RwLock::new(&classes::VW_PREV_OWNER, HashMap::new()),
         }
     }
 

@@ -103,7 +103,7 @@ pub struct Worker {
     alive: AtomicBool,
     /// Segments currently being warmed in the background — deduplicates the
     /// warm storm that would otherwise follow a cache miss under load.
-    warming: parking_lot::Mutex<std::collections::HashSet<bh_common::SegmentId>>,
+    warming: bh_common::sync::Mutex<std::collections::HashSet<bh_common::SegmentId>>,
     cfg: WorkerConfig,
     metrics: MetricsRegistry,
     clock: SharedClock,
@@ -148,7 +148,10 @@ impl Worker {
             column_cache,
             decoded_blocks,
             alive: AtomicBool::new(true),
-            warming: parking_lot::Mutex::new(std::collections::HashSet::new()),
+            warming: bh_common::sync::Mutex::new(
+                &bh_common::sync::classes::WORKER_WARMING,
+                std::collections::HashSet::new(),
+            ),
             cfg,
             metrics,
             clock,

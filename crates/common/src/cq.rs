@@ -48,7 +48,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{classes, Condvar, Mutex};
 
 use crate::clock::{LatencyModel, SharedClock};
 
@@ -206,7 +206,7 @@ impl Reactor {
         Self {
             clock,
             ops: OpTable::with_capacity(capacity),
-            inner: Mutex::new(Inner {
+            inner: Mutex::new(&classes::CQ_INNER, Inner {
                 heap: BinaryHeap::new(),
                 driving: false,
                 next_slot: 0,

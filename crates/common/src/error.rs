@@ -43,6 +43,9 @@ pub enum BhError {
     WorkerUnavailable(String),
     /// Serialization / deserialization failure.
     Serde(String),
+    /// A lock was poisoned by a panic on another thread; the payload names
+    /// the lock class (see `bh_common::sync`).
+    LockPoisoned(String),
     /// Internal invariant violation — indicates a bug in BlendHouse itself.
     Internal(String),
 }
@@ -73,6 +76,7 @@ impl fmt::Display for BhError {
             BhError::Rpc(s) => write!(f, "rpc error: {s}"),
             BhError::WorkerUnavailable(s) => write!(f, "worker unavailable: {s}"),
             BhError::Serde(s) => write!(f, "serde error: {s}"),
+            BhError::LockPoisoned(s) => write!(f, "lock poisoned: {s}"),
             BhError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }

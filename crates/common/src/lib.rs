@@ -25,6 +25,11 @@
 //! * [`trace`] — hierarchical spans over a lock-free ring recorder; the
 //!   profiling layer behind `EXPLAIN ANALYZE` (near-zero cost when disabled).
 //! * [`rng`] — seeded RNG construction helpers for reproducible experiments.
+//! * [`sync`] — ranked `Mutex`/`RwLock`/`Condvar` wrappers with a
+//!   lockdep-style runtime checker (debug / `--cfg lockdep`): every lock
+//!   carries a `LockClass` from one in-tree rank table, nested acquisitions
+//!   must strictly increase in rank, and violations panic with both class
+//!   names instead of deadlocking.
 
 pub mod bitset;
 pub mod bound;
@@ -37,6 +42,7 @@ pub mod loom;
 pub mod metrics;
 pub mod regex_lite;
 pub mod rng;
+pub mod sync;
 pub mod topk;
 pub mod trace;
 

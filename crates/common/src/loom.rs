@@ -53,6 +53,8 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+// lint: allow(raw-sync) - the model checker's own scheduler cannot run on
+// the ranked wrappers it is used to verify (circular instrumentation).
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Iteration cap before the checker gives up. Overridable via the
@@ -474,6 +476,11 @@ pub mod sync {
                     pub fn fetch_sub(&self, v: $t, _order: Ordering) -> $t {
                         super::super::yield_point();
                         self.0.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_or(&self, v: $t, _order: Ordering) -> $t {
+                        super::super::yield_point();
+                        self.0.fetch_or(v, Ordering::SeqCst)
                     }
 
                     pub fn compare_exchange(

@@ -19,7 +19,7 @@
 //! underscores in the Prometheus rendering.
 
 use crate::trace::Tracer;
-use parking_lot::RwLock;
+use crate::sync::{classes, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -246,7 +246,7 @@ pub struct MetricsRegistry {
     inner: Arc<Inner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
@@ -254,6 +254,17 @@ struct Inner {
     /// The span recorder every holder of this registry shares. Disabled by
     /// default; `EXPLAIN ANALYZE` (and tests) enable it per query.
     tracer: Tracer,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            counters: RwLock::new(&classes::METRICS_COUNTERS, BTreeMap::new()),
+            gauges: RwLock::new(&classes::METRICS_GAUGES, BTreeMap::new()),
+            histograms: RwLock::new(&classes::METRICS_HISTOGRAMS, BTreeMap::new()),
+            tracer: Tracer::default(),
+        }
+    }
 }
 
 impl MetricsRegistry {

@@ -23,7 +23,7 @@
 //! The span taxonomy used by the query path is documented in DESIGN.md §9.
 
 use crate::clock::Stopwatch;
-use parking_lot::Mutex;
+use crate::sync::{classes, Mutex};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -149,7 +149,7 @@ impl Ring {
         let capacity = capacity.max(1);
         Self {
             head: AtomicU64::new(0),
-            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            slots: (0..capacity).map(|_| Mutex::new(&classes::TRACE_SLOT, None)).collect(),
         }
     }
 

@@ -1,0 +1,122 @@
+//! Integration tests for the lockdep runtime (`bh_common::sync`): a
+//! deliberate ABBA deadlock that must panic with both class names instead of
+//! hanging, and poison recovery across threads. Runs under normal debug
+//! `cargo test` and under `RUSTFLAGS="--cfg lockdep"` (the CI lockdep lane);
+//! the deadlock test no-ops when the runtime is compiled out.
+
+#![cfg(not(loom))]
+
+use bh_common::sync::{classes, held_lock_names, lockdep_enabled, Condvar, Mutex};
+use bh_common::BhError;
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// Two threads take `TEST_OUTER`/`TEST_INNER` in opposite orders — the
+/// classic ABBA deadlock. The inverted thread must panic at its second
+/// acquisition (before blocking), naming both classes; the legal-order
+/// thread must then complete because `lock()` recovers the poison the
+/// panicking thread left behind.
+#[test]
+fn abba_deadlock_panics_with_both_class_names() {
+    if !lockdep_enabled() {
+        eprintln!("lockdep runtime compiled out (release without --cfg lockdep); skipping");
+        return;
+    }
+    let outer = Arc::new(Mutex::new(&classes::TEST_OUTER, 0u32));
+    let inner = Arc::new(Mutex::new(&classes::TEST_INNER, 0u32));
+
+    // Legal-order thread: holds OUTER before the inverted thread starts, so
+    // a real ABBA interleaving is on the table, then waits for the inverted
+    // thread's verdict before taking INNER.
+    let (holding_outer_tx, holding_outer_rx) = mpsc::channel();
+    let (inverted_done_tx, inverted_done_rx) = mpsc::channel::<()>();
+    let legal = {
+        let outer = Arc::clone(&outer);
+        let inner = Arc::clone(&inner);
+        thread::spawn(move || {
+            let mut o = outer.lock();
+            holding_outer_tx.send(()).unwrap();
+            inverted_done_rx.recv().unwrap();
+            let mut i = inner.lock(); // recovers the inverted thread's poison
+            *o += 1;
+            *i += 1;
+        })
+    };
+    holding_outer_rx.recv().unwrap();
+
+    // Inverted thread: INNER then OUTER. Without lockdep this blocks on
+    // OUTER forever (the legal thread owns it); with lockdep the second
+    // acquisition panics deterministically before blocking.
+    let err = {
+        let outer = Arc::clone(&outer);
+        let inner = Arc::clone(&inner);
+        thread::spawn(move || {
+            let _i = inner.lock();
+            let _o = outer.lock();
+        })
+        .join()
+        .expect_err("inverted acquisition must panic, not deadlock")
+    };
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("lock-order violation"), "unexpected panic: {msg}");
+    assert!(msg.contains("TEST_OUTER"), "panic must name the acquired class: {msg}");
+    assert!(msg.contains("TEST_INNER"), "panic must name the held class: {msg}");
+
+    inverted_done_tx.send(()).unwrap();
+    legal.join().expect("legal-order thread completes after the inversion");
+    assert_eq!(*outer.lock(), 1);
+    assert_eq!(*inner.lock(), 1);
+    assert!(held_lock_names().is_empty());
+}
+
+/// A panic on one thread poisons the lock; every later accessor chooses its
+/// poisoning policy — `lock()` recovers, `lock_checked()` reports.
+#[test]
+fn cross_thread_poison_recovers_and_reports() {
+    let m = Arc::new(Mutex::new(&classes::TEST_EXTRA, vec![1u32, 2, 3]));
+    {
+        let m = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let mut g = m.lock();
+            g.push(4);
+            panic!("die while holding the lock");
+        })
+        .join();
+    }
+    match m.lock_checked() {
+        Err(BhError::LockPoisoned(class)) => assert_eq!(class, "TEST_EXTRA"),
+        other => panic!("expected LockPoisoned, got {other:?}"),
+    }
+    // The mutation before the panic is preserved and servable.
+    assert_eq!(m.lock().as_slice(), &[1, 2, 3, 4]);
+}
+
+/// Condvar waiters survive a producer that panics after notifying: the wait
+/// loop re-acquires through the poison and sees the published value.
+#[test]
+fn condvar_wait_recovers_producer_poison() {
+    let pair = Arc::new((Mutex::new(&classes::TEST_EXTRA, 0u32), Condvar::new()));
+    let waiter = {
+        let pair = Arc::clone(&pair);
+        thread::spawn(move || {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            while *g == 0 {
+                cv.wait(&mut g);
+            }
+            *g
+        })
+    };
+    {
+        let pair = Arc::clone(&pair);
+        let _ = thread::spawn(move || {
+            let (m, cv) = &*pair;
+            *m.lock() = 7;
+            cv.notify_all();
+            let _g = m.lock();
+            panic!("poison after publishing");
+        })
+        .join();
+    }
+    assert_eq!(waiter.join().expect("waiter must not see the panic"), 7);
+}

@@ -214,3 +214,84 @@ fn optable_drains_without_deadlock_or_slot_leak() {
         assert!(!t.is_complete(a) && !t.is_complete(b));
     });
 }
+
+/// Satellite carry-over from ROADMAP: the batched executor's segment-major
+/// scheduler composed — workers steal segments through a `StealingCursor`
+/// and publish per-segment best distances into one `SharedBound`. Over any
+/// interleaving: the segment set partitions exactly (no segment scanned
+/// twice or dropped), and the bound settles on the global minimum — i.e.
+/// batched scheduling cannot lose the exactness of the per-query result.
+#[test]
+fn segment_major_scheduler_partitions_work_and_settles_min() {
+    loom::model(|| {
+        // "Best distance" each segment would contribute; min is segment 1.
+        const SEG_BEST: [f32; 3] = [4.0, 1.0, 2.5];
+        let cursor = Arc::new(StealingCursor::new());
+        let bound = Arc::new(SharedBound::new());
+
+        let c1 = Arc::clone(&cursor);
+        let b1 = Arc::clone(&bound);
+        let worker = thread::spawn(move || {
+            let mut scanned = Vec::new();
+            while let Some(seg) = c1.claim(SEG_BEST.len()) {
+                // Segment-major inner loop: prune on the shared bound, then
+                // publish this segment's best. Pruning may skip work but
+                // never a segment claim.
+                if SEG_BEST[seg] <= b1.get() {
+                    b1.update(SEG_BEST[seg]);
+                } else {
+                    b1.record_skips(1);
+                }
+                scanned.push(seg);
+            }
+            scanned
+        });
+
+        let mut scanned = Vec::new();
+        while let Some(seg) = cursor.claim(SEG_BEST.len()) {
+            if SEG_BEST[seg] <= bound.get() {
+                bound.update(SEG_BEST[seg]);
+            } else {
+                bound.record_skips(1);
+            }
+            scanned.push(seg);
+        }
+        let theirs = worker.join().unwrap();
+
+        let mut all = scanned;
+        all.extend(theirs);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "segments must partition exactly");
+        // The minimum is always published: a bound that would prune segment
+        // 1's best (1.0) can only exist if 1.0 was already published.
+        assert_eq!(bound.get(), 1.0, "scheduler must settle on the global min");
+    });
+}
+
+/// Lockdep edge-graph publish path (`bh_common::sync::lockgraph`): when two
+/// threads race to publish the same acquisition-order edge, exactly one
+/// `fetch_or` flips the bit (so exactly one runs the cycle backstop), and
+/// the edge is visible to both afterwards; a disjoint edge is never lost.
+#[test]
+fn lockgraph_publish_is_first_sighting_exactly_once() {
+    use bh_common::sync::lockgraph::EdgeGraph;
+    loom::model(|| {
+        let g = Arc::new(EdgeGraph::new(70)); // edge (1, 65) spans a word
+        let g1 = Arc::clone(&g);
+        let racer = thread::spawn(move || {
+            let won_shared = g1.add_edge(1, 65);
+            let won_mine = g1.add_edge(2, 65);
+            (won_shared, won_mine)
+        });
+        let won_here = g.add_edge(1, 65);
+        let (won_there, won_disjoint) = racer.join().unwrap();
+
+        assert!(
+            won_here ^ won_there,
+            "exactly one publisher owns the first sighting of a shared edge"
+        );
+        assert!(won_disjoint, "a disjoint edge publish is never lost");
+        assert!(g.has_edge(1, 65) && g.has_edge(2, 65));
+        assert!(!g.has_edge(65, 1), "publication must not smear other bits");
+    });
+}

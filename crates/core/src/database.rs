@@ -18,7 +18,7 @@ use bh_storage::predicate::Predicate;
 use bh_storage::table::{TableStore, TableStoreConfig};
 use bh_storage::value::Value;
 use bh_vector::IndexRegistry;
-use parking_lot::RwLock;
+use bh_common::sync::{classes, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -119,8 +119,8 @@ impl Database {
             metrics: metrics.clone(),
             clock,
             ids: Arc::new(IdGenerator::new()),
-            tables: RwLock::new(HashMap::new()),
-            vws: RwLock::new(HashMap::new()),
+            tables: RwLock::new(&classes::DB_TABLES, HashMap::new()),
+            vws: RwLock::new(&classes::DB_VWS, HashMap::new()),
             engine: QueryEngine::new(metrics),
             next_vw: std::sync::atomic::AtomicU64::new(0),
         };

@@ -13,7 +13,7 @@
 use crate::bind::{BoundSelect, ProjItem};
 use crate::cost::Strategy;
 use bh_storage::predicate::Predicate;
-use parking_lot::Mutex;
+use bh_common::sync::{classes, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -108,11 +108,21 @@ pub fn is_short_circuitable(bound: &BoundSelect) -> bool {
 }
 
 /// The cache itself.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
     map: Mutex<HashMap<String, CachedPlan>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache {
+            map: Mutex::new(&classes::PLANCACHE_MAP, HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl PlanCache {

@@ -20,7 +20,7 @@ use crate::segment::SegmentMeta;
 use bh_common::{MetricsRegistry, Result, SegmentId};
 use bh_vector::{IndexKind, IndexRegistry, VectorIndex};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use bh_common::sync::{classes, Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -61,10 +61,10 @@ impl IndexCache {
             remote,
             registry,
             metrics,
-            inflight: Mutex::new(HashSet::new()),
+            inflight: Mutex::new(&classes::IDXCACHE_INFLIGHT, HashSet::new()),
             inflight_cv: Condvar::new(),
-            pending: Mutex::new(HashMap::new()),
-            partial: Mutex::new(HashMap::new()),
+            pending: Mutex::new(&classes::IDXCACHE_PENDING, HashMap::new()),
+            partial: Mutex::new(&classes::IDXCACHE_PARTIAL, HashMap::new()),
         }
     }
 
@@ -92,7 +92,7 @@ impl IndexCache {
                 return Ok(Some(idx));
             }
             self.metrics.counter("cache.index.mem.miss").inc();
-            let mut g = self.inflight.lock();
+            let mut g = self.inflight.lock_checked()?;
             if g.insert(meta.id) {
                 break; // we own the fetch
             }
@@ -102,7 +102,7 @@ impl IndexCache {
             self.inflight_cv.wait(&mut g);
         }
         let result = self.fetch_and_promote(meta, kind, &mut span);
-        let mut g = self.inflight.lock();
+        let mut g = self.inflight.lock_checked()?;
         g.remove(&meta.id);
         drop(g);
         self.inflight_cv.notify_all();
@@ -118,7 +118,7 @@ impl IndexCache {
         span: &mut bh_common::Span,
     ) -> Result<Option<Arc<dyn VectorIndex>>> {
         let key = meta.index_key();
-        let pending = self.pending.lock().remove(&meta.id);
+        let pending = self.pending.lock_checked()?.remove(&meta.id);
         let blob: Bytes = match pending {
             Some(p) => {
                 self.metrics.counter("cache.index.prefetch.hit").inc();
@@ -152,7 +152,7 @@ impl IndexCache {
         let idx = self.registry.load(kind, &blob)?;
         self.mem.put(meta.id, idx.clone(), idx.memory_usage());
         // The full index supersedes any head-only partial.
-        self.partial.lock().remove(&meta.id);
+        self.partial.lock_checked()?.remove(&meta.id);
         Ok(Some(idx))
     }
 
@@ -178,7 +178,7 @@ impl IndexCache {
                 return Ok(false); // cheap local read; nothing to overlap
             }
         }
-        let mut pending = self.pending.lock();
+        let mut pending = self.pending.lock_checked()?;
         if pending.contains_key(&meta.id) {
             return Ok(false);
         }
@@ -203,7 +203,7 @@ impl IndexCache {
         if meta.index_head_bytes == 0 || meta.index_head_bytes >= meta.index_bytes {
             return Ok(None);
         }
-        if let Some(idx) = self.partial.lock().get(&meta.id) {
+        if let Some(idx) = self.partial.lock_checked()?.get(&meta.id) {
             self.metrics.counter("cache.index.head.hit").inc();
             return Ok(Some(idx.clone()));
         }
@@ -213,7 +213,7 @@ impl IndexCache {
         let prefix = self.remote.get_range(&meta.index_key(), 0, meta.index_head_bytes)?;
         let idx = self.registry.load_head(kind, &prefix)?;
         self.metrics.counter("cache.index.head.fetch").inc();
-        self.partial.lock().insert(meta.id, idx.clone());
+        self.partial.lock_checked()?.insert(meta.id, idx.clone());
         // Body follow-up: overlap the full-blob transfer with head serving.
         self.prefetch(meta)?;
         Ok(Some(idx))
@@ -367,7 +367,7 @@ mod tests {
     use crate::schema::TableSchema;
     use crate::segment::Segment;
     use crate::value::{ColumnType, Value};
-    use bh_common::{LatencyModel, SegmentId, VirtualClock};
+    use bh_common::{BhError, LatencyModel, SegmentId, VirtualClock};
     use bh_vector::{IndexKind, IndexSpec, Metric, SearchParams};
     use std::time::Duration;
 
@@ -446,6 +446,82 @@ mod tests {
         cache.get(&meta).unwrap().unwrap();
         assert_eq!(metrics.counter_value("cache.index.disk.hit"), 1);
         assert_eq!(metrics.counter_value("cache.index.remote.fetch"), 1);
+    }
+
+    /// Satellite: lock poisoning must surface as `BhError::LockPoisoned`
+    /// on the cache's fallible paths instead of propagating the panic, and
+    /// a recovering access heals the lock so the cache serves again.
+    #[test]
+    fn poisoned_inflight_lock_is_reported_then_healed() {
+        let clock = VirtualClock::shared();
+        let metrics = MetricsRegistry::new();
+        let remote = Arc::new(InMemoryObjectStore::new(
+            clock,
+            LatencyModel::fixed(Duration::from_micros(1)),
+            metrics.clone(),
+            "remote",
+        ));
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let meta = build_indexed_segment(remote.as_ref(), &registry, 3, 10);
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            metrics,
+        );
+
+        // Poison: a caller dies while holding the single-flight set.
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = cache.inflight.lock();
+            panic!("die holding the single-flight lock");
+        }));
+        assert!(died.is_err());
+
+        // The fallible path reports the poisoned class by name…
+        match cache.get(&meta) {
+            Err(BhError::LockPoisoned(class)) => assert_eq!(class, "IDXCACHE_INFLIGHT"),
+            Ok(_) => panic!("expected LockPoisoned, got Ok"),
+            Err(other) => panic!("expected LockPoisoned, got {other}"),
+        }
+        // …a recovering access heals it, and service resumes.
+        drop(cache.inflight.lock());
+        let idx = cache.get(&meta).unwrap().unwrap();
+        assert_eq!(idx.meta().len, 10);
+    }
+
+    /// Same policy on the tiered head path: a poisoned partial map fails
+    /// `get_head` with the class name rather than a cascading panic.
+    #[test]
+    fn poisoned_partial_lock_fails_get_head_with_class_name() {
+        let clock = VirtualClock::shared();
+        let metrics = MetricsRegistry::new();
+        let remote = Arc::new(InMemoryObjectStore::new(
+            clock,
+            LatencyModel::fixed(Duration::from_micros(1)),
+            metrics.clone(),
+            "remote",
+        ));
+        let registry = Arc::new(IndexRegistry::with_builtins());
+        let mut meta = build_indexed_segment(remote.as_ref(), &registry, 4, 10);
+        // Pretend the blob is tiered so get_head takes the partial path.
+        meta.index_head_bytes = 1;
+        let cache = IndexCache::new(
+            1 << 20,
+            None,
+            remote as Arc<dyn ObjectStore>,
+            registry,
+            metrics,
+        );
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = cache.partial.lock();
+            panic!("die holding the partial map");
+        }));
+        assert!(died.is_err());
+        assert!(matches!(
+            cache.get_head(&meta),
+            Err(BhError::LockPoisoned(c)) if c == "IDXCACHE_PARTIAL"
+        ));
     }
 
     #[test]

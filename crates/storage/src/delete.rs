@@ -8,13 +8,19 @@
 //! bitmap.
 
 use bh_common::{Bitset, SegmentId};
-use parking_lot::RwLock;
+use bh_common::sync::{classes, RwLock};
 use std::collections::HashMap;
 
 /// Table-wide map from segment to its delete bitmap.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DeleteMap {
     bitmaps: RwLock<HashMap<SegmentId, Bitset>>,
+}
+
+impl Default for DeleteMap {
+    fn default() -> DeleteMap {
+        DeleteMap { bitmaps: RwLock::new(&classes::DELETE_BITMAPS, HashMap::new()) }
+    }
 }
 
 impl DeleteMap {

@@ -9,7 +9,7 @@
 
 use bh_common::metrics::Counter;
 use bh_common::MetricsRegistry;
-use parking_lot::Mutex;
+use bh_common::sync::{classes, Mutex};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -49,7 +49,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     /// `capacity` is in weight units (bytes). Zero capacity caches nothing.
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner {
+            inner: Mutex::new(&classes::LRU_INNER, Inner {
                 slots: Vec::new(),
                 free: Vec::new(),
                 map: HashMap::new(),

@@ -15,7 +15,7 @@
 
 use bh_common::{BhError, LatencyModel, MetricsRegistry, Reactor, Result, SharedClock, Ticket};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use bh_common::sync::{classes, RwLock};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -141,7 +141,7 @@ impl InMemoryObjectStore {
     /// A store charging `model` against `clock` per operation.
     pub fn new(clock: SharedClock, model: LatencyModel, metrics: MetricsRegistry, label: &str) -> Self {
         Self {
-            blobs: RwLock::new(BTreeMap::new()),
+            blobs: RwLock::new(&classes::OBJECTSTORE_BLOBS, BTreeMap::new()),
             clock,
             model,
             metrics,

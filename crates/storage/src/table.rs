@@ -37,7 +37,7 @@ use bh_common::{BhError, Bitset, MetricsRegistry, Result, SegmentId, StealingCur
 use bh_vector::autoindex::apply_auto_index;
 use bh_vector::{IndexRegistry, VectorIndex};
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use bh_common::sync::{classes, Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -155,12 +155,12 @@ impl TableStore {
             remote,
             registry,
             cfg,
-            segments: RwLock::new(BTreeMap::new()),
+            segments: RwLock::new(&classes::TABLE_SEGMENTS, BTreeMap::new()),
             deletes: DeleteMap::new(),
-            clusterer: RwLock::new(None),
-            sketch: Mutex::new(TableSketchBuilder::default()),
-            sketch_cache: RwLock::new(None),
-            compaction_lock: Mutex::new(()),
+            clusterer: RwLock::new(&classes::TABLE_CLUSTERER, None),
+            sketch: Mutex::new(&classes::TABLE_SKETCH, TableSketchBuilder::default()),
+            sketch_cache: RwLock::new(&classes::TABLE_SKETCH_CACHE, None),
+            compaction_lock: Mutex::new(&classes::TABLE_COMPACTION, ()),
             ids,
             metrics,
         })
@@ -194,7 +194,7 @@ impl TableStore {
     /// Look up one live segment's metadata.
     pub fn segment(&self, id: SegmentId) -> Result<Arc<SegmentMeta>> {
         self.segments
-            .read()
+            .read_checked()?
             .get(&id)
             .cloned()
             .ok_or_else(|| BhError::NotFound(format!("segment {id}")))
@@ -442,7 +442,7 @@ impl TableStore {
             // The segment may have been compacted away while we scanned it;
             // marking deletes on a dropped segment would be lost. Re-check
             // membership under the current catalog before marking.
-            if self.segments.read().contains_key(&meta.id) {
+            if self.segments.read_checked()?.contains_key(&meta.id) {
                 total += offsets.len();
                 if !offsets.is_empty() {
                     self.deletes.mark_deleted(meta.id, meta.row_count, offsets);
@@ -661,7 +661,7 @@ impl TableStore {
             };
             // Swap: register new (done above), drop old.
             {
-                let mut g = self.segments.write();
+                let mut g = self.segments.write_checked()?;
                 for meta in metas {
                     g.remove(&meta.id);
                 }
@@ -721,7 +721,7 @@ impl TableStore {
     pub fn reload_from_store(&self) -> Result<usize> {
         let prefix = format!("tables/{}/", self.schema.name);
         let mut found = 0;
-        let mut g = self.segments.write();
+        let mut g = self.segments.write_checked()?;
         g.clear();
         for key in self.remote.list(&prefix) {
             if !key.ends_with("/meta") {
@@ -786,6 +786,31 @@ mod tests {
                 ]
             })
             .collect()
+    }
+
+    /// Satellite: poisoning the segment catalog fails the fallible lookup
+    /// with `BhError::LockPoisoned` naming the class, while the infallible
+    /// accessors recover (and heal), so the table keeps serving.
+    #[test]
+    fn poisoned_segment_catalog_is_reported_then_healed() {
+        let ts = store(schema(None), TableStoreConfig::default());
+        let ids = ts.insert_rows(mk_rows(20, 7)).unwrap();
+        let seg = ids[0];
+
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = ts.segments.write();
+            panic!("die holding the segment catalog");
+        }));
+        assert!(died.is_err());
+
+        match ts.segment(seg) {
+            Err(BhError::LockPoisoned(class)) => assert_eq!(class, "TABLE_SEGMENTS"),
+            other => panic!("expected LockPoisoned, got {other:?}"),
+        }
+        // The infallible read recovers, heals the lock, and still serves…
+        assert!(!ts.segments().is_empty());
+        // …after which the checked path works again.
+        assert_eq!(ts.segment(seg).unwrap().id, seg);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::types::{IndexBuilder, IndexKind, IndexSpec, VectorIndex};
 use crate::vamana::{DiskAnnBuilder, DiskAnnIndex};
 use bh_common::{BhError, Result};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use bh_common::sync::{classes, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -190,7 +190,7 @@ pub struct IndexRegistry {
 impl IndexRegistry {
     /// An empty registry (no kinds available).
     pub fn empty() -> Self {
-        Self { factories: RwLock::new(HashMap::new()) }
+        Self { factories: RwLock::new(&classes::REGISTRY_FACTORIES, HashMap::new()) }
     }
 
     /// A registry pre-populated with the three built-in libraries.

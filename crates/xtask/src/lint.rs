@@ -37,6 +37,16 @@
 //!    submit_transfer / wait / forget / is_complete / charge), `Ticket`, and
 //!    the lock-free `OpTable` are the sanctioned async-I/O completion API
 //!    for every crate that overlaps simulated transfers (DESIGN.md §11).
+//! 7. **No raw sync primitives** — `std::sync::{Mutex, RwLock, Condvar}`
+//!    (guards, `PoisonError`) and any `parking_lot` type are forbidden
+//!    outside `bh_common::sync`, the ranked wrappers' home. A raw lock is
+//!    invisible to the lockdep runtime and to rule 8, so it re-opens the
+//!    deadlock class the sync layer closes (DESIGN.md §12). Escape hatch:
+//!    `// lint: allow(raw-sync) - <reason>` (the reason is mandatory).
+//! 8. **Lock-order static analysis** — rebuilds the class-level lock
+//!    acquisition graph from source (construction sites + nested
+//!    `.lock()`/`.read()`/`.write()` scopes) across all crates and fails on
+//!    any rank inversion or cycle; see [`crate::lockorder`].
 //!
 //! The scanner is a line-oriented lexer, not a full parser: it strips string
 //! literals and comments (so `"unsafe"` in an error message is not a
@@ -65,6 +75,11 @@ pub enum Rule {
     EmptyAllowReason,
     /// Cross-crate import of another crate's internal module.
     CrossCrateInternal,
+    /// Raw `std::sync`/`parking_lot` lock primitive outside `bh_common::sync`.
+    RawSync,
+    /// A nested lock acquisition that inverts the rank table, or a cycle in
+    /// the cross-crate acquisition graph.
+    LockOrder,
 }
 
 impl Rule {
@@ -78,6 +93,8 @@ impl Rule {
             Rule::StdoutInLib => "stdout-in-lib",
             Rule::EmptyAllowReason => "empty-allow-reason",
             Rule::CrossCrateInternal => "cross-crate-internal",
+            Rule::RawSync => "raw-sync",
+            Rule::LockOrder => "lock-order",
         }
     }
 }
@@ -128,14 +145,14 @@ const CROSS_CRATE_INTERNAL: &[(&str, &[&str])] = &[
 /// contents are blanked in `code`; comment text (line, block and doc
 /// comments) is concatenated into `comment`.
 #[derive(Debug, Default, Clone)]
-struct LineView {
-    code: String,
-    comment: String,
+pub(crate) struct LineView {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 /// Lex `src` into per-line code/comment views. Handles nested block
 /// comments, regular/raw/byte string literals, char literals vs lifetimes.
-fn sanitize(src: &str) -> Vec<LineView> {
+pub(crate) fn sanitize(src: &str) -> Vec<LineView> {
     #[derive(Clone, Copy, PartialEq)]
     enum St {
         Code,
@@ -274,7 +291,7 @@ fn sanitize(src: &str) -> Vec<LineView> {
 }
 
 /// Mark lines belonging to `#[cfg(test)]` items and `#[test]` functions.
-fn test_mask(lines: &[LineView]) -> Vec<bool> {
+pub(crate) fn test_mask(lines: &[LineView]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0usize;
     while i < lines.len() {
@@ -350,19 +367,20 @@ fn annotation_lines(lines: &[LineView], idx: usize) -> impl Iterator<Item = usiz
 
 /// True when this line or the comment block above it carries
 /// `// lint: allow(<what>)`.
-fn allowed(lines: &[LineView], idx: usize, what: &str) -> bool {
+pub(crate) fn allowed(lines: &[LineView], idx: usize, what: &str) -> bool {
     let marker = format!("lint: allow({what})");
     annotation_lines(lines, idx).any(|at| lines[at].comment.contains(&marker))
 }
 
-/// The `// lint: allow(panic)` annotation must state the invariant that makes
-/// the panic unreachable. Returns the annotation line if the reason is
+/// A `// lint: allow(<what>)` annotation must state the invariant that makes
+/// the suppression sound. Returns the annotation line if the reason is
 /// missing or too thin to mean anything.
-fn panic_allow_reason_missing(lines: &[LineView], idx: usize) -> Option<usize> {
+pub(crate) fn allow_reason_missing(lines: &[LineView], idx: usize, what: &str) -> Option<usize> {
+    let marker = format!("lint: allow({what})");
     for at in annotation_lines(lines, idx) {
         let view = &lines[at];
-        if let Some(pos) = view.comment.find("lint: allow(panic)") {
-            let reason = view.comment[pos + "lint: allow(panic)".len()..]
+        if let Some(pos) = view.comment.find(&marker) {
+            let reason = view.comment[pos + marker.len()..]
                 .trim_start_matches([' ', '-', ':', '—', '–'])
                 .trim();
             if reason.chars().filter(|c| c.is_alphanumeric()).count() < 8 {
@@ -372,6 +390,141 @@ fn panic_allow_reason_missing(lines: &[LineView], idx: usize) -> Option<usize> {
         }
     }
     None
+}
+
+/// Collect the first path segment of each entry after a `::`, looking
+/// through `{...}` groups; consumes (and ignores) the rest of each path.
+/// Shared by rules 6 and 7, which both resolve `prefix::{a, b::c}` forms.
+fn path_heads(text: &str, mut j: usize, out: &mut Vec<(usize, usize)>) -> usize {
+    let bytes = text.as_bytes();
+    let skip_ws = |mut j: usize| {
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        j
+    };
+    j = skip_ws(j);
+    if j < bytes.len() && bytes[j] == b'{' {
+        j += 1;
+        loop {
+            j = path_heads(text, j, out);
+            j = skip_ws(j);
+            match bytes.get(j) {
+                Some(b',') => j += 1,
+                Some(b'}') => {
+                    j += 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        return j;
+    }
+    let start = j;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    if j > start {
+        out.push((start, j));
+    }
+    // Swallow the remaining `::segment` / `::{...}` / `::*` tail.
+    loop {
+        let at = skip_ws(j);
+        if !text[at..].starts_with("::") {
+            break;
+        }
+        j = skip_ws(at + 2);
+        match bytes.get(j) {
+            Some(b'{') => {
+                let mut depth = 0usize;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Some(b'*') => j += 1,
+            _ => {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    j
+}
+
+// ---------------------------------------------- rule 7: raw sync primitives
+
+/// Lock types that must come from `bh_common::sync`, not `std::sync`. The
+/// guards and `PoisonError` ride along: naming them means handling raw
+/// guards, which only raw locks produce.
+const RAW_SYNC_TYPES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "PoisonError",
+];
+
+/// Find `std::sync::<forbidden>` paths — direct (`std::sync::Mutex<T>`) or
+/// through import groups (`use std::sync::{Arc, Mutex}`) — in the joined
+/// code channel. Returns `(line_idx, type_name)` per hit. `Arc`, `mpsc`,
+/// `atomic` and friends pass: only the lock primitives are ranked.
+fn raw_sync_reach(lines: &[LineView]) -> Vec<(usize, &'static str)> {
+    let mut text = String::new();
+    let mut line_starts = Vec::with_capacity(lines.len());
+    for v in lines {
+        line_starts.push(text.len());
+        text.push_str(&v.code);
+        text.push('\n');
+    }
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let line_of = |pos: usize| line_starts.partition_point(|&s| s <= pos).saturating_sub(1);
+
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find("std") {
+        let at = from + pos;
+        from = at + 3;
+        // A preceding `::` is fine — `::std::sync::Mutex` is still std's.
+        let left_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let after = at + 3;
+        if !left_ok || !text[after..].starts_with("::") {
+            continue;
+        }
+        let mut j = after + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if !text[j..].starts_with("sync") {
+            continue;
+        }
+        j += 4;
+        if !text[j..].starts_with("::") {
+            continue;
+        }
+        let mut segs = Vec::new();
+        path_heads(&text, j + 2, &mut segs);
+        for (s, e) in segs {
+            if let Some(t) = RAW_SYNC_TYPES.iter().find(|t| **t == &text[s..e]) {
+                out.push((line_of(s), *t));
+            }
+        }
+    }
+    out
 }
 
 // ------------------------------------------------- rule 6: import hygiene
@@ -405,77 +558,6 @@ fn cross_crate_reach(lines: &[LineView], owner: &str) -> Vec<(usize, &'static st
     };
     let line_of = |pos: usize| line_starts.partition_point(|&s| s <= pos).saturating_sub(1);
 
-    // Collect the first path segment of each entry after `crate::`, looking
-    // through `{...}` groups; consumes (and ignores) the rest of each path.
-    fn heads(text: &str, mut j: usize, out: &mut Vec<(usize, usize)>) -> usize {
-        let bytes = text.as_bytes();
-        let skip_ws = |mut j: usize| {
-            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            j
-        };
-        j = skip_ws(j);
-        if j < bytes.len() && bytes[j] == b'{' {
-            j += 1;
-            loop {
-                j = heads(text, j, out);
-                j = skip_ws(j);
-                match bytes.get(j) {
-                    Some(b',') => j += 1,
-                    Some(b'}') => {
-                        j += 1;
-                        break;
-                    }
-                    _ => break,
-                }
-            }
-            return j;
-        }
-        let start = j;
-        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
-            j += 1;
-        }
-        if j > start {
-            out.push((start, j));
-        }
-        // Swallow the remaining `::segment` / `::{...}` / `::*` tail.
-        loop {
-            let at = skip_ws(j);
-            if !text[at..].starts_with("::") {
-                break;
-            }
-            j = skip_ws(at + 2);
-            match bytes.get(j) {
-                Some(b'{') => {
-                    let mut depth = 0usize;
-                    while j < bytes.len() {
-                        match bytes[j] {
-                            b'{' => depth += 1,
-                            b'}' => {
-                                depth -= 1;
-                                if depth == 0 {
-                                    j += 1;
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                }
-                Some(b'*') => j += 1,
-                _ => {
-                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                    {
-                        j += 1;
-                    }
-                }
-            }
-        }
-        j
-    }
-
     let mut out = Vec::new();
     for (krate, internals) in CROSS_CRATE_INTERNAL {
         if *krate == owner {
@@ -495,7 +577,7 @@ fn cross_crate_reach(lines: &[LineView], owner: &str) -> Vec<(usize, &'static st
                 continue;
             }
             let mut segs = Vec::new();
-            heads(&text, j + 2, &mut segs);
+            path_heads(&text, j + 2, &mut segs);
             for (s, e) in segs {
                 if let Some(m) = internals.iter().find(|m| **m == &text[s..e]) {
                     out.push((line_of(s), *krate, *m));
@@ -597,7 +679,7 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
                 });
             if let Some(tok) = hit {
                 if allowed(&lines, idx, "panic") {
-                    if let Some(at) = panic_allow_reason_missing(&lines, idx) {
+                    if let Some(at) = allow_reason_missing(&lines, idx, "panic") {
                         push(
                             at,
                             Rule::EmptyAllowReason,
@@ -652,6 +734,47 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Finding> {
                  CROSS_CRATE_INTERNAL after review)"
             ),
         });
+    }
+
+    // Rule 7: raw sync primitives live in one file. Applies to tests too —
+    // a deadlock in a test hangs CI just as hard, and only wrapped locks
+    // participate in the lockdep runtime that would have caught it.
+    if rel != "crates/common/src/sync.rs" {
+        let mut raw_hits: Vec<(usize, String)> = raw_sync_reach(&lines)
+            .into_iter()
+            .map(|(idx, t)| (idx, format!("std::sync::{t}")))
+            .collect();
+        for (idx, view) in lines.iter().enumerate() {
+            if token_present(&view.code, "parking_lot") {
+                raw_hits.push((idx, "parking_lot".to_string()));
+            }
+        }
+        raw_hits.sort();
+        for (idx, what) in raw_hits {
+            if allowed(&lines, idx, "raw-sync") {
+                if let Some(at) = allow_reason_missing(&lines, idx, "raw-sync") {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: at + 1,
+                        rule: Rule::EmptyAllowReason,
+                        msg: "`lint: allow(raw-sync)` must state why bypassing the \
+                              ranked sync layer is sound here"
+                            .into(),
+                    });
+                }
+                continue;
+            }
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::RawSync,
+                msg: format!(
+                    "`{what}` outside bh_common::sync is invisible to lockdep; use the \
+                     ranked wrappers from bh_common::sync (or annotate \
+                     `// lint: allow(raw-sync) - <reason>`)"
+                ),
+            });
+        }
     }
     findings.sort_by_key(|f| f.line);
     findings
@@ -712,7 +835,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             rs_files(&src, &mut files)?;
         }
     }
-    let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -722,7 +845,34 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .collect::<Vec<_>>()
             .join("/");
         let content = fs::read_to_string(path)?;
-        findings.extend(lint_file(&rel, &content));
+        sources.push((rel, content));
+    }
+    let mut findings = Vec::new();
+    for (rel, content) in &sources {
+        findings.extend(lint_file(rel, content));
+    }
+    // Rule 8: the lock-order graph spans all crates, so it runs over the
+    // whole file set at once, keyed by the rank table in bh_common::sync.
+    match sources.iter().find(|(rel, _)| rel == "crates/common/src/sync.rs") {
+        Some((_, sync_src)) => match crate::lockorder::parse_rank_table(sync_src) {
+            Some(table) => findings.extend(crate::lockorder::check(&sources, &table)),
+            None => findings.push(Finding {
+                file: "crates/common/src/sync.rs".to_string(),
+                line: 1,
+                rule: Rule::LockOrder,
+                msg: "no lock_rank_table! invocation found; rule 8 (lock-order) \
+                      cannot run"
+                    .into(),
+            }),
+        },
+        None => findings.push(Finding {
+            file: "crates/common/src/sync.rs".to_string(),
+            line: 1,
+            rule: Rule::LockOrder,
+            msg: "missing: the ranked sync layer (and its rank table) must exist \
+                  for rule 8 (lock-order) to run"
+                .into(),
+        }),
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
@@ -979,6 +1129,69 @@ mod tests {
     #[test]
     fn internal_module_name_in_string_or_comment_passes() {
         let src = "// docs may mention bh_common::loom::model freely\nfn f() -> &'static str {\n    \"bh_vector::quant::ProductQuantizer\"\n}\n";
+        assert!(rules("crates/query/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 7: raw sync primitives ----
+
+    #[test]
+    fn raw_std_mutex_is_caught() {
+        let src = "use std::sync::Mutex;\nfn f() { let _ = Mutex::new(0u32); }\n";
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![Rule::RawSync]);
+    }
+
+    #[test]
+    fn raw_sync_in_import_group_is_caught() {
+        let src = "use std::sync::{Arc, Mutex, RwLock};\nfn f() {}\n";
+        let got = rules("crates/query/src/x.rs", src);
+        assert_eq!(got, vec![Rule::RawSync, Rule::RawSync], "Mutex and RwLock, not Arc");
+    }
+
+    #[test]
+    fn inline_raw_condvar_path_is_caught() {
+        let src = "struct S {\n    cv: std::sync::Condvar,\n}\n";
+        let f = lint_file("crates/cluster/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::RawSync);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn parking_lot_is_caught() {
+        let src = "use parking_lot::RwLock;\nfn f() { let _ = RwLock::new(0u32); }\n";
+        let got = rules("crates/vector/src/x.rs", src);
+        assert!(got.contains(&Rule::RawSync), "{got:?}");
+    }
+
+    #[test]
+    fn arc_once_lock_atomics_and_mpsc_pass() {
+        let src = "use std::sync::{mpsc, Arc, OnceLock};\nuse std::sync::atomic::{AtomicU64, Ordering};\nfn f() { let _ = (Arc::new(0), OnceLock::<u32>::new(), AtomicU64::new(0)); }\n";
+        assert!(rules("crates/common/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sync_home_file_is_exempt() {
+        let src = "pub struct Mutex<T> { inner: std::sync::Mutex<T> }\n";
+        assert!(rules("crates/common/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_applies_to_test_code_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    #[test]\n    fn t() { let _ = Mutex::new(0u32); }\n}\n";
+        assert_eq!(rules("crates/storage/src/x.rs", src), vec![Rule::RawSync]);
+    }
+
+    #[test]
+    fn raw_sync_allow_with_reason_passes_without_reason_is_caught() {
+        let with = "// lint: allow(raw-sync) - vendored model checker cannot self-instrument\nuse std::sync::{Mutex, Condvar};\nfn f() {}\n";
+        assert!(rules("crates/common/src/x.rs", with).is_empty());
+        let without = "// lint: allow(raw-sync)\nuse std::sync::Mutex;\nfn f() {}\n";
+        assert_eq!(rules("crates/common/src/x.rs", without), vec![Rule::EmptyAllowReason]);
+    }
+
+    #[test]
+    fn raw_sync_in_string_or_comment_passes() {
+        let src = "// std::sync::Mutex is what the wrappers wrap\nfn f() -> &'static str {\n    \"std::sync::Mutex\"\n}\n";
         assert!(rules("crates/query/src/x.rs", src).is_empty());
     }
 

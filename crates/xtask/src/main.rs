@@ -3,19 +3,23 @@
 //! Subcommands:
 //!
 //! ```text
-//! cargo run -p xtask -- lint
+//! cargo run -p xtask -- lint [--format text|json|github]
 //! cargo run -p xtask -- bench-diff [--fresh <dir>] [--threshold <pct>]
 //! ```
 //!
 //! `lint` runs the project-specific static analysis described in [`lint`]
-//! and DESIGN.md §8, exiting non-zero if any invariant is violated.
-//! `bench-diff` compares freshly generated benchmark JSON (default
-//! `target/bench-fresh/BENCH_*.json`) against the committed copies at the
-//! workspace root and fails on any latency regression beyond the threshold
-//! (default 15%); see [`bench_diff`].
+//! and DESIGN.md §8/§12 (including the cross-crate lock-order pass in
+//! [`lockorder`]), exiting non-zero if any invariant is violated.
+//! `--format json` emits machine-readable findings on stdout; `--format
+//! github` emits GitHub Actions `::error` annotations so findings surface
+//! inline on pull requests. `bench-diff` compares freshly generated
+//! benchmark JSON (default `target/bench-fresh/BENCH_*.json`) against the
+//! committed copies at the workspace root and fails on any latency
+//! regression beyond the threshold (default 15%); see [`bench_diff`].
 
 mod bench_diff;
 mod lint;
+mod lockorder;
 
 use std::env;
 use std::path::PathBuf;
@@ -24,7 +28,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(&args[1..]),
         Some("bench-diff") => run_bench_diff(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
@@ -44,7 +48,9 @@ fn usage() {
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  lint        enforce workspace invariants (SAFETY comments, clock/rng");
-    eprintln!("              gates, panic-free serving crates, no stdout in libraries)");
+    eprintln!("              gates, panic-free serving crates, no stdout in libraries,");
+    eprintln!("              ranked-sync-only locking, cross-crate lock-order graph);");
+    eprintln!("              --format text|json|github selects the output shape");
     eprintln!("  bench-diff  compare fresh BENCH_*.json (--fresh <dir>, default");
     eprintln!("              target/bench-fresh) against committed copies; fail on");
     eprintln!("              latency regressions beyond --threshold <pct> (default 15)");
@@ -60,7 +66,36 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-fn run_lint() -> ExitCode {
+#[derive(Clone, Copy, PartialEq)]
+enum LintFormat {
+    Text,
+    Json,
+    Github,
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut format = LintFormat::Text;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = LintFormat::Text,
+                Some("json") => format = LintFormat::Json,
+                Some("github") => format = LintFormat::Github,
+                other => {
+                    eprintln!(
+                        "xtask lint: --format requires text, json or github (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let root = workspace_root();
     let findings = match lint::lint_workspace(&root) {
         Ok(f) => f,
@@ -70,20 +105,88 @@ fn run_lint() -> ExitCode {
         }
     };
     let scanned = lint::count_files(&root).unwrap_or(0);
-    if findings.is_empty() {
-        eprintln!("xtask lint: {scanned} files clean");
-        return ExitCode::SUCCESS;
+    match format {
+        LintFormat::Json => {
+            // Hand-rolled JSON (xtask is dependency-free by design).
+            let mut out = String::from("{\n  \"files_scanned\": ");
+            out.push_str(&scanned.to_string());
+            out.push_str(",\n  \"findings\": [");
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {\"file\": ");
+                out.push_str(&json_string(&f.file));
+                out.push_str(", \"line\": ");
+                out.push_str(&f.line.to_string());
+                out.push_str(", \"rule\": ");
+                out.push_str(&json_string(f.rule.name()));
+                out.push_str(", \"msg\": ");
+                out.push_str(&json_string(&f.msg));
+                out.push('}');
+            }
+            if !findings.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push_str("]\n}");
+            println!("{out}");
+        }
+        LintFormat::Github => {
+            // Workflow-command annotations: GitHub renders these inline on
+            // the PR diff when emitted from an Actions step.
+            for f in &findings {
+                println!(
+                    "::error file={},line={},title=xtask lint [{}]::{}",
+                    f.file,
+                    f.line,
+                    f.rule.name(),
+                    github_escape(&f.msg)
+                );
+            }
+            eprintln!("xtask lint: {} finding(s) in {scanned} file(s)", findings.len());
+        }
+        LintFormat::Text => {
+            if findings.is_empty() {
+                eprintln!("xtask lint: {scanned} files clean");
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!();
+                eprintln!(
+                    "xtask lint: {} finding(s) in {scanned} file(s); see DESIGN.md \
+                     sections 8 and 12 for the rules and the `// lint: allow(...)` \
+                     annotation",
+                    findings.len()
+                );
+            }
+        }
     }
-    for f in &findings {
-        eprintln!("{f}");
+    if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}
+
+/// Escape a string into a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
-    eprintln!();
-    eprintln!(
-        "xtask lint: {} finding(s) in {scanned} file(s); see DESIGN.md section 8 \
-         for the rules and the `// lint: allow(...)` annotation",
-        findings.len()
-    );
-    ExitCode::FAILURE
+    out.push('"');
+    out
+}
+
+/// Escape a workflow-command message (GitHub's own percent-encoding rules).
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
 }
 
 fn run_bench_diff(args: &[String]) -> ExitCode {
