@@ -14,7 +14,8 @@
 //! during scaling — it only answers from the local memory cache.
 
 use bh_common::{
-    BhError, Bitset, LatencyModel, MetricsRegistry, Result, SharedBound, SharedClock, WorkerId,
+    BhError, Bitset, LatencyModel, MetricsRegistry, Result, SharedBound, SharedClock, Stopwatch,
+    WorkerId,
 };
 use bh_storage::cache::{BlockCache, BlockKind, IndexCache};
 use bh_storage::column::ColumnData;
@@ -223,6 +224,11 @@ impl Worker {
         &self.index_cache
     }
 
+    /// The worker's column-block cache (introspection: `system.caches`).
+    pub fn block_cache(&self) -> &BlockCache {
+        &self.block_cache
+    }
+
     /// Per-segment ANN search through this worker's caches.
     ///
     /// `allow_fallback` = false restricts to the memory-resident fast path
@@ -385,6 +391,20 @@ impl Worker {
     /// charge, one residency check, one handle fetch — instead of B
     /// round-trips. Callers charge the (single) RPC latency themselves.
     pub fn serve_remote_search_batch(
+        &self,
+        meta: &SegmentMeta,
+        queries: &[SegmentQuery<'_>],
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let t = Stopwatch::start();
+        let r = self.serve_remote_search_batch_timed(meta, queries, params);
+        // `worker.rpc_ns` sums serving-RPC service time; the query log
+        // reports its per-query delta as the RPC stage.
+        self.metrics.counter("worker.rpc_ns").add(t.elapsed_nanos());
+        r
+    }
+
+    fn serve_remote_search_batch_timed(
         &self,
         meta: &SegmentMeta,
         queries: &[SegmentQuery<'_>],

@@ -57,6 +57,28 @@ impl BhError {
     pub fn is_retryable(&self) -> bool {
         matches!(self, BhError::Rpc(_) | BhError::WorkerUnavailable(_))
     }
+
+    /// Stable machine-readable error code — the variant name in
+    /// `SCREAMING_SNAKE_CASE`. Recorded in the query log's `error_code`
+    /// column so failures can be grouped without parsing display text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            BhError::DimensionMismatch { .. } => "DIMENSION_MISMATCH",
+            BhError::NotFound(_) => "NOT_FOUND",
+            BhError::AlreadyExists(_) => "ALREADY_EXISTS",
+            BhError::Parse(_) => "PARSE",
+            BhError::Plan(_) => "PLAN",
+            BhError::InvalidArgument(_) => "INVALID_ARGUMENT",
+            BhError::Index(_) => "INDEX",
+            BhError::Storage(_) => "STORAGE",
+            BhError::Io(_) => "IO",
+            BhError::Rpc(_) => "RPC",
+            BhError::WorkerUnavailable(_) => "WORKER_UNAVAILABLE",
+            BhError::Serde(_) => "SERDE",
+            BhError::LockPoisoned(_) => "LOCK_POISONED",
+            BhError::Internal(_) => "INTERNAL",
+        }
+    }
 }
 
 impl fmt::Display for BhError {

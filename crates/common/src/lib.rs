@@ -24,6 +24,9 @@
 //!   hits, RPC calls, and I/O, with a Prometheus text exposition.
 //! * [`trace`] — hierarchical spans over a lock-free ring recorder; the
 //!   profiling layer behind `EXPLAIN ANALYZE` (near-zero cost when disabled).
+//! * [`querylog`] — the always-on query log: a bounded record ring written
+//!   once per completed statement, plus slow-query span-tree retention and
+//!   chrome://tracing export; the data source of `system.query_log`.
 //! * [`rng`] — seeded RNG construction helpers for reproducible experiments.
 //! * [`sync`] — ranked `Mutex`/`RwLock`/`Condvar` wrappers with a
 //!   lockdep-style runtime checker (debug / `--cfg lockdep`): every lock
@@ -40,6 +43,7 @@ pub mod error;
 pub mod ids;
 pub mod loom;
 pub mod metrics;
+pub mod querylog;
 pub mod regex_lite;
 pub mod rng;
 pub mod sync;
@@ -56,5 +60,6 @@ pub use cq::{Reactor, Ticket};
 pub use error::{BhError, Result};
 pub use ids::{RowId, SegmentId, TableId, VwId, WorkerId};
 pub use metrics::MetricsRegistry;
+pub use querylog::{QueryLog, QueryLogRecord, SlowQueryPolicy, SlowQueryTrace};
 pub use topk::TopK;
 pub use trace::{AttrValue, Span, SpanId, SpanRecord, Tracer};

@@ -25,6 +25,79 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The central metric-name table: every *literal* counter/gauge/histogram
+/// registration in the workspace must use a name from this list (enforced
+/// by `cargo xtask lint` rule 9 `metric-names`), so a typo'd dotted name
+/// fails the build instead of silently splitting one series into two.
+///
+/// Dynamically built names (`kernel.tier.<tier>`, `query.cbo.<choice>`,
+/// `cache.<space>.{hit,miss}`, `<store-label>.get*`) are outside the rule's
+/// reach; their *prefixes* are listed here for documentation only and the
+/// lint does not match against them. Keep the list sorted.
+pub const NAMES: &[&str] = &[
+    "cache.data.bypass",
+    "cache.index.disk.hit",
+    "cache.index.disk.miss",
+    "cache.index.head.fetch",
+    "cache.index.head.hit",
+    "cache.index.mem.hit",
+    "cache.index.mem.miss",
+    "cache.index.prefetch",
+    "cache.index.prefetch.hit",
+    "cache.index.preload",
+    "cache.index.remote.fetch",
+    "cache.index.singleflight.wait",
+    "process.errors",
+    "process.peak_rss_bytes",
+    "process.queries",
+    "process.uptime_seconds",
+    "query.adaptive_expansions",
+    "query.batch_size",
+    "query.bind_ns",
+    "query.bound_skips",
+    "query.exec_ns",
+    "query.executed",
+    "query.fanout_batches",
+    "query.index_prefetches",
+    "query.iterator_visited",
+    "query.parallel_segments",
+    "query.plan_cache_hits",
+    "query.plan_ns",
+    "query.refined",
+    "query.rules_applied",
+    "query.segment_ns",
+    "query.segments_pruned",
+    "query.short_circuit",
+    "query.slo",
+    "query.snapshot_retries",
+    "table.compactions",
+    "table.parallel_compact_groups",
+    "table.rows_deleted",
+    "table.rows_ingested",
+    "table.rows_updated",
+    "table.segments_created",
+    "vw.query_retries",
+    "vw.scale_down",
+    "vw.scale_up",
+    "vw.serving_calls",
+    "worker.brute_force",
+    "worker.head_search",
+    "worker.local_search",
+    "worker.rpc_calls",
+    "worker.rpc_ns",
+    "worker.served_remote",
+];
+
+/// Peak resident-set size of this process in bytes, when the platform
+/// exposes it (`VmHWM` in `/proc/self/status` on Linux). `None` elsewhere
+/// or when the file is unreadable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -155,6 +228,7 @@ impl Histogram {
             sum: Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed)),
             mean: self.mean(),
             p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             p999: self.p999(),
             max: self.max(),
@@ -169,6 +243,7 @@ pub struct HistogramSnapshot {
     pub sum: Duration,
     pub mean: Duration,
     pub p50: Duration,
+    pub p95: Duration,
     pub p99: Duration,
     pub p999: Duration,
     pub max: Duration,
@@ -344,6 +419,36 @@ impl MetricsRegistry {
         &self.inner.tracer
     }
 
+    /// Sum the current values of every counter whose name matches the
+    /// predicate, without cloning any names — the query log uses this for
+    /// its per-query cache hit/miss deltas, so it must stay allocation-free.
+    pub fn sum_counters(&self, matches: impl Fn(&str) -> bool) -> u64 {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .filter(|(k, _)| matches(k))
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Like [`Self::sum_counters`] restricted to names with a common prefix:
+    /// a range scan over the sorted map, so the cost is proportional to the
+    /// prefix group, not the whole registry. The query log samples cache
+    /// hit/miss totals twice per statement through this — a full-registry
+    /// scan there is measurable against sub-millisecond queries.
+    pub fn sum_counters_prefixed(&self, prefix: &str, suffix: &str) -> u64 {
+        use std::ops::Bound;
+        self.inner
+            .counters
+            .read()
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter(|(k, _)| k.ends_with(suffix))
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
     /// Snapshot of all counter values, sorted by name.
     pub fn snapshot_counters(&self) -> Vec<(String, u64)> {
         self.inner
@@ -406,7 +511,12 @@ impl MetricsRegistry {
                 Some(inner) => format!("{{{inner},{extra}}}"),
                 None => format!("{{{extra}}}"),
             };
-            for (q, d) in [("0.5", snap.p50), ("0.99", snap.p99), ("0.999", snap.p999)] {
+            for (q, d) in [
+                ("0.5", snap.p50),
+                ("0.95", snap.p95),
+                ("0.99", snap.p99),
+                ("0.999", snap.p999),
+            ] {
                 out.push_str(&format!(
                     "{name}{} {}\n",
                     with(&format!("quantile=\"{q}\"")),
@@ -480,6 +590,24 @@ mod tests {
         let snap = m.snapshot_counters();
         assert_eq!(snap[0].0, "a");
         assert_eq!(snap[1].0, "b");
+    }
+
+    #[test]
+    fn prefixed_sum_matches_predicate_sum() {
+        let m = MetricsRegistry::new();
+        m.counter("cache.block.hit").add(3);
+        m.counter("cache.block.miss").add(2);
+        m.counter("cache.index.hit").add(5);
+        m.counter("cachex.hit").add(7); // sorts after the prefix group
+        m.counter("cac.hit").add(11); // sorts before it
+        m.counter("query.executed").add(9);
+        assert_eq!(m.sum_counters_prefixed("cache.", ".hit"), 8);
+        assert_eq!(m.sum_counters_prefixed("cache.", ".miss"), 2);
+        assert_eq!(m.sum_counters_prefixed("nomatch.", ".hit"), 0);
+        assert_eq!(
+            m.sum_counters_prefixed("cache.", ".hit"),
+            m.sum_counters(|n| n.starts_with("cache.") && n.ends_with(".hit"))
+        );
     }
 
     #[test]
@@ -596,6 +724,51 @@ mod tests {
         }
         m.tracer().set_enabled(false);
         assert_eq!(m.tracer().drain().len(), 1);
+    }
+
+    #[test]
+    fn names_table_is_sorted_unique_and_well_formed() {
+        for w in NAMES.windows(2) {
+            assert!(w[0] < w[1], "NAMES must be sorted and unique: {:?} >= {:?}", w[0], w[1]);
+        }
+        for name in NAMES {
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "metric name {name:?} is not lowercase dotted form"
+            );
+            assert!(!name.starts_with('.') && !name.ends_with('.'), "{name:?}");
+        }
+    }
+
+    #[test]
+    fn sum_counters_matches_predicate() {
+        let m = MetricsRegistry::new();
+        m.counter("cache.data.hit").add(3);
+        m.counter("cache.index.mem.hit").add(2);
+        m.counter("cache.index.mem.miss").add(5);
+        m.counter("query.executed").add(7);
+        assert_eq!(m.sum_counters(|n| n.starts_with("cache.") && n.ends_with(".hit")), 5);
+        assert_eq!(m.sum_counters(|n| n.ends_with(".miss")), 5);
+        assert_eq!(m.sum_counters(|_| true), 17);
+        assert_eq!(m.sum_counters(|_| false), 0);
+    }
+
+    #[test]
+    fn prometheus_summary_has_p95() {
+        let m = MetricsRegistry::new();
+        m.histogram("query.lat").record(Duration::from_millis(2));
+        let text = m.render_prometheus();
+        assert!(text.contains("query_lat{quantile=\"0.95\"}"), "{text}");
+        let s = m.histogram("query.lat").snapshot();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_when_readable() {
+        if let Some(rss) = peak_rss_bytes() {
+            // A running test binary has at least a few hundred KiB resident.
+            assert!(rss > 100 * 1024, "implausible peak RSS {rss}");
+        }
     }
 
     #[test]

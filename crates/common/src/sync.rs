@@ -143,6 +143,12 @@ lock_rank_table! {
     METRICS_GAUGES = 860,
     /// `MetricsRegistry` histogram map.
     METRICS_HISTOGRAMS = 870,
+    /// `querylog::Ring` record slots. Near the top: the query log appends
+    /// one record at query completion, potentially from under any lock the
+    /// statement path still holds.
+    QUERYLOG_SLOT = 880,
+    /// `QueryLog` slow-query span store (retained traces + policy).
+    QUERYLOG_SLOW = 890,
     /// `trace::Ring` span slots. Highest real rank: spans finish (and are
     /// recorded) while arbitrary locks are held.
     TRACE_SLOT = 900,
@@ -159,6 +165,21 @@ lock_rank_table! {
 /// the graph directly).
 pub const fn lockdep_enabled() -> bool {
     cfg!(all(any(debug_assertions, lockdep), not(loom)))
+}
+
+/// First-sighting acquisition edges recorded by the lockdep runtime, as
+/// `(held, acquired)` class pairs in rank-table order. Empty when the
+/// runtime is compiled out (release builds without `--cfg lockdep`). Feeds
+/// the `system.lock_classes` introspection table.
+pub fn lockdep_edges() -> Vec<(&'static LockClass, &'static LockClass)> {
+    #[cfg(all(any(debug_assertions, lockdep), not(loom)))]
+    {
+        lockdep::edges()
+    }
+    #[cfg(not(all(any(debug_assertions, lockdep), not(loom))))]
+    {
+        Vec::new()
+    }
 }
 
 /// Lock classes held by the current thread, innermost last. Empty when the
@@ -360,6 +381,19 @@ mod lockdep {
     pub(super) fn held_names() -> Vec<&'static str> {
         HELD.try_with(|held| held.borrow().iter().map(|h| h.class.name).collect())
             .unwrap_or_default()
+    }
+
+    pub(super) fn edges() -> Vec<(&'static LockClass, &'static LockClass)> {
+        let g = graph();
+        let mut out = Vec::new();
+        for from in classes::ALL {
+            for to in classes::ALL {
+                if g.has_edge(from.id as usize, to.id as usize) {
+                    out.push((*from, *to));
+                }
+            }
+        }
+        out
     }
 }
 

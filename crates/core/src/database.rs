@@ -4,9 +4,11 @@ use crate::csv::parse_csv;
 use crate::ddl::schema_from_ast;
 use bh_cluster::vw::{VirtualWarehouse, VwConfig};
 use bh_common::ids::IdGenerator;
+use bh_common::metrics::{self, Counter, Gauge, Histogram};
+use bh_common::querylog::{normalize_sql, SlowQueryTrace, STATEMENT_KINDS};
 use bh_common::{
-    BhError, DeploymentLatencies, MetricsRegistry, RealClock, Result, SharedClock, VirtualClock,
-    VwId,
+    BhError, DeploymentLatencies, MetricsRegistry, QueryLog, QueryLogRecord, RealClock, Result,
+    SharedClock, SlowQueryPolicy, VirtualClock, VwId,
 };
 use bh_query::bind::{bind_predicate, literal_to_value};
 use bh_query::exec::{QueryEngine, QueryOptions};
@@ -21,6 +23,7 @@ use bh_vector::IndexRegistry;
 use bh_common::sync::{classes, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Outcome of one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +69,13 @@ pub struct DatabaseConfig {
     pub default_workers: usize,
     /// Default query options (can be overridden per statement).
     pub query: QueryOptions,
+    /// Ring capacity of the always-on query log (records retained for
+    /// `system.query_log`).
+    pub query_log_capacity: usize,
+    /// When set, every statement is traced and queries the policy selects
+    /// (slow or failed) keep their full span tree for `system.spans` /
+    /// `SYSTEM TRACE EXPORT`.
+    pub slow_query: Option<SlowQueryPolicy>,
 }
 
 impl Default for DatabaseConfig {
@@ -77,8 +87,99 @@ impl Default for DatabaseConfig {
             vw: VwConfig::default(),
             default_workers: 2,
             query: QueryOptions::default(),
+            query_log_capacity: bh_common::querylog::DEFAULT_LOG_CAPACITY,
+            slow_query: None,
         }
     }
+}
+
+/// Pre-resolved handles of the per-stage counters the query log samples
+/// around every statement. Resolving once at construction keeps the per-query
+/// cost to atomic loads — no registry lookups on the hot path.
+struct StageCounters {
+    bind_ns: Arc<Counter>,
+    plan_ns: Arc<Counter>,
+    exec_ns: Arc<Counter>,
+    segment_ns: Arc<Counter>,
+    rpc_ns: Arc<Counter>,
+    rows_scanned: Arc<Counter>,
+    segments_pruned: Arc<Counter>,
+    bound_skips: Arc<Counter>,
+}
+
+/// One point-in-time reading of [`StageCounters`] plus the cache hit/miss
+/// sums; a statement's log columns are the after-minus-before deltas.
+#[derive(Clone, Copy, Default)]
+struct StageSample {
+    bind_ns: u64,
+    plan_ns: u64,
+    exec_ns: u64,
+    segment_ns: u64,
+    rpc_ns: u64,
+    rows_scanned: u64,
+    segments_pruned: u64,
+    bound_skips: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl StageCounters {
+    fn resolve(m: &MetricsRegistry) -> StageCounters {
+        StageCounters {
+            bind_ns: m.counter("query.bind_ns"),
+            plan_ns: m.counter("query.plan_ns"),
+            exec_ns: m.counter("query.exec_ns"),
+            segment_ns: m.counter("query.segment_ns"),
+            rpc_ns: m.counter("worker.rpc_ns"),
+            rows_scanned: m.counter("query.iterator_visited"),
+            segments_pruned: m.counter("query.segments_pruned"),
+            bound_skips: m.counter("query.bound_skips"),
+        }
+    }
+
+    fn sample(&self, m: &MetricsRegistry) -> StageSample {
+        StageSample {
+            bind_ns: self.bind_ns.get(),
+            plan_ns: self.plan_ns.get(),
+            exec_ns: self.exec_ns.get(),
+            segment_ns: self.segment_ns.get(),
+            rpc_ns: self.rpc_ns.get(),
+            rows_scanned: self.rows_scanned.get(),
+            segments_pruned: self.segments_pruned.get(),
+            bound_skips: self.bound_skips.get(),
+            cache_hits: m.sum_counters_prefixed("cache.", ".hit"),
+            cache_misses: m.sum_counters_prefixed("cache.", ".miss"),
+        }
+    }
+}
+
+/// Identity of an in-flight statement, carried from dispatch to the
+/// completion bookkeeping.
+struct StatementCtx<'a> {
+    query_id: u64,
+    kind: &'static str,
+    sql: &'a str,
+    tenant: &'a str,
+    session: &'a str,
+    start_nanos: u64,
+}
+
+/// Statement kind for the query log and the per-kind SLO histograms.
+fn statement_kind(parsed: &Result<Statement>) -> &'static str {
+    match parsed {
+        Ok(Statement::Select(_)) => "select",
+        Ok(Statement::Insert(_)) => "insert",
+        Ok(Statement::CreateTable(_)) => "create_table",
+        Ok(Statement::Update(_)) => "update",
+        Ok(Statement::Delete(_)) => "delete",
+        Ok(Statement::Explain(_) | Statement::ExplainAnalyze(_)) => "explain",
+        Ok(Statement::SystemMetrics | Statement::SystemTraceExport) => "system",
+        Err(_) => "other",
+    }
+}
+
+fn kind_index(kind: &str) -> usize {
+    STATEMENT_KINDS.iter().position(|k| *k == kind).unwrap_or(STATEMENT_KINDS.len() - 1)
 }
 
 /// A BlendHouse database instance.
@@ -93,6 +194,15 @@ pub struct Database {
     vws: RwLock<HashMap<String, Arc<VirtualWarehouse>>>,
     engine: QueryEngine,
     next_vw: std::sync::atomic::AtomicU64,
+    querylog: QueryLog,
+    stages: StageCounters,
+    /// Per-statement-kind latency histograms, indexed like
+    /// [`STATEMENT_KINDS`]; rendered as `query.slo{kind="…"}` summaries.
+    slo: Vec<Arc<Histogram>>,
+    proc_queries: Arc<Counter>,
+    proc_errors: Arc<Counter>,
+    proc_uptime: Arc<Gauge>,
+    proc_rss: Arc<Gauge>,
 }
 
 impl Database {
@@ -112,6 +222,19 @@ impl Database {
             metrics.clone(),
             "remote",
         ));
+        let querylog = QueryLog::new(cfg.query_log_capacity);
+        querylog.set_slow_policy(cfg.slow_query.clone());
+        // Pre-register the SLO histograms and process self-metrics so
+        // `metrics_text()` is non-empty even before the first table exists.
+        let slo = STATEMENT_KINDS
+            .iter()
+            .map(|k| metrics.histogram_with_labels("query.slo", &[("kind", k)]))
+            .collect();
+        let proc_uptime = metrics.gauge("process.uptime_seconds");
+        let proc_rss = metrics.gauge("process.peak_rss_bytes");
+        if let Some(rss) = metrics::peak_rss_bytes() {
+            proc_rss.set(rss);
+        }
         let db = Database {
             cfg: cfg.clone(),
             remote,
@@ -121,8 +244,15 @@ impl Database {
             ids: Arc::new(IdGenerator::new()),
             tables: RwLock::new(&classes::DB_TABLES, HashMap::new()),
             vws: RwLock::new(&classes::DB_VWS, HashMap::new()),
-            engine: QueryEngine::new(metrics),
+            engine: QueryEngine::new(metrics.clone()),
             next_vw: std::sync::atomic::AtomicU64::new(0),
+            querylog,
+            stages: StageCounters::resolve(&metrics),
+            slo,
+            proc_queries: metrics.counter("process.queries"),
+            proc_errors: metrics.counter("process.errors"),
+            proc_uptime,
+            proc_rss,
         };
         db.create_vw("default", cfg.default_workers);
         db
@@ -131,6 +261,23 @@ impl Database {
     /// Shared metrics registry (counters across all subsystems).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The always-on query log (`system.query_log`, slow-query traces).
+    pub fn query_log(&self) -> &QueryLog {
+        &self.querylog
+    }
+
+    /// Arm (or disarm, with `None`) slow-query trace capture at runtime.
+    pub fn set_slow_query_policy(&self, policy: Option<SlowQueryPolicy>) {
+        self.querylog.set_slow_policy(policy);
+    }
+
+    /// Every virtual warehouse, sorted by name (system-table providers).
+    pub fn vw_handles(&self) -> Vec<Arc<VirtualWarehouse>> {
+        let mut vws: Vec<Arc<VirtualWarehouse>> = self.vws.read().values().cloned().collect();
+        vws.sort_by(|a, b| a.name().cmp(b.name()));
+        vws
     }
 
     /// The query engine (plan cache, cost model).
@@ -229,7 +376,142 @@ impl Database {
     /// Execute one statement with explicit query options (SELECT only; other
     /// statements ignore the options).
     pub fn execute_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryOutput> {
-        match parse_statement(sql)? {
+        self.execute_session(sql, opts, "default", "default")
+    }
+
+    /// Execute one statement on behalf of a named tenant/session pair. The
+    /// labels flow into `system.query_log`; execution is otherwise identical
+    /// to [`Database::execute_with`].
+    ///
+    /// Every statement leaves exactly one query-log record (parse failures
+    /// log as kind `other` with an error code). When a slow-query policy is
+    /// armed, the statement is traced and the span tree is retained only if
+    /// the policy selects it.
+    pub fn execute_session(
+        &self,
+        sql: &str,
+        opts: &QueryOptions,
+        tenant: &str,
+        session: &str,
+    ) -> Result<QueryOutput> {
+        let parsed = parse_statement(sql);
+        let ctx = StatementCtx {
+            query_id: self.querylog.next_query_id(),
+            kind: statement_kind(&parsed),
+            sql,
+            tenant,
+            session,
+            start_nanos: self.querylog.now_nanos(),
+        };
+        let before = self.stages.sample(&self.metrics);
+        // Arm per-statement tracing only when nothing else owns the tracer:
+        // EXPLAIN ANALYZE drives it itself, and a concurrent captured query
+        // keeps its enablement until it drains.
+        let capture = self.querylog.capture_armed()
+            && !self.metrics.tracer().is_enabled()
+            && !matches!(parsed, Ok(Statement::ExplainAnalyze(_) | Statement::SystemMetrics));
+        if capture {
+            let tracer = self.metrics.tracer();
+            tracer.clear();
+            tracer.set_enabled(true);
+        }
+
+        // SYSTEM METRICS renders the registry itself, so its bookkeeping
+        // must land *before* dispatch — otherwise the rendered text would
+        // lag the registry by one query and could never equal a subsequent
+        // `metrics_text()` call. It also refreshes the process gauges.
+        if matches!(parsed, Ok(Statement::SystemMetrics)) {
+            if let Some(rss) = metrics::peak_rss_bytes() {
+                self.proc_rss.set(rss);
+            }
+            self.finish_statement(&ctx, &before, false, 0, None);
+            return self.dispatch(Statement::SystemMetrics, opts);
+        }
+
+        let result = match parsed {
+            Ok(stmt) => self.dispatch(stmt, opts),
+            Err(e) => Err(e),
+        };
+        let (result_rows, error) = match &result {
+            Ok(QueryOutput::Rows(rs)) => (rs.len() as u64, None),
+            Ok(QueryOutput::Affected(n)) => (*n as u64, None),
+            Ok(QueryOutput::Created) => (0, None),
+            Err(e) => (0, Some(e.code())),
+        };
+        self.finish_statement(&ctx, &before, capture, result_rows, error);
+        result
+    }
+
+    /// Completion bookkeeping for one statement: SLO histogram, process
+    /// counters, slow-trace retention, and the query-log record itself.
+    fn finish_statement(
+        &self,
+        ctx: &StatementCtx<'_>,
+        before: &StageSample,
+        capture: bool,
+        result_rows: u64,
+        error: Option<&'static str>,
+    ) {
+        let end_nanos = self.querylog.now_nanos();
+        let duration = end_nanos.saturating_sub(ctx.start_nanos);
+        self.slo[kind_index(ctx.kind)].record(Duration::from_nanos(duration));
+        self.proc_queries.inc();
+        if error.is_some() {
+            self.proc_errors.inc();
+        }
+        self.proc_uptime.set(end_nanos / 1_000_000_000);
+
+        let log_on = self.querylog.is_enabled();
+        // Normalized once and shared between the slow trace and the record —
+        // normalization is the most expensive step of the logging hot path.
+        let sql = if log_on || capture { normalize_sql(ctx.sql) } else { String::new() };
+        let mut traced = false;
+        if capture {
+            let tracer = self.metrics.tracer();
+            tracer.set_enabled(false);
+            let spans = tracer.drain();
+            if log_on && self.querylog.should_retain(duration, error.is_some()) {
+                traced = true;
+                self.querylog.retain_trace(SlowQueryTrace {
+                    query_id: ctx.query_id,
+                    sql: sql.clone(),
+                    duration_nanos: duration,
+                    error_code: error,
+                    spans,
+                });
+            }
+        }
+        if !log_on {
+            return;
+        }
+        let after = self.stages.sample(&self.metrics);
+        self.querylog.observe(QueryLogRecord {
+            query_id: ctx.query_id,
+            kind: ctx.kind,
+            sql,
+            tenant: ctx.tenant.to_string(),
+            session: ctx.session.to_string(),
+            start_nanos: ctx.start_nanos,
+            end_nanos,
+            bind_ns: after.bind_ns - before.bind_ns,
+            plan_ns: after.plan_ns - before.plan_ns,
+            exec_ns: after.exec_ns - before.exec_ns,
+            segment_ns: after.segment_ns - before.segment_ns,
+            rpc_ns: after.rpc_ns - before.rpc_ns,
+            rows_scanned: after.rows_scanned - before.rows_scanned,
+            segments_pruned: after.segments_pruned - before.segments_pruned,
+            bound_skips: after.bound_skips - before.bound_skips,
+            cache_hits: after.cache_hits - before.cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
+            result_rows,
+            error_code: error,
+            traced,
+        });
+    }
+
+    /// Execute one parsed statement (no logging — `execute_session` wraps).
+    fn dispatch(&self, stmt: Statement, opts: &QueryOptions) -> Result<QueryOutput> {
+        match stmt {
             Statement::CreateTable(ct) => {
                 let schema = schema_from_ast(&ct)?;
                 let name = schema.name.clone();
@@ -249,6 +531,10 @@ impl Database {
             }
             Statement::Insert(ins) => self.execute_insert(&ins),
             Statement::Select(sel) => {
+                if crate::systbl::is_system_table(&sel.table) {
+                    return crate::systbl::execute_system_select(self, &sel)
+                        .map(QueryOutput::Rows);
+                }
                 let t = self.table(&sel.table)?;
                 let vw = self.default_vw();
                 let rs = self.engine.execute_select(&t, &vw, opts, &sel)?;
@@ -285,6 +571,11 @@ impl Database {
                     .collect();
                 Ok(QueryOutput::Rows(rs))
             }
+            Statement::SystemTraceExport => {
+                let mut rs = ResultSet::new(vec!["trace".into()]);
+                rs.rows.push(vec![Value::Str(self.querylog.export_chrome_trace())]);
+                Ok(QueryOutput::Rows(rs))
+            }
         }
     }
 
@@ -305,6 +596,11 @@ impl Database {
         let Statement::Select(sel) = parse_statement(sql)? else {
             return Err(BhError::Plan("query_on_vw takes a SELECT".into()));
         };
+        if crate::systbl::is_system_table(&sel.table) {
+            // System tables are VW-independent; this path skips the query
+            // log (it exists for isolation experiments, not the front door).
+            return crate::systbl::execute_system_select(self, &sel);
+        }
         let t = self.table(&sel.table)?;
         let vw = self.vw(vw_name)?;
         self.engine.execute_select(&t, &vw, opts, &sel)
@@ -662,5 +958,294 @@ mod tests {
             .unwrap()
             .rows();
         assert_eq!(rows.rows[0][0], Value::UInt64(1));
+    }
+
+    // ------------------------------------------------------------ PR 9 tests
+
+    fn cell_u64(rs: &ResultSet, row: usize, col: &str) -> u64 {
+        let idx = rs.column_index(col).unwrap_or_else(|| panic!("no column {col}"));
+        match &rs.rows[row][idx] {
+            Value::UInt64(v) => *v,
+            other => panic!("{col}: expected UInt64, got {other:?}"),
+        }
+    }
+
+    fn cell_str<'a>(rs: &'a ResultSet, row: usize, col: &str) -> &'a str {
+        let idx = rs.column_index(col).unwrap_or_else(|| panic!("no column {col}"));
+        match &rs.rows[row][idx] {
+            Value::Str(s) => s.as_str(),
+            other => panic!("{col}: expected Str, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_log_records_every_statement_with_stage_latencies() {
+        let db = images_db(100);
+        db.execute("SELECT id FROM images ORDER BY L2Distance(emb, [0.0,0.0,0.0,0.0]) LIMIT 3")
+            .unwrap();
+        // A failing statement must log too, with its error code.
+        assert!(db.execute("SELECT id FROM missing_table").is_err());
+
+        // The acceptance query: slowest five statements with stage columns.
+        let rs = db
+            .execute("SELECT * FROM system.query_log ORDER BY duration_ns DESC LIMIT 5")
+            .unwrap()
+            .rows();
+        assert!(rs.len() >= 3, "create+insert+select+error logged, got {}", rs.len());
+        assert!(rs.len() <= 5);
+        for col in ["query_id", "kind", "sql", "tenant", "duration_ns", "bind_ns", "plan_ns",
+                    "exec_ns", "segment_ns", "rpc_ns", "rows_scanned", "cache_hits",
+                    "result_rows", "error_code"] {
+            assert!(rs.column_index(col).is_some(), "missing column {col}");
+        }
+        // Sorted by duration, descending.
+        for w in 0..rs.len() - 1 {
+            assert!(cell_u64(&rs, w, "duration_ns") >= cell_u64(&rs, w + 1, "duration_ns"));
+        }
+
+        // The vector SELECT saw bind+plan+exec work and its literal was
+        // normalized away.
+        let all = db
+            .execute("SELECT * FROM system.query_log WHERE kind = 'select' ORDER BY query_id ASC")
+            .unwrap()
+            .rows();
+        let vector_row = (0..all.len())
+            .find(|&i| cell_str(&all, i, "sql").contains("L2Distance(emb"))
+            .expect("vector select logged");
+        assert!(cell_u64(&all, vector_row, "bind_ns") > 0);
+        assert!(cell_u64(&all, vector_row, "plan_ns") > 0);
+        assert!(cell_u64(&all, vector_row, "exec_ns") > 0);
+        assert!(cell_u64(&all, vector_row, "result_rows") == 3);
+        assert!(!cell_str(&all, vector_row, "sql").contains("0.0"), "literals folded");
+
+        // The failed statement carries the BhError code.
+        let errs = db
+            .execute("SELECT error_code, kind FROM system.query_log WHERE error_code = 'NOT_FOUND'")
+            .unwrap()
+            .rows();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(cell_str(&errs, 0, "kind"), "select");
+    }
+
+    #[test]
+    fn execute_session_labels_tenant_and_session() {
+        let db = images_db(20);
+        let opts = db.default_options();
+        db.execute_session("SELECT id FROM images LIMIT 1", &opts, "acme", "conn-7").unwrap();
+        let rs = db
+            .execute("SELECT tenant, session FROM system.query_log WHERE tenant = 'acme'")
+            .unwrap()
+            .rows();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(cell_str(&rs, 0, "session"), "conn-7");
+    }
+
+    #[test]
+    fn slow_query_capture_retains_span_tree_and_exports_chrome_json() {
+        let db = images_db(200);
+        // Threshold 0 retains every statement from here on.
+        db.set_slow_query_policy(Some(bh_common::SlowQueryPolicy {
+            threshold_nanos: 0,
+            capture_errors: true,
+        }));
+        db.execute("SELECT id FROM images ORDER BY L2Distance(emb, [0.0,0.0,0.0,0.0]) LIMIT 3")
+            .unwrap();
+        // Capture must leave the shared tracer disabled and drained.
+        assert!(!db.metrics().tracer().is_enabled());
+        assert!(db.metrics().tracer().drain().is_empty());
+
+        let traces = db.query_log().slow_traces();
+        let slow = traces
+            .iter()
+            .find(|t| t.sql.contains("L2Distance(emb"))
+            .expect("vector select retained");
+        assert!(!slow.spans.is_empty(), "span tree retained");
+        let qid = slow.query_id;
+
+        // The tree is queryable through system.spans…
+        let rs = db
+            .execute(&format!(
+                "SELECT name, duration_ns FROM system.spans WHERE query_id = {qid}"
+            ))
+            .unwrap()
+            .rows();
+        assert_eq!(rs.len(), slow.spans.len());
+
+        // …and the log row is flagged as traced.
+        let flagged = db
+            .execute(&format!("SELECT traced FROM system.query_log WHERE query_id = {qid}"))
+            .unwrap()
+            .rows();
+        assert_eq!(cell_u64(&flagged, 0, "traced"), 1);
+
+        // SYSTEM TRACE EXPORT renders chrome://tracing JSON: balanced
+        // structure, the complete-event phase, and this query's pid.
+        let out = db.execute("SYSTEM TRACE EXPORT").unwrap().rows();
+        let json = cell_str(&out, 0, "trace");
+        assert_json_balanced(json);
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains(&format!("\"pid\":{qid},")), "{json}");
+    }
+
+    /// Cheap structural JSON check: quotes and brackets balance. (The full
+    /// serializer is unit-tested in `bh_common::querylog`.)
+    fn assert_json_balanced(s: &str) {
+        let (mut depth, mut in_str, mut escape) = (0i64, false, false);
+        for c in s.chars() {
+            if in_str {
+                match (escape, c) {
+                    (true, _) => escape = false,
+                    (false, '\\') => escape = true,
+                    (false, '"') => in_str = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {s}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+        assert!(!in_str, "unterminated string in {s}");
+    }
+
+    #[test]
+    fn error_statements_can_be_captured_by_policy() {
+        let db = Database::in_memory();
+        db.set_slow_query_policy(Some(bh_common::SlowQueryPolicy {
+            threshold_nanos: u64::MAX,
+            capture_errors: true,
+        }));
+        assert!(db.execute("SELECT x FROM nope").is_err());
+        let traces = db.query_log().slow_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].error_code, Some("NOT_FOUND"));
+        assert!(!db.metrics().tracer().is_enabled());
+    }
+
+    #[test]
+    fn system_metrics_table_supports_filters_and_aggregates() {
+        let db = images_db(50);
+        db.execute("SELECT id FROM images LIMIT 1").unwrap();
+        let rs = db
+            .execute("SELECT name, value FROM system.metrics WHERE name = 'query.executed'")
+            .unwrap()
+            .rows();
+        assert_eq!(rs.len(), 1);
+        let Value::Float64(v) = rs.rows[0][1] else { panic!() };
+        assert!(v >= 1.0);
+
+        let count = db
+            .execute("SELECT count(*) FROM system.metrics")
+            .unwrap()
+            .rows();
+        let Value::UInt64(n) = count.rows[0][0] else { panic!() };
+        assert!(n > 20, "registry has many metrics, got {n}");
+
+        // Vector-free aggregates over the query log.
+        let agg = db
+            .execute(
+                "SELECT count(*) AS n, sum(result_rows) AS rows, max(duration_ns) AS slowest \
+                 FROM system.query_log",
+            )
+            .unwrap()
+            .rows();
+        assert_eq!(agg.columns, vec!["n", "rows", "slowest"]);
+        let Value::UInt64(n) = agg.rows[0][0] else { panic!() };
+        assert!(n >= 3);
+    }
+
+    #[test]
+    fn system_caches_segments_and_lock_classes_scan() {
+        let db = images_db(300);
+        db.execute("SELECT id FROM images ORDER BY L2Distance(emb, [0.0,0.0,0.0,0.0]) LIMIT 3")
+            .unwrap();
+
+        let caches = db.execute("SELECT * FROM system.caches").unwrap().rows();
+        // default VW has 2 workers × (index.mem, index.head, block.meta, block.data).
+        assert_eq!(caches.len(), 8);
+        assert!(caches.rows.iter().any(|r| matches!(&r[3], Value::UInt64(u) if *u > 0)
+            || matches!(&r[6], Value::UInt64(h) if *h > 0)));
+
+        let segs = db
+            .execute("SELECT * FROM system.segments WHERE rows > 0 ORDER BY segment_id ASC")
+            .unwrap()
+            .rows();
+        assert!(!segs.is_empty());
+        assert_eq!(cell_str(&segs, 0, "table"), "images");
+        assert!(cell_u64(&segs, 0, "index_bytes") > 0);
+        // After the search, at least one segment index is resident somewhere.
+        assert!((0..segs.len()).any(|i| cell_u64(&segs, i, "resident_workers") > 0));
+
+        let locks = db
+            .execute("SELECT name, rank FROM system.lock_classes ORDER BY rank ASC")
+            .unwrap()
+            .rows();
+        assert!(locks.len() > 10);
+        for w in 0..locks.len() - 1 {
+            assert!(cell_u64(&locks, w, "rank") <= cell_u64(&locks, w + 1, "rank"));
+        }
+        // Debug builds track acquisition edges; this suite runs under
+        // debug_assertions, and by now locks have nested at least once.
+        #[cfg(debug_assertions)]
+        {
+            let edges = db
+                .execute("SELECT sum(edges_out) FROM system.lock_classes")
+                .unwrap()
+                .rows();
+            let Value::UInt64(total) = edges.rows[0][0] else { panic!() };
+            assert!(total > 0, "lockdep graph observed no edges");
+        }
+    }
+
+    #[test]
+    fn unknown_system_table_lists_alternatives() {
+        let db = Database::in_memory();
+        let err = db.execute("SELECT * FROM system.nope").unwrap_err();
+        assert!(err.to_string().contains("system.query_log"), "{err}");
+    }
+
+    #[test]
+    fn process_metrics_present_before_first_table() {
+        let db = Database::in_memory();
+        let text = db.metrics_text();
+        assert!(text.contains("process_uptime_seconds"), "{text}");
+        assert!(text.contains("process_queries"), "{text}");
+        assert!(text.contains("query_slo"), "{text}");
+        db.execute("SYSTEM METRICS").unwrap();
+        assert_eq!(db.metrics().counter_value("process.queries"), 1);
+    }
+
+    #[test]
+    fn query_log_can_be_disabled() {
+        let db = images_db(10);
+        let logged = db.query_log().total_logged();
+        db.query_log().set_enabled(false);
+        db.execute("SELECT id FROM images LIMIT 1").unwrap();
+        assert_eq!(db.query_log().total_logged(), logged);
+        db.query_log().set_enabled(true);
+        db.execute("SELECT id FROM images LIMIT 1").unwrap();
+        assert_eq!(db.query_log().total_logged(), logged + 1);
+    }
+
+    #[test]
+    fn slo_histograms_split_by_statement_kind() {
+        let db = images_db(10);
+        db.execute("SELECT id FROM images LIMIT 1").unwrap();
+        let rs = db
+            .execute(
+                "SELECT name FROM system.metrics \
+                 WHERE name = 'query.slo{kind=\"select\"}.p95_ns'",
+            )
+            .unwrap()
+            .rows();
+        assert_eq!(rs.len(), 1, "per-kind SLO histogram registered");
+        let text = db.metrics_text();
+        assert!(text.contains("quantile=\"0.95\""), "{text}");
     }
 }

@@ -36,6 +36,7 @@ pub mod csv;
 pub mod database;
 pub mod ddl;
 mod profile;
+pub mod systbl;
 
 pub use bh_query::{QueryOptions, ResultSet, Strategy};
 pub use bh_storage::value::{ColumnType, Value};

@@ -167,10 +167,12 @@ impl QueryEngine {
         opts: &QueryOptions,
         stmt: &SelectStmt,
     ) -> Result<ResultSet> {
+        let t = Stopwatch::start();
         let bound = {
             let _span = self.metrics.tracer().span("bind");
             bind_select(table.schema(), stmt)?
         };
+        self.metrics.counter("query.bind_ns").add(t.elapsed_nanos());
         self.execute_bound(table, vw, opts, &bound)
     }
 
@@ -293,10 +295,12 @@ impl QueryEngine {
         opts: &QueryOptions,
         stmts: &[SelectStmt],
     ) -> Result<Vec<ResultSet>> {
+        let t = Stopwatch::start();
         let batch: Vec<BoundSelect> = stmts
             .iter()
             .map(|s| bind_select(table.schema(), s))
             .collect::<Result<_>>()?;
+        self.metrics.counter("query.bind_ns").add(t.elapsed_nanos());
         self.execute_batch(table, vw, opts, &batch)
     }
 
@@ -983,6 +987,28 @@ impl QueryEngine {
     /// quantized indexes).
     #[allow(clippy::too_many_arguments)]
     fn search_one_segment(
+        &self,
+        table: &TableStore,
+        vw: &VirtualWarehouse,
+        opts: &QueryOptions,
+        bound: &BoundSelect,
+        v: &VectorQuery,
+        strategy: Strategy,
+        meta: &Arc<SegmentMeta>,
+        k: usize,
+        ctx: SegCtx<'_>,
+    ) -> Result<Vec<Neighbor>> {
+        // `query.segment_ns` sums wall time across segments, so with fan-out
+        // it can exceed `query.exec_ns`; the query log reports it as the
+        // aggregate per-segment scan effort.
+        let t = Stopwatch::start();
+        let r = self.search_one_segment_timed(table, vw, opts, bound, v, strategy, meta, k, ctx);
+        self.metrics.counter("query.segment_ns").add(t.elapsed_nanos());
+        r
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_one_segment_timed(
         &self,
         table: &TableStore,
         vw: &VirtualWarehouse,

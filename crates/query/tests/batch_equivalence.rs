@@ -9,6 +9,7 @@
 
 use bh_cluster::vw::{VirtualWarehouse, VwConfig};
 use bh_common::ids::IdGenerator;
+use bh_common::querylog::{QueryLog, QueryLogRecord, SlowQueryPolicy, SlowQueryTrace};
 use bh_common::{MetricsRegistry, VirtualClock};
 use bh_query::exec::{QueryEngine, QueryOptions};
 use bh_query::result::ResultSet;
@@ -33,7 +34,20 @@ struct Fixture {
 /// deleted, caches warmed by one full-table query.
 fn fixture() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
-    FIX.get_or_init(|| {
+    FIX.get_or_init(build_fixture)
+}
+
+/// A second, fully independent fixture for the query-log capture test: the
+/// capture choreography arms and drains the tracer, which is per-registry
+/// global state — sharing it with [`tracing_does_not_change_results`] under
+/// the parallel test harness would steal that test's spans.
+fn capture_fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(build_fixture)
+}
+
+fn build_fixture() -> Fixture {
+    {
         let schema = TableSchema::new("t")
             .with_column("id", ColumnType::UInt64)
             .with_column("label", ColumnType::Str)
@@ -84,7 +98,7 @@ fn fixture() -> &'static Fixture {
             "SELECT id FROM t ORDER BY L2Distance(emb, [0.0, 0.0, 0.0, 0.0]) LIMIT 600",
         );
         fix
-    })
+    }
 }
 
 fn parse(sql: &str) -> SelectStmt {
@@ -187,6 +201,115 @@ proptest! {
                 i,
                 sqls[i]
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The always-on query log plus slow-query capture is observation only.
+    /// This models the per-statement choreography `Database::execute_session`
+    /// runs around the engine — arm the tracer, execute, drain the spans into
+    /// a retained trace, append one record from the counter deltas — and
+    /// asserts the results stay bit-identical to plain runs.
+    #[test]
+    fn query_log_capture_does_not_change_results(sqls in batch_strategy()) {
+        let fix = capture_fixture();
+        let opts = QueryOptions::default();
+        let plain: Vec<ResultSet> = sqls.iter().map(|s| run_sql(fix, &opts, s)).collect();
+
+        let log = QueryLog::with_capacities(64, 64);
+        log.set_slow_policy(Some(SlowQueryPolicy { threshold_nanos: 0, capture_errors: true }));
+        let tracer = fix.metrics.tracer();
+        let exec_ns = fix.metrics.counter("query.exec_ns");
+        let visited = fix.metrics.counter("query.iterator_visited");
+        let logged: Vec<ResultSet> = sqls
+            .iter()
+            .map(|s| {
+                let query_id = log.next_query_id();
+                let start_nanos = log.now_nanos();
+                let (e0, v0) = (exec_ns.get(), visited.get());
+                tracer.set_enabled(true);
+                let rs = run_sql(fix, &opts, s);
+                tracer.set_enabled(false);
+                let spans = tracer.drain();
+                let end_nanos = log.now_nanos();
+                let duration = end_nanos.saturating_sub(start_nanos);
+                if log.should_retain(duration, false) {
+                    log.retain_trace(SlowQueryTrace {
+                        query_id,
+                        sql: s.clone(),
+                        duration_nanos: duration,
+                        error_code: None,
+                        spans,
+                    });
+                }
+                log.observe(QueryLogRecord {
+                    query_id,
+                    kind: "select",
+                    sql: s.clone(),
+                    tenant: "default".into(),
+                    session: "default".into(),
+                    start_nanos,
+                    end_nanos,
+                    exec_ns: exec_ns.get() - e0,
+                    rows_scanned: visited.get() - v0,
+                    result_rows: rs.rows.len() as u64,
+                    traced: true,
+                    ..Default::default()
+                });
+                rs
+            })
+            .collect();
+
+        for (i, (p, l)) in plain.iter().zip(&logged).enumerate() {
+            prop_assert_eq!(&p.rows, &l.rows, "statement {} diverged under logging: {}", i, sqls[i]);
+        }
+        // The choreography leaves the tracer disabled and drained, exactly one
+        // record per statement, and (threshold 0) one retained trace each.
+        prop_assert!(tracer.drain().is_empty());
+        prop_assert_eq!(log.total_logged(), sqls.len() as u64);
+        prop_assert_eq!(log.slow_traces().len(), sqls.len());
+        for r in log.records() {
+            prop_assert!(r.end_nanos >= r.start_nanos);
+            prop_assert!(r.traced);
+            prop_assert!(r.error_code.is_none());
+        }
+    }
+
+    /// The record ring is bounded: any number of concurrent writers, any
+    /// capacity — the retained set never exceeds the configured capacity and
+    /// the total-logged counter still sees every append.
+    #[test]
+    fn ring_never_exceeds_capacity_under_concurrent_writers(
+        cap in 1usize..=32,
+        writers in 1usize..=8,
+        per_writer in 1usize..=40,
+    ) {
+        let log = QueryLog::new(cap);
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let log = &log;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        log.observe(QueryLogRecord {
+                            query_id: log.next_query_id(),
+                            kind: "select",
+                            sql: format!("q{w}:{i}"),
+                            ..Default::default()
+                        });
+                    }
+                });
+            }
+        });
+        let records = log.records();
+        prop_assert!(records.len() <= cap, "{} records > capacity {}", records.len(), cap);
+        prop_assert_eq!(records.len(), cap.min(writers * per_writer));
+        prop_assert_eq!(log.total_logged(), (writers * per_writer) as u64);
+        // Every surviving record is one some writer actually appended.
+        for r in &records {
+            prop_assert!(r.sql.starts_with('q') && r.sql.contains(':'), "corrupt record {:?}", r.sql);
         }
     }
 }

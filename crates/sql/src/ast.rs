@@ -24,6 +24,9 @@ pub enum Statement {
     /// `SYSTEM METRICS` — dump every registered metric in Prometheus text
     /// format.
     SystemMetrics,
+    /// `SYSTEM TRACE EXPORT` — render the retained slow-query span trees as
+    /// chrome://tracing JSON.
+    SystemTraceExport,
 }
 
 /// `CREATE TABLE name (…) ORDER BY … PARTITION BY … CLUSTER BY …`.

@@ -116,8 +116,13 @@ impl Parser {
             }
         } else if self.peek_kw("SYSTEM") {
             self.advance();
-            self.expect_kw("METRICS")?;
-            Ok(Statement::SystemMetrics)
+            if self.eat_kw("TRACE") {
+                self.expect_kw("EXPORT")?;
+                Ok(Statement::SystemTraceExport)
+            } else {
+                self.expect_kw("METRICS")?;
+                Ok(Statement::SystemMetrics)
+            }
         } else if self.peek_kw("CREATE") {
             Ok(Statement::CreateTable(self.parse_create_table()?))
         } else if self.peek_kw("INSERT") {
@@ -525,7 +530,10 @@ impl Parser {
                 if matches!(self.peek(), TokenKind::LParen) {
                     self.advance();
                     let mut args = Vec::new();
-                    if !matches!(self.peek(), TokenKind::RParen) {
+                    if matches!(self.peek(), TokenKind::Star) {
+                        // `count(*)` — equivalent to the zero-argument form.
+                        self.advance();
+                    } else if !matches!(self.peek(), TokenKind::RParen) {
                         loop {
                             args.push(self.parse_expr()?);
                             if matches!(self.peek(), TokenKind::Comma) {
@@ -834,6 +842,45 @@ mod tests {
         assert!(matches!(parse("system metrics;"), Statement::SystemMetrics));
         assert!(parse_statement("SYSTEM").is_err());
         assert!(parse_statement("SYSTEM FLUSH").is_err());
+    }
+
+    #[test]
+    fn system_trace_export_statement() {
+        assert!(matches!(parse("SYSTEM TRACE EXPORT"), Statement::SystemTraceExport));
+        assert!(matches!(parse("system trace export;"), Statement::SystemTraceExport));
+        assert!(parse_statement("SYSTEM TRACE").is_err());
+        assert!(parse_statement("SYSTEM TRACE DUMP").is_err());
+    }
+
+    #[test]
+    fn qualified_system_table_names_parse() {
+        // The lexer treats `system.query_log` as one dotted identifier, so
+        // system-table scans ride the ordinary SELECT grammar.
+        let Statement::Select(sel) =
+            parse("SELECT * FROM system.query_log ORDER BY duration_ns DESC LIMIT 5")
+        else {
+            panic!()
+        };
+        assert_eq!(sel.table, "system.query_log");
+        assert_eq!(sel.limit, Some(5));
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(!sel.order_by[0].asc);
+    }
+
+    #[test]
+    fn count_star_parses_as_zero_arg_call() {
+        let Statement::Select(sel) = parse("SELECT count(*) FROM system.metrics") else {
+            panic!()
+        };
+        let SelectItem::Expr { expr: Expr::FuncCall { name, args }, alias: None } =
+            &sel.projection[0]
+        else {
+            panic!("expected func call, got {:?}", sel.projection[0])
+        };
+        assert_eq!(name, "count");
+        assert!(args.is_empty());
+        // Star only folds away as a whole argument list, not mid-list.
+        assert!(parse_statement("SELECT count(*, x) FROM t").is_err());
     }
 
     #[test]

@@ -255,6 +255,33 @@ impl IndexCache {
     pub fn memory_used(&self) -> usize {
         self.mem.used_bytes()
     }
+
+    /// Configured memory-tier capacity in bytes.
+    pub fn memory_capacity(&self) -> usize {
+        self.mem.capacity()
+    }
+
+    /// `(hits, misses, evictions)` of the memory tier (the LRU's own
+    /// counters, not the `cache.index.*` registry counters).
+    pub fn memory_stats(&self) -> (u64, u64, u64) {
+        self.mem.stats()
+    }
+
+    /// Is a head-only partial index resident for this segment (tiered v3
+    /// blob whose body has not landed yet)?
+    pub fn head_resident(&self, seg: SegmentId) -> bool {
+        self.partial.lock().contains_key(&seg)
+    }
+
+    /// Number of resident full indexes in the memory tier.
+    pub fn resident_count(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Number of head-only partial indexes currently held.
+    pub fn head_count(&self) -> usize {
+        self.partial.lock().len()
+    }
 }
 
 /// Cached block entry classification.
@@ -357,6 +384,18 @@ impl BlockCache {
     /// Bytes cached in the metadata space.
     pub fn meta_used(&self) -> usize {
         self.meta_space.used_bytes()
+    }
+
+    /// Per-space `(name, used, capacity, entries, hits, misses, evictions)`
+    /// rows for the `system.caches` table.
+    pub fn space_stats(&self) -> Vec<(&'static str, usize, usize, usize, u64, u64, u64)> {
+        [("block.meta", &self.meta_space), ("block.data", &self.data_space)]
+            .into_iter()
+            .map(|(name, space)| {
+                let (hits, misses, evictions) = space.stats();
+                (name, space.used_bytes(), space.capacity(), space.len(), hits, misses, evictions)
+            })
+            .collect()
     }
 }
 

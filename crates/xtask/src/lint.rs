@@ -47,6 +47,14 @@
 //!    acquisition graph from source (construction sites + nested
 //!    `.lock()`/`.read()`/`.write()` scopes) across all crates and fails on
 //!    any rank inversion or cycle; see [`crate::lockorder`].
+//! 9. **Metric-name registry** — every literal metric registration
+//!    (`.counter("…")`, `.gauge("…")`, `.histogram("…")` and their
+//!    `_with_labels` forms) in library code must name an entry of
+//!    `bh_common::metrics::NAMES`. A typo in a metric name silently forks a
+//!    counter nobody reads; the table makes the namespace reviewable and
+//!    gives dashboards one source of truth. Dynamically built names
+//!    (`format!` tiers, cache labels) are out of the rule's scope, as are
+//!    tests and the harness crates.
 //!
 //! The scanner is a line-oriented lexer, not a full parser: it strips string
 //! literals and comments (so `"unsafe"` in an error message is not a
@@ -80,6 +88,9 @@ pub enum Rule {
     /// A nested lock acquisition that inverts the rank table, or a cycle in
     /// the cross-crate acquisition graph.
     LockOrder,
+    /// A literal metric registration whose name is missing from
+    /// `bh_common::metrics::NAMES`.
+    MetricNames,
 }
 
 impl Rule {
@@ -95,6 +106,7 @@ impl Rule {
             Rule::CrossCrateInternal => "cross-crate-internal",
             Rule::RawSync => "raw-sync",
             Rule::LockOrder => "lock-order",
+            Rule::MetricNames => "metric-names",
         }
     }
 }
@@ -252,7 +264,14 @@ pub(crate) fn sanitize(src: &str) -> Vec<LineView> {
             }
             St::Str => {
                 if c == '\\' {
-                    cur.code.push(' ');
+                    // A line-continuation escape (`\` at end of line) still
+                    // ends the physical line — keep the line views aligned
+                    // with the raw source.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        out.push(std::mem::take(&mut cur));
+                    } else {
+                        cur.code.push(' ');
+                    }
                     i += 2;
                 } else if c == '"' {
                     cur.code.push('"');
@@ -822,6 +841,137 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+// ---------------------------------------------------- rule 9: metric names
+
+/// Path of the canonical metric-name table.
+const METRIC_NAMES_FILE: &str = "crates/common/src/metrics.rs";
+
+/// Registration calls whose first argument names a metric.
+const METRIC_REGISTRATIONS: &[&str] = &[
+    ".counter_with_labels(",
+    ".gauge_with_labels(",
+    ".histogram_with_labels(",
+    ".counter(",
+    ".gauge(",
+    ".histogram(",
+];
+
+/// Extract the string literals of the `pub const NAMES` table from the
+/// `bh_common::metrics` source. Returns `None` when the table is missing.
+pub(crate) fn parse_metric_names(src: &str) -> Option<Vec<String>> {
+    let start = src.find("pub const NAMES")?;
+    // Seek past the `=` so the `[` of the type (`&[&str]`) is not mistaken
+    // for the opening bracket of the initializer.
+    let eq = start + src[start..].find('=')?;
+    let open = eq + src[eq..].find('[')?;
+    let close = open + src[open..].find(']')?;
+    let body = &src[open + 1..close];
+    let mut names = Vec::new();
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let end = after.find('"')?;
+        names.push(after[..end].to_string());
+        rest = &after[end + 1..];
+    }
+    Some(names)
+}
+
+/// The first argument of a registration call when it is a string literal.
+/// `None` means the name is built dynamically — out of the rule's scope.
+fn literal_first_arg(raw_after_paren: &str) -> Option<&str> {
+    let arg = raw_after_paren.trim_start();
+    let inner = arg.strip_prefix('"')?;
+    let end = inner.find('"')?;
+    Some(&inner[..end])
+}
+
+/// Rule 9 over the whole file set: every literal registration must appear in
+/// the NAMES table. Tests and harness crates are exempt; dynamic names are
+/// skipped (they cannot be checked textually).
+pub(crate) fn check_metric_names(sources: &[(String, String)]) -> Vec<Finding> {
+    let Some((_, metrics_src)) = sources.iter().find(|(rel, _)| rel == METRIC_NAMES_FILE)
+    else {
+        return vec![Finding {
+            file: METRIC_NAMES_FILE.to_string(),
+            line: 1,
+            rule: Rule::MetricNames,
+            msg: "missing: the metric-name table (bh_common::metrics::NAMES) must \
+                  exist for rule 9 (metric-names) to run"
+                .into(),
+        }];
+    };
+    let Some(names) = parse_metric_names(metrics_src) else {
+        return vec![Finding {
+            file: METRIC_NAMES_FILE.to_string(),
+            line: 1,
+            rule: Rule::MetricNames,
+            msg: "no `pub const NAMES` table found; rule 9 (metric-names) cannot run"
+                .into(),
+        }];
+    };
+
+    let mut findings = Vec::new();
+    for (rel, content) in sources {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_name = match parts.as_slice() {
+            ["crates", name, "src", ..] => *name,
+            _ => continue,
+        };
+        if HARNESS_CRATES.contains(&crate_name) {
+            continue;
+        }
+        let lines = sanitize(content);
+        let tests = test_mask(&lines);
+        for (idx, raw) in content.lines().enumerate() {
+            if tests.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            // The sanitized view gates on real code (not comments or string
+            // contents); the literal itself is read from the raw line. The two
+            // views can disagree on line count (sanitize folds some forms), so
+            // a raw line past the sanitized view is skipped.
+            let Some(code) = lines.get(idx).map(|l| l.code.as_str()) else {
+                break;
+            };
+            for pat in METRIC_REGISTRATIONS {
+                // The sanitized view (comments stripped, literals blanked)
+                // decides whether the line really has a call; the literal is
+                // then read from the raw text. Columns may differ between the
+                // two (escapes, comments), so matches are re-found in raw.
+                if !code.contains(pat) {
+                    continue;
+                }
+                let mut from = 0usize;
+                // The six patterns are mutually exclusive (`.counter(` cannot
+                // occur inside `.counter_with_labels(`), so each call site
+                // matches exactly one.
+                while let Some(pos) = raw[from..].find(pat) {
+                    let at = from + pos;
+                    from = at + pat.len();
+                    let Some(name) = raw.get(at + pat.len()..).and_then(literal_first_arg)
+                    else {
+                        continue; // dynamic name
+                    };
+                    if !names.iter().any(|n| n == name) {
+                        findings.push(Finding {
+                            file: rel.clone(),
+                            line: idx + 1,
+                            rule: Rule::MetricNames,
+                            msg: format!(
+                                "metric \"{name}\" is not in \
+                                 bh_common::metrics::NAMES; add it to the \
+                                 table (or fix the typo)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
 /// Lint every `crates/*/src/**/*.rs` under the workspace root.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
@@ -874,6 +1024,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 .into(),
         }),
     }
+    // Rule 9: metric registrations are checked against the NAMES table in
+    // bh_common::metrics, across the whole file set.
+    findings.extend(check_metric_names(&sources));
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
@@ -1225,6 +1378,79 @@ mod tests {
         let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
         assert!(rules("crates/storage/tests/x.rs", src).is_empty());
         assert!(rules("examples/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 9: metric names ----
+
+    const NAMES_SRC: &str = "//! metrics\npub const NAMES: &[&str] = &[\n    \
+                             \"query.executed\",\n    \"query.slo\",\n];\n";
+
+    fn metric_sources(extra: &str) -> Vec<(String, String)> {
+        vec![
+            ("crates/common/src/metrics.rs".to_string(), NAMES_SRC.to_string()),
+            ("crates/query/src/exec.rs".to_string(), extra.to_string()),
+        ]
+    }
+
+    #[test]
+    fn metric_names_table_parses() {
+        let names = parse_metric_names(NAMES_SRC).unwrap();
+        assert_eq!(names, vec!["query.executed", "query.slo"]);
+        assert!(parse_metric_names("fn f() {}").is_none());
+    }
+
+    #[test]
+    fn metric_names_catches_seeded_typo() {
+        // "query.exeucted" is a transposition of a registered name.
+        let src = "fn f(m: &M) { m.counter(\"query.exeucted\").inc(); }\n";
+        let f = check_metric_names(&metric_sources(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::MetricNames);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].msg.contains("query.exeucted"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn metric_names_accepts_registered_and_labeled() {
+        let src = "fn f(m: &M) {\n    m.counter(\"query.executed\").inc();\n    \
+                   m.histogram_with_labels(\"query.slo\", &[(\"kind\", k)]);\n}\n";
+        assert!(check_metric_names(&metric_sources(src)).is_empty());
+    }
+
+    #[test]
+    fn metric_names_skips_dynamic_tests_and_comments() {
+        let src = "fn f(m: &M, n: &str) {\n    m.counter(n).inc();\n    \
+                   m.counter(&format!(\"kernel.tier.{t}\")).inc();\n    \
+                   // m.counter(\"not.a.metric\")\n}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   m.counter(\"test.only.name\").inc();\n    }\n}\n";
+        assert!(check_metric_names(&metric_sources(src)).is_empty());
+    }
+
+    #[test]
+    fn metric_names_requires_the_table() {
+        let f = check_metric_names(&[(
+            "crates/query/src/exec.rs".to_string(),
+            "fn f() {}".to_string(),
+        )]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("must exist"), "{}", f[0].msg);
+        let f = check_metric_names(&[(
+            "crates/common/src/metrics.rs".to_string(),
+            "fn f() {}".to_string(),
+        )]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("NAMES"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn metric_names_exempts_harness_crates() {
+        let mut sources = metric_sources("fn f() {}");
+        sources.push((
+            "crates/bench/src/harness.rs".to_string(),
+            "fn f(m: &M) { m.counter(\"bench.only\").inc(); }".to_string(),
+        ));
+        assert!(check_metric_names(&sources).is_empty());
     }
 
     // ---- the tree this lint lands in must be clean ----

@@ -49,7 +49,8 @@ fn usage() {
     eprintln!("tasks:");
     eprintln!("  lint        enforce workspace invariants (SAFETY comments, clock/rng");
     eprintln!("              gates, panic-free serving crates, no stdout in libraries,");
-    eprintln!("              ranked-sync-only locking, cross-crate lock-order graph);");
+    eprintln!("              ranked-sync-only locking, cross-crate lock-order graph,");
+    eprintln!("              metric-name registry);");
     eprintln!("              --format text|json|github selects the output shape");
     eprintln!("  bench-diff  compare fresh BENCH_*.json (--fresh <dir>, default");
     eprintln!("              target/bench-fresh) against committed copies; fail on");
