@@ -33,7 +33,7 @@ fn main() {
             &TableOptions { index_clause: Some(clause), ..Default::default() },
         );
         for knob in [8usize, 16, 32, 64, 128] {
-            let params = SearchParams { ef_search: knob, nprobe: knob / 2 + 1 };
+            let params = SearchParams::default().with_ef(knob).with_nprobe(knob / 2 + 1);
             let opts = blendhouse::QueryOptions { search: params, ..db.default_options() };
             let sqls: Vec<String> = queries.iter().map(|q| q.to_sql("bench", "emb")).collect();
             let mut qi = 0;

@@ -247,7 +247,7 @@ mod profile {
         let db = build_database(&data, DatabaseConfig::default(), &TableOptions::default());
         let queries = production_search(&data, 8, 100, 9);
         let params = bh_vector::SearchParams::default().with_ef(256);
-        for strategy in [None, Some(Strategy::BruteForce), Some(Strategy::PreFilter), Some(Strategy::PostFilter)] {
+        for strategy in [None, Some(Strategy::BruteForce), Some(Strategy::PreFilter), Some(Strategy::PostFilter), Some(Strategy::FilteredTraversal)] {
             let opts = QueryOptions { search: params, forced_strategy: strategy, ..db.default_options() };
             // warm
             for q in &queries { let _ = db.execute_with(&q.to_sql("bench", "emb"), &opts); }

@@ -61,6 +61,10 @@ pub const NAMES: &[&str] = &[
     "query.index_prefetches",
     "query.iterator_visited",
     "query.parallel_segments",
+    "query.plan.brute_force",
+    "query.plan.filtered_traversal",
+    "query.plan.post_filter",
+    "query.plan.pre_filter",
     "query.plan_cache_hits",
     "query.plan_ns",
     "query.refined",

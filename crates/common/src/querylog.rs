@@ -82,6 +82,10 @@ pub struct QueryLogRecord {
     pub cache_misses: u64,
     /// Rows in the result set (0 for DDL/DML, affected count for those).
     pub result_rows: u64,
+    /// Chosen physical plan for vector SELECTs (`query.plan.*` counter
+    /// deltas): `"brute_force"`, `"pre_filter"`, `"post_filter"` or
+    /// `"filtered_traversal"`; empty for statements with no plan choice.
+    pub strategy: &'static str,
     /// Error code (the `BhError` variant name) when the statement failed.
     pub error_code: Option<&'static str>,
     /// True when the full span tree was retained for this query.

@@ -105,6 +105,10 @@ struct StageCounters {
     rows_scanned: Arc<Counter>,
     segments_pruned: Arc<Counter>,
     bound_skips: Arc<Counter>,
+    plan_brute: Arc<Counter>,
+    plan_pre: Arc<Counter>,
+    plan_post: Arc<Counter>,
+    plan_traversal: Arc<Counter>,
 }
 
 /// One point-in-time reading of [`StageCounters`] plus the cache hit/miss
@@ -121,6 +125,10 @@ struct StageSample {
     bound_skips: u64,
     cache_hits: u64,
     cache_misses: u64,
+    plan_brute: u64,
+    plan_pre: u64,
+    plan_post: u64,
+    plan_traversal: u64,
 }
 
 impl StageCounters {
@@ -134,6 +142,10 @@ impl StageCounters {
             rows_scanned: m.counter("query.iterator_visited"),
             segments_pruned: m.counter("query.segments_pruned"),
             bound_skips: m.counter("query.bound_skips"),
+            plan_brute: m.counter("query.plan.brute_force"),
+            plan_pre: m.counter("query.plan.pre_filter"),
+            plan_post: m.counter("query.plan.post_filter"),
+            plan_traversal: m.counter("query.plan.filtered_traversal"),
         }
     }
 
@@ -149,6 +161,10 @@ impl StageCounters {
             bound_skips: self.bound_skips.get(),
             cache_hits: m.sum_counters_prefixed("cache.", ".hit"),
             cache_misses: m.sum_counters_prefixed("cache.", ".miss"),
+            plan_brute: self.plan_brute.get(),
+            plan_pre: self.plan_pre.get(),
+            plan_post: self.plan_post.get(),
+            plan_traversal: self.plan_traversal.get(),
         }
     }
 }
@@ -485,6 +501,20 @@ impl Database {
             return;
         }
         let after = self.stages.sample(&self.metrics);
+        // A vector SELECT bumps exactly one `query.plan.*` counter; the
+        // biggest delta names the chosen plan (batch/concurrent noise can
+        // only misattribute between concurrent statements, never invent one).
+        let strategy = [
+            ("brute_force", after.plan_brute - before.plan_brute),
+            ("pre_filter", after.plan_pre - before.plan_pre),
+            ("post_filter", after.plan_post - before.plan_post),
+            ("filtered_traversal", after.plan_traversal - before.plan_traversal),
+        ]
+        .into_iter()
+        .filter(|&(_, d)| d > 0)
+        .max_by_key(|&(_, d)| d)
+        .map(|(name, _)| name)
+        .unwrap_or("");
         self.querylog.observe(QueryLogRecord {
             query_id: ctx.query_id,
             kind: ctx.kind,
@@ -506,6 +536,7 @@ impl Database {
             result_rows,
             error_code: error,
             traced,
+            strategy,
         });
     }
 
@@ -995,7 +1026,7 @@ mod tests {
         assert!(rs.len() <= 5);
         for col in ["query_id", "kind", "sql", "tenant", "duration_ns", "bind_ns", "plan_ns",
                     "exec_ns", "segment_ns", "rpc_ns", "rows_scanned", "cache_hits",
-                    "result_rows", "error_code"] {
+                    "result_rows", "strategy", "error_code"] {
             assert!(rs.column_index(col).is_some(), "missing column {col}");
         }
         // Sorted by duration, descending.
@@ -1017,6 +1048,13 @@ mod tests {
         assert!(cell_u64(&all, vector_row, "exec_ns") > 0);
         assert!(cell_u64(&all, vector_row, "result_rows") == 3);
         assert!(!cell_str(&all, vector_row, "sql").contains("0.0"), "literals folded");
+        // The vector SELECT logged its chosen physical plan.
+        assert!(
+            ["brute_force", "pre_filter", "post_filter", "filtered_traversal"]
+                .contains(&cell_str(&all, vector_row, "strategy")),
+            "unexpected strategy {:?}",
+            cell_str(&all, vector_row, "strategy")
+        );
 
         // The failed statement carries the BhError code.
         let errs = db

@@ -383,6 +383,7 @@ fn query_log_rows(db: &Database) -> SystemRows {
         ("cache_hits", UInt64),
         ("cache_misses", UInt64),
         ("result_rows", UInt64),
+        ("strategy", Str),
         ("error_code", Str),
         ("traced", UInt64),
     ];
@@ -412,6 +413,7 @@ fn query_log_rows(db: &Database) -> SystemRows {
                 Value::UInt64(r.cache_hits),
                 Value::UInt64(r.cache_misses),
                 Value::UInt64(r.result_rows),
+                Value::Str(r.strategy.to_string()),
                 Value::Str(r.error_code.unwrap_or("").to_string()),
                 Value::UInt64(u64::from(r.traced)),
             ]

@@ -1,6 +1,6 @@
 //! The accuracy-aware cost model (§IV-A, Table II, Eqs. 1–3).
 //!
-//! Three physical plans compete for a filtered vector search:
+//! Four physical plans compete for a filtered vector search:
 //!
 //! * **Plan A — brute force**: structured scan, then exact distances on the
 //!   `s·n` qualifying rows.           `cost_A = T0 + s·n·c_d`
@@ -10,6 +10,12 @@
 //!   `cost_B = T0 + (γ·n/s)·(c_p + s·c_c) + σ·k·c_d`
 //! * **Plan C — post-filter**: ANN first, iterating until `σ·k` rows pass
 //!   the filter.   `cost_C = (β·n/s)·c_scan + (σ·k/s)·c_f + σ·k·c_d`
+//! * **Plan D — filtered traversal** (graph indexes only): the same bitset
+//!   as Plan B, but the graph walks it natively — failing nodes steer
+//!   navigation while only passing nodes enter the beam, so the visit
+//!   amplification is `1/√s` (bounded multi-hop detours) instead of the
+//!   bitmap scan's `1/s` re-draw amplification.
+//!   `cost_D = T0 + (β·n/√s)·(c_p + c_scan) + σ·k·c_d`
 //!
 //! Two engine-aware refinements over the paper's formulas (which assume an
 //! IVF-style code scan and a negligible post-filter):
@@ -42,6 +48,8 @@ pub enum Strategy {
     PreFilter,
     /// Plan C: ANN iterator, then scalar filter.
     PostFilter,
+    /// Plan D: predicate-aware graph traversal (graph indexes only).
+    FilteredTraversal,
 }
 
 impl Strategy {
@@ -51,6 +59,18 @@ impl Strategy {
             Strategy::BruteForce => "brute-force (Plan A)",
             Strategy::PreFilter => "pre-filter (Plan B)",
             Strategy::PostFilter => "post-filter (Plan C)",
+            Strategy::FilteredTraversal => "filtered-traversal (Plan D)",
+        }
+    }
+
+    /// Stable lowercase slug used for metric names (`query.plan.<slug>`)
+    /// and the `system.query_log` strategy column.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Strategy::BruteForce => "brute_force",
+            Strategy::PreFilter => "pre_filter",
+            Strategy::PostFilter => "post_filter",
+            Strategy::FilteredTraversal => "filtered_traversal",
         }
     }
 }
@@ -150,24 +170,46 @@ impl CostParams {
         scan + filter + self.sigma * i.k as f64 * self.c_d
     }
 
-    /// Pick the minimal-cost strategy.
-    pub fn choose(&self, i: &CostInputs) -> Strategy {
-        let (a, b, c) = (self.cost_a(i), self.cost_b(i), self.cost_c(i));
-        if a <= b && a <= c {
-            Strategy::BruteForce
-        } else if c <= b {
-            Strategy::PostFilter
-        } else {
-            Strategy::PreFilter
+    /// Plan D: the Plan-B bitset feeds a predicate-aware graph traversal.
+    /// Failing nodes steer navigation (bounded multi-hop detours) while only
+    /// passing nodes enter the beam, so the visit amplification grows as
+    /// `1/√s` rather than the bitmap scan's `1/s` — every visited node still
+    /// pays a bitmap test plus an in-scan distance. Non-graph indexes cannot
+    /// traverse, so they report infinite cost and Plan B keeps its IVF niche.
+    pub fn cost_d(&self, i: &CostInputs) -> f64 {
+        if !i.graph_index {
+            return f64::INFINITY;
         }
+        let n = i.n as f64;
+        let s = i.s.clamp(1e-6, 1.0);
+        self.t0_row * n
+            + (i.beta * n / s.sqrt()).min(n) * (self.c_p + self.c_scan(i))
+            + self.sigma * i.k as f64 * self.c_d
     }
 
-    /// All three costs (EXPLAIN output).
-    pub fn all_costs(&self, i: &CostInputs) -> [(Strategy, f64); 3] {
+    /// Pick the minimal-cost strategy. Tie order favours the simpler plan:
+    /// A over everything, C over B and D, B over D.
+    pub fn choose(&self, i: &CostInputs) -> Strategy {
+        let mut best = (Strategy::FilteredTraversal, self.cost_d(i));
+        for cand in [
+            (Strategy::PreFilter, self.cost_b(i)),
+            (Strategy::PostFilter, self.cost_c(i)),
+            (Strategy::BruteForce, self.cost_a(i)),
+        ] {
+            if cand.1 <= best.1 {
+                best = cand;
+            }
+        }
+        best.0
+    }
+
+    /// All four costs (EXPLAIN output).
+    pub fn all_costs(&self, i: &CostInputs) -> [(Strategy, f64); 4] {
         [
             (Strategy::BruteForce, self.cost_a(i)),
             (Strategy::PreFilter, self.cost_b(i)),
             (Strategy::PostFilter, self.cost_c(i)),
+            (Strategy::FilteredTraversal, self.cost_d(i)),
         ]
     }
 
@@ -239,12 +281,14 @@ mod tests {
 
     #[test]
     fn tiny_pass_fraction_chooses_brute_force() {
-        // The paper's "99% selectivity" workload: ~1% of rows pass; the
+        // The paper's "99% selectivity" workload: almost no rows pass; the
         // post-filter iterator would pull σ·k/s rows through row-wise
-        // evaluation, so exact distances on the survivors win.
+        // evaluation, so exact distances on the survivors win. On large
+        // graph tables Plan D pushes A's region down to sub-percent pass
+        // fractions (detour traversal stays cheap), hence the smaller s.
         let p = CostParams::default();
         assert_eq!(p.choose(&graph(20_000, 0.01, 10)), Strategy::BruteForce);
-        assert_eq!(p.choose(&graph(1_000_000, 0.01, 100)), Strategy::BruteForce);
+        assert_eq!(p.choose(&graph(1_000_000, 0.002, 100)), Strategy::BruteForce);
     }
 
     #[test]
@@ -262,30 +306,77 @@ mod tests {
     }
 
     #[test]
-    fn mid_selectivity_large_k_chooses_pre_filter() {
+    fn mid_selectivity_large_k_chooses_pre_filter_on_quantized() {
         // Large k makes the post-filter pull expensive while the bitmap ANN
-        // scan amortizes the structured pass — Plan B's niche.
+        // scan amortizes the structured pass — Plan B's niche. On graph
+        // indexes Plan D now dominates B, so the niche is IVF/quantized.
         let p = CostParams::default();
-        assert_eq!(p.choose(&graph(1_000_000, 0.1, 1_000)), Strategy::PreFilter);
+        assert_eq!(p.choose(&quantized(1_000_000, 0.1, 1_000)), Strategy::PreFilter);
+        assert_eq!(p.choose(&quantized(1_000_000, 0.05, 1_000)), Strategy::PreFilter);
     }
 
     #[test]
-    fn decision_boundary_sweep_is_a_then_b_then_c() {
-        // At large k, sweeping s from 0 → 1 transitions A → B → C with no
-        // interleaving (each plan wins one contiguous region).
+    fn mid_selectivity_graph_chooses_filtered_traversal() {
+        // Plan D's regime: mid-range pass fraction on a graph index, where
+        // √s detour amplification beats both the bitmap re-draw (B) and the
+        // row-wise post-filter pull (C), and s·n exact distances (A) are
+        // already too many.
         let p = CostParams::default();
-        let mut seen = Vec::new();
+        assert_eq!(p.choose(&graph(1_000_000, 0.1, 1_000)), Strategy::FilteredTraversal);
+        assert_eq!(p.choose(&graph(1_000_000, 0.05, 1_000)), Strategy::FilteredTraversal);
+    }
+
+    #[test]
+    fn plan_d_is_infinite_for_non_graph_indexes() {
+        let p = CostParams::default();
+        assert_eq!(p.cost_d(&quantized(100_000, 0.2, 100)), f64::INFINITY);
+        // And therefore never chosen for them at any selectivity.
         for i in 1..=99 {
             let s = i as f64 / 100.0;
+            assert_ne!(p.choose(&quantized(1_000_000, s, 1_000)), Strategy::FilteredTraversal);
+        }
+    }
+
+    #[test]
+    fn plan_d_dominates_plan_b_on_graph_indexes() {
+        // β·n/√s visited nodes < γ·n/s (γ = 2β, √s ≤ 1 ≤ 2/√s): a graph that
+        // can steer through failing nodes never loses to re-drawing from the
+        // bitmap scan.
+        let p = CostParams::default();
+        for s in [0.01, 0.1, 0.3, 0.7, 0.99] {
+            let g = graph(500_000, s, 100);
+            assert!(p.cost_d(&g) < p.cost_b(&g), "s={s}");
+        }
+    }
+
+    #[test]
+    fn decision_boundary_sweep_matches_plan_regions() {
+        // At large k, sweeping s from 0 → 1 transitions A → D → C on graph
+        // indexes and A → B → C on quantized ones, with no interleaving
+        // (each plan wins one contiguous region).
+        let p = CostParams::default();
+        let mut graph_seen = Vec::new();
+        let mut quant_seen = Vec::new();
+        for i in 1..=999 {
+            let s = i as f64 / 1000.0;
             let w = p.choose(&graph(1_000_000, s, 1_000));
-            if seen.last() != Some(&w) {
-                seen.push(w);
+            if graph_seen.last() != Some(&w) {
+                graph_seen.push(w);
+            }
+            let w = p.choose(&quantized(1_000_000, s, 1_000));
+            if quant_seen.last() != Some(&w) {
+                quant_seen.push(w);
             }
         }
         assert_eq!(
-            seen,
+            graph_seen,
+            vec![Strategy::BruteForce, Strategy::FilteredTraversal, Strategy::PostFilter],
+            "unexpected graph decision regions"
+        );
+        assert_eq!(
+            quant_seen,
             vec![Strategy::BruteForce, Strategy::PreFilter, Strategy::PostFilter],
-            "unexpected decision regions"
+            "unexpected quantized decision regions"
         );
     }
 
@@ -307,6 +398,7 @@ mod tests {
             assert!(p.cost_a(&large) > p.cost_a(&small));
             assert!(p.cost_b(&large) > p.cost_b(&small));
             assert!(p.cost_c(&large) >= p.cost_c(&small));
+            assert!(p.cost_d(&large) > p.cost_d(&small));
         }
     }
 
@@ -326,16 +418,18 @@ mod tests {
         assert_eq!(p.cost_a(&i), 0.0);
         assert!(p.cost_b(&i) >= 0.0);
         assert!(p.cost_c(&i) >= 0.0);
+        assert!(p.cost_d(&i) >= 0.0);
     }
 
     #[test]
-    fn all_costs_lists_three_and_matches_choice() {
+    fn all_costs_lists_four_and_matches_choice() {
         let p = CostParams::default();
-        let i = graph(1000, 0.5, 5);
-        let costs = p.all_costs(&i);
-        assert_eq!(costs.len(), 3);
-        let min = costs.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
-        assert_eq!(min, p.choose(&i));
+        for i in [graph(1000, 0.5, 5), quantized(1000, 0.5, 5), graph(1_000_000, 0.1, 1_000)] {
+            let costs = p.all_costs(&i);
+            assert_eq!(costs.len(), 4);
+            let min = costs.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+            assert_eq!(min, p.choose(&i));
+        }
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! * [`plan`] — logical plans and the rule-based optimizations (distance
 //!   top-k pushdown, distance range-filter pushdown, vector column pruning).
 //! * [`cost`] — the accuracy-aware cost model (Table II, Eqs. 1–3) choosing
-//!   among Plan A (brute force), Plan B (pre-filter ANN bitmap scan) and
-//!   Plan C (post-filter iterative search).
+//!   among Plan A (brute force), Plan B (pre-filter ANN bitmap scan),
+//!   Plan C (post-filter iterative search) and Plan D (filter-aware graph
+//!   traversal, graph indexes only).
 //! * [`plancache`] — parameterized plan caching and short-circuit processing
 //!   for repetitive hybrid workloads (§IV-C).
-//! * [`exec`] — the distributed executor: scheduling with pruning, the three
+//! * [`exec`] — the distributed executor: scheduling with pruning, the four
 //!   physical strategies, refine, adaptive segment expansion, global top-k
 //!   merge, and projection fetch.
 

@@ -26,6 +26,11 @@ pub struct CachedPlan {
     pub columns_needed: Vec<String>,
     /// Whether the projection asks for the raw vector column.
     pub needs_raw_vectors: bool,
+    /// Histogram-estimated pass fraction of the structured predicate, when
+    /// the query has both a vector search and a filter. Plan D feeds it to
+    /// the traversal (beam widening + hop budget); stale-by-a-band values
+    /// only shift those knobs, never correctness.
+    pub selectivity: Option<f32>,
 }
 
 /// Structural signature of a bound query with literals masked.
@@ -244,6 +249,7 @@ mod tests {
                 strategy: Strategy::PostFilter,
                 columns_needed: vec!["id".into()],
                 needs_raw_vectors: false,
+                selectivity: None,
             },
         );
         let hit = cache.get(&sig).unwrap();

@@ -13,6 +13,7 @@ use bh_common::querylog::{QueryLog, QueryLogRecord, SlowQueryPolicy, SlowQueryTr
 use bh_common::{MetricsRegistry, VirtualClock};
 use bh_query::exec::{QueryEngine, QueryOptions};
 use bh_query::result::ResultSet;
+use bh_query::Strategy as PlanStrategy;
 use bh_sql::ast::SelectStmt;
 use bh_storage::objectstore::InMemoryObjectStore;
 use bh_storage::predicate::Predicate;
@@ -161,6 +162,40 @@ proptest! {
                     &s.rows,
                     &b.rows,
                     "statement {} diverged (share_bound={}): {}",
+                    i,
+                    share_bound,
+                    sqls[i]
+                );
+            }
+        }
+    }
+
+    /// Plan D forced across the whole batch: the filter-aware traversal is as
+    /// deterministic as the other strategies, so batching (with the shared
+    /// pruning bound on and off) must stay bit-identical to sequential runs.
+    /// Unfiltered statements degrade to the plain path inside the same arm, so
+    /// the mix exercises both the traversal and its fallback.
+    #[test]
+    fn filtered_traversal_batch_is_bit_identical(sqls in batch_strategy()) {
+        let fix = fixture();
+        let stmts: Vec<SelectStmt> = sqls.iter().map(|s| parse(s)).collect();
+        for share_bound in [true, false] {
+            let opts = QueryOptions {
+                share_bound,
+                forced_strategy: Some(PlanStrategy::FilteredTraversal),
+                ..Default::default()
+            };
+            let sequential: Vec<ResultSet> = sqls.iter().map(|s| run_sql(fix, &opts, s)).collect();
+            let batched = fix
+                .engine
+                .execute_select_batch(&fix.table, &fix.vw, &opts, &stmts)
+                .unwrap();
+            prop_assert_eq!(batched.len(), sequential.len());
+            for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+                prop_assert_eq!(
+                    &s.rows,
+                    &b.rows,
+                    "Plan D statement {} diverged (share_bound={}): {}",
                     i,
                     share_bound,
                     sqls[i]

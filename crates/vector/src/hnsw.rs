@@ -168,6 +168,35 @@ impl Store {
         }
     }
 
+    /// Prefetch `row`'s vector (or SQ code row) toward L1 ahead of its
+    /// distance computation. Beam expansion reads neighbor rows in random
+    /// order, so each distance otherwise serializes on a full memory
+    /// latency; issuing a neighborhood's prefetches before scoring lets the
+    /// loads overlap. No-op on non-x86_64 targets.
+    #[inline]
+    fn prefetch_row(&self, dim: usize, row: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let (ptr, stride) = match self {
+                Store::Raw { data } => (data.as_ptr().cast::<i8>(), dim * 4),
+                Store::Sq { codes, .. } => (codes.as_ptr().cast::<i8>(), dim),
+            };
+            let mut off = 0usize;
+            while off < stride {
+                // SAFETY: `row` is a valid row index and `off < stride`, so
+                // the address stays within the store's allocation; prefetch
+                // itself never faults regardless.
+                unsafe { _mm_prefetch(ptr.add(row * stride + off), _MM_HINT_T0) };
+                off += 64;
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (dim, row);
+        }
+    }
+
     fn memory_usage(&self) -> usize {
         match self {
             Store::Raw { data } => data.len() * 4,
@@ -242,6 +271,7 @@ impl HnswIndex {
         let mut results: BinaryHeap<DistNode> = BinaryHeap::new(); // max-heap
         results.push(DistNode { dist: d0, node: entry });
         let mut n_visited = 1usize;
+        let mut fresh: Vec<u32> = Vec::with_capacity(2 * self.m.max(8));
 
         while let Some(Reverse(c)) = candidates.pop() {
             let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
@@ -249,10 +279,18 @@ impl HnswIndex {
                 break;
             }
             if level < self.links[c.node as usize].len() {
+                // Gather-then-score: issue the whole neighborhood's vector
+                // prefetches before the first distance so the random-access
+                // loads overlap instead of serializing on memory latency.
+                fresh.clear();
                 for &nb in &self.links[c.node as usize][level] {
                     if visited[nb as usize] {
                         continue;
                     }
+                    self.store.prefetch_row(self.dim, nb as usize);
+                    fresh.push(nb);
+                }
+                for &nb in &fresh {
                     visited[nb as usize] = true;
                     n_visited += 1;
                     let d = self.dist_q(query, nb);
@@ -270,6 +308,122 @@ impl HnswIndex {
         let mut out: Vec<DistNode> = results.into_vec();
         out.sort();
         (out, n_visited)
+    }
+
+    /// Predicate-aware beam search at level 0 (Plan D, ACORN-style).
+    ///
+    /// Nodes failing `filter` still steer navigation — they stay in the
+    /// candidate heap and their neighborhoods are expanded — but only
+    /// passing nodes enter the `ef`-bounded result heap, so the beam is
+    /// spent entirely on rows that can appear in the answer. A path may
+    /// cross at most `hop_budget` consecutive failing nodes beyond the
+    /// last passing one: selective filters thin the passing subgraph, and
+    /// bounded multi-hop detours keep it connected without devolving into
+    /// an unbounded flood.
+    fn search_layer0_filtered(
+        &self,
+        query: &[f32],
+        entry: u32,
+        ef: usize,
+        filter: &Bitset,
+        hop_budget: usize,
+    ) -> (Vec<DistNode>, usize) {
+        let passes = |node: u32| filter.contains(self.ids[node as usize] as usize);
+        let mut visited = vec![false; self.n()];
+        visited[entry as usize] = true;
+        let d0 = self.dist_q(query, entry);
+        let entry_hops = if passes(entry) { 0usize } else { 1 };
+        // Candidates carry the consecutive-failing-hop count since the last
+        // passing node (0 for a passing node).
+        let mut candidates = BinaryHeap::new();
+        candidates.push(Reverse((DistNode { dist: d0, node: entry }, entry_hops)));
+        let mut results: BinaryHeap<DistNode> = BinaryHeap::new();
+        if entry_hops == 0 {
+            results.push(DistNode { dist: d0, node: entry });
+        }
+        let mut n_visited = 1usize;
+        let mut fresh: Vec<u32> = Vec::with_capacity(2 * self.m.max(8));
+
+        while let Some(Reverse((c, hops))) = candidates.pop() {
+            let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+            if results.len() >= ef && c.dist > worst {
+                break;
+            }
+            if self.links[c.node as usize].is_empty() {
+                continue;
+            }
+            // Gather-then-score, as in `search_layer`: prefetch the whole
+            // neighborhood before the first distance. Budget-skipped nodes
+            // get a wasted prefetch; overlapping the rest still wins.
+            fresh.clear();
+            for &nb in &self.links[c.node as usize][0] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                self.store.prefetch_row(self.dim, nb as usize);
+                fresh.push(nb);
+            }
+            for &nb in &fresh {
+                let nb_pass = passes(nb);
+                let nb_hops = if nb_pass { 0 } else { hops + 1 };
+                // Pure navigation until the first passing node is found: the
+                // greedy descent is predicate-blind, so the beam may start
+                // deep inside a failing region (correlated filters) and must
+                // be free to walk out of it. Once results exist, the hop
+                // budget bounds further detours.
+                if nb_hops > hop_budget && !results.is_empty() {
+                    // Leave unvisited: a shorter detour from another passing
+                    // node may still legitimately reach it later.
+                    continue;
+                }
+                visited[nb as usize] = true;
+                n_visited += 1;
+                let d = self.dist_q(query, nb);
+                let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+                if results.len() < ef || d < worst {
+                    candidates.push(Reverse((DistNode { dist: d, node: nb }, nb_hops)));
+                    if nb_pass {
+                        results.push(DistNode { dist: d, node: nb });
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<DistNode> = results.into_vec();
+        out.sort();
+        (out, n_visited)
+    }
+
+    /// Level-0 candidate generation for filtered searches: the Plan D
+    /// traversal when `params.filter_traversal` asks for it, else the
+    /// classic widened beam with post-hoc bitset checks.
+    fn filtered_candidates(
+        &self,
+        query: &[f32],
+        entry: u32,
+        ef_base: usize,
+        params: &SearchParams,
+        filter: Option<&Bitset>,
+    ) -> Vec<DistNode> {
+        match filter {
+            Some(f) if params.filter_traversal => {
+                self.search_layer0_filtered(
+                    query,
+                    entry,
+                    params.traversal_ef(ef_base),
+                    f,
+                    params.hop_budget(),
+                )
+                .0
+            }
+            // With a selective filter, widen the beam so enough filtered
+            // rows survive — hnswlib's recipe, with the factor now derived
+            // from the selectivity estimate instead of a fixed 2x.
+            Some(_) => self.search_layer(query, entry, params.widened_ef(ef_base), 0).0,
+            None => self.search_layer(query, entry, ef_base, 0).0,
+        }
     }
 
     /// Deserialize an index written by [`VectorIndex::save_bytes`].
@@ -652,7 +806,10 @@ impl VectorIndex for HnswHeadIndex {
             return Ok(Vec::new());
         }
         let ef = params.ef_search.max(k);
-        let ef = if filter.is_some() { ef.saturating_mul(2) } else { ef };
+        // The head holds only upper layers, too sparse for the Plan D
+        // multi-hop traversal — a filtered head search always uses the
+        // widened beam (selectivity-adaptive, legacy 2x without estimate).
+        let ef = if filter.is_some() { params.widened_ef(ef) } else { ef };
         let mut tk = TopK::new(k);
         for c in self.search_upper(query, ef) {
             let id = self.ids[c.node as usize];
@@ -674,7 +831,7 @@ impl VectorIndex for HnswHeadIndex {
         filter: Option<&Bitset>,
     ) -> Result<Vec<Neighbor>> {
         self.check_query(query)?;
-        let ef = params.ef_search.max(16).saturating_mul(2);
+        let ef = params.widened_ef(params.ef_search.max(16));
         let mut out: Vec<Neighbor> = self
             .search_upper(query, ef)
             .into_iter()
@@ -746,10 +903,7 @@ impl VectorIndex for HnswIndex {
         }
         let ef = params.ef_search.max(k);
         let entry = self.greedy_to_level(query, self.entry, self.max_level, 0);
-        // With a selective filter, widen the beam so enough filtered rows
-        // survive — the standard hnswlib filtered-search recipe.
-        let ef = if filter.is_some() { ef.saturating_mul(2) } else { ef };
-        let (cands, _) = self.search_layer(query, entry, ef, 0);
+        let cands = self.filtered_candidates(query, entry, ef, params, filter);
         let mut tk = TopK::new(k);
         for c in cands {
             let id = self.ids[c.node as usize];
@@ -805,11 +959,11 @@ impl VectorIndex for HnswIndex {
         };
         // The graph traversal itself is untouched — pruning mid-walk would
         // change which neighborhoods get explored. Only the final candidate
-        // list participates in the shared bound.
+        // list participates in the shared bound, so swapping the candidate
+        // source for the Plan D traversal preserves the prune/publish rules.
         let ef = params.ef_search.max(k);
         let entry = self.greedy_to_level(query, self.entry, self.max_level, 0);
-        let ef = if filter.is_some() { ef.saturating_mul(2) } else { ef };
-        let (cands, _) = self.search_layer(query, entry, ef, 0);
+        let cands = self.filtered_candidates(query, entry, ef, params, filter);
         let mut tk = TopK::new(k);
         let mut skipped = 0u64;
         for c in cands {
@@ -1639,6 +1793,83 @@ mod tests {
         let got = loaded.search_with_bound(q, 5, &params, None, Some(&b)).unwrap();
         assert_eq!(got, loaded.search_with_filter(q, 5, &params, None).unwrap());
         assert_eq!(b.skips(), 0);
+    }
+
+    #[test]
+    fn filtered_traversal_passes_filter_and_meets_recall_floor() {
+        let dim = 8;
+        let n = 1000;
+        let (hnsw, flat, data) = build_pair(n, dim, IndexKind::Hnsw, 21);
+        let k = 10;
+        // From permissive to selective: every 2nd, 10th, 50th row passes.
+        for (s, step) in [(0.5f32, 2usize), (0.1, 10), (0.02, 50)] {
+            let allow = Bitset::from_positions(n, (0..n).step_by(step));
+            let params =
+                SearchParams::default().with_ef(96).with_selectivity(s).with_filter_traversal(true);
+            let mut total = 0.0;
+            let queries = 12;
+            for q in 0..queries {
+                let qv = &data[q * 83 * dim % (n * dim - dim)..][..dim];
+                let got = hnsw.search_with_filter(qv, k, &params, Some(&allow)).unwrap();
+                for nb in &got {
+                    assert_eq!(
+                        nb.id as usize % step,
+                        0,
+                        "s={s}: row {} escaped the filter",
+                        nb.id
+                    );
+                }
+                let truth = flat.search_with_filter(qv, k, &params, Some(&allow)).unwrap();
+                total += recall_at_k(&truth, &got, k);
+            }
+            let recall = total / queries as f64;
+            assert!(recall >= 0.85, "s={s}: traversal recall {recall} below floor");
+        }
+    }
+
+    #[test]
+    fn filtered_traversal_respects_shared_bound_rules() {
+        let dim = 8;
+        let n = 800;
+        let (hnsw, flat, data) = build_pair(n, dim, IndexKind::Hnsw, 22);
+        let allow = Bitset::from_positions(n, (0..n).step_by(5));
+        let params =
+            SearchParams::default().with_ef(96).with_selectivity(0.2).with_filter_traversal(true);
+        let q = &data[0..dim];
+        let k = 15;
+        let plain = hnsw.search_with_filter(q, k, &params, Some(&allow)).unwrap();
+        // A vacuous bound changes nothing and gets tightened by the exact
+        // k-th distance once the local top-k fills.
+        let b = SharedBound::new();
+        let got = hnsw.search_with_bound(q, k, &params, Some(&allow), Some(&b)).unwrap();
+        assert_eq!(got, plain);
+        assert!(b.get() < f32::INFINITY, "exact store must publish its k-th");
+        // A tight bound (true filtered 5th distance) prunes exactly the
+        // candidates whose exact distance exceeds it — never a survivor.
+        let truth = flat.search_with_filter(q, k, &params, Some(&allow)).unwrap();
+        let tight = truth[4].distance;
+        let b2 = SharedBound::new();
+        b2.update(tight);
+        let pruned = hnsw.search_with_bound(q, k, &params, Some(&allow), Some(&b2)).unwrap();
+        assert!(b2.skips() > 0, "tight bound produced no skips");
+        let expect: Vec<Neighbor> =
+            plain.iter().copied().filter(|nb| nb.distance <= tight).collect();
+        assert_eq!(pruned, expect);
+    }
+
+    #[test]
+    fn filtered_traversal_sq_respects_filter() {
+        let dim = 8;
+        let n = 600;
+        let (hnswsq, _, data) = build_pair(n, dim, IndexKind::HnswSq, 23);
+        let allow = Bitset::from_positions(n, (0..n).step_by(7));
+        let params =
+            SearchParams::default().with_ef(96).with_selectivity(0.15).with_filter_traversal(true);
+        let got = hnswsq.search_with_filter(&data[0..dim], 8, &params, Some(&allow)).unwrap();
+        assert!(!got.is_empty());
+        for nb in got {
+            assert_eq!(nb.id % 7, 0);
+        }
     }
 
     #[test]

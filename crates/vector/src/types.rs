@@ -196,11 +196,23 @@ pub struct SearchParams {
     pub ef_search: usize,
     /// Number of inverted lists probed by IVF indexes.
     pub nprobe: usize,
+    /// Estimated fraction of rows passing the scalar filter (from the
+    /// optimizer's histogram sketches). `None` when the caller has no
+    /// estimate; filtered searches then fall back to the legacy fixed 2x
+    /// beam widening.
+    #[serde(default)]
+    pub filter_selectivity: Option<f32>,
+    /// Ask graph indexes to run the predicate-aware traversal (Plan D):
+    /// failing nodes steer navigation but only passing nodes enter the
+    /// result heap. Non-graph indexes ignore the flag and keep their
+    /// bitmap-filter behaviour, which is always correct.
+    #[serde(default)]
+    pub filter_traversal: bool,
 }
 
 impl Default for SearchParams {
     fn default() -> Self {
-        Self { ef_search: 64, nprobe: 8 }
+        Self { ef_search: 64, nprobe: 8, filter_selectivity: None, filter_traversal: false }
     }
 }
 
@@ -215,6 +227,61 @@ impl SearchParams {
     pub fn with_nprobe(mut self, nprobe: usize) -> Self {
         self.nprobe = nprobe;
         self
+    }
+
+    /// Set the selectivity estimate driving adaptive beam widening.
+    pub fn with_selectivity(mut self, s: f32) -> Self {
+        self.filter_selectivity = Some(s);
+        self
+    }
+
+    /// Enable the predicate-aware graph traversal (Plan D).
+    pub fn with_filter_traversal(mut self, on: bool) -> Self {
+        self.filter_traversal = on;
+        self
+    }
+
+    /// Beam widening factor applied by bitmap-filtered searches (Plans
+    /// B/C). Roughly `1/s` candidates must be visited per surviving row,
+    /// so the beam grows inversely with selectivity; the clamp keeps a
+    /// wild histogram estimate from exploding the beam, and the `None`
+    /// arm preserves the historical fixed 2x widening.
+    pub fn filter_widen_factor(&self) -> usize {
+        match self.filter_selectivity {
+            Some(s) if s > 0.0 => ((1.0 / f64::from(s)).ceil() as usize).clamp(1, 16),
+            _ => 2,
+        }
+    }
+
+    /// `base` beam width widened by [`Self::filter_widen_factor`].
+    pub fn widened_ef(&self, base: usize) -> usize {
+        base.saturating_mul(self.filter_widen_factor())
+    }
+
+    /// Beam width for the predicate-aware traversal: the base ef,
+    /// unchanged. Unlike the bitmap-filtered beam, the traversal's result
+    /// heap admits only predicate-passing rows, so an `ef`-sized heap
+    /// already demands `ef` *answerable* candidates — the widening is
+    /// implicit in the ~`1/√s` failing nodes the wavefront crosses to
+    /// collect them (the `β/√s` term of cost_D). Multiplying ef on top of
+    /// that double-counts the selectivity and re-inflates the beam the
+    /// traversal exists to avoid (ACORN keeps the candidate list size
+    /// unchanged for the same reason).
+    pub fn traversal_ef(&self, base: usize) -> usize {
+        base
+    }
+
+    /// How many consecutive predicate-failing hops the traversal may take
+    /// from the last passing node before abandoning a path. Selective
+    /// filters leave fewer passing nodes, so the graph needs deeper
+    /// detours to stay connected (ACORN's expansion depth).
+    pub fn hop_budget(&self) -> usize {
+        match self.filter_selectivity {
+            Some(s) if s >= 0.5 => 2,
+            Some(s) if s >= 0.1 => 3,
+            Some(_) => 5,
+            None => 3,
+        }
     }
 }
 
@@ -428,6 +495,50 @@ mod tests {
     fn spec_validation() {
         assert!(IndexSpec::new(IndexKind::Flat, 0, Metric::L2).validate().is_err());
         assert!(IndexSpec::new(IndexKind::Flat, 4, Metric::L2).validate().is_ok());
+    }
+
+    #[test]
+    fn search_param_widening_is_clamped_and_selectivity_driven() {
+        // No estimate: legacy fixed 2x widening, traversal budget 3.
+        let p = SearchParams::default();
+        assert_eq!(p.filter_widen_factor(), 2);
+        assert_eq!(p.widened_ef(64), 128);
+        assert_eq!(p.traversal_ef(64), 64);
+        assert_eq!(p.hop_budget(), 3);
+
+        // Permissive filter: almost everything passes, no widening needed.
+        let p = SearchParams::default().with_selectivity(1.0);
+        assert_eq!(p.filter_widen_factor(), 1);
+        assert_eq!(p.traversal_ef(64), 64);
+        assert_eq!(p.hop_budget(), 2);
+
+        // Mid selectivity: bitmap widening ~1/s; the traversal heap stays at
+        // base ef (only passing rows enter it — widening is implicit).
+        let p = SearchParams::default().with_selectivity(0.25);
+        assert_eq!(p.filter_widen_factor(), 4);
+        assert_eq!(p.widened_ef(64), 256);
+        assert_eq!(p.traversal_ef(64), 64);
+        assert_eq!(p.hop_budget(), 3);
+
+        // Ultra-selective: bitmap factor hits its clamp; deepest hops.
+        let p = SearchParams::default().with_selectivity(1e-4);
+        assert_eq!(p.filter_widen_factor(), 16);
+        assert_eq!(p.traversal_ef(64), 64);
+        assert_eq!(p.hop_budget(), 5);
+
+        // Degenerate estimates fall back to the legacy factor.
+        let p = SearchParams::default().with_selectivity(0.0);
+        assert_eq!(p.filter_widen_factor(), 2);
+    }
+
+    #[test]
+    fn search_params_serde_roundtrip_keeps_filter_fields() {
+        let p = SearchParams::default().with_ef(32).with_selectivity(0.25).with_filter_traversal(true);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SearchParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        let q: SearchParams = serde_json::from_str(&serde_json::to_string(&SearchParams::default()).unwrap()).unwrap();
+        assert_eq!(q, SearchParams::default());
     }
 
     #[test]

@@ -63,7 +63,12 @@ fn main() {
     print!("{}", rows.to_table_string());
     let cbo_ids = rows.column_values("id").unwrap();
 
-    for strategy in [Strategy::BruteForce, Strategy::PreFilter, Strategy::PostFilter] {
+    for strategy in [
+        Strategy::BruteForce,
+        Strategy::PreFilter,
+        Strategy::PostFilter,
+        Strategy::FilteredTraversal,
+    ] {
         let opts = QueryOptions { forced_strategy: Some(strategy), ..db.default_options() };
         let rows = db.execute_with(&sql, &opts).expect("query").rows();
         println!(

@@ -228,6 +228,7 @@ fn results_consistent_across_strategies_and_vws() {
         blendhouse::Strategy::BruteForce,
         blendhouse::Strategy::PreFilter,
         blendhouse::Strategy::PostFilter,
+        blendhouse::Strategy::FilteredTraversal,
     ] {
         let opts = blendhouse::QueryOptions {
             forced_strategy: Some(strategy),

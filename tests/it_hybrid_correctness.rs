@@ -16,7 +16,12 @@ fn every_strategy_tracks_ground_truth_on_filtered_search() {
         &TableOptions::default(),
     );
     let queries = filtered_search(&data, 8, 10, 0.5, 1);
-    for strategy in [Strategy::BruteForce, Strategy::PreFilter, Strategy::PostFilter] {
+    for strategy in [
+        Strategy::BruteForce,
+        Strategy::PreFilter,
+        Strategy::PostFilter,
+        Strategy::FilteredTraversal,
+    ] {
         let opts = QueryOptions {
             forced_strategy: Some(strategy),
             search: bh_vector::SearchParams::default().with_ef(128),
@@ -69,7 +74,7 @@ fn all_index_kinds_answer_hybrid_queries() {
             },
         );
         let opts = QueryOptions {
-            search: bh_vector::SearchParams { ef_search: 128, nprobe: 16 },
+            search: bh_vector::SearchParams::default().with_ef(128).with_nprobe(16),
             ..db.default_options()
         };
         let q = &filtered_search(&data, 1, 5, 0.6, 3)[0];

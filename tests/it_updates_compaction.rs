@@ -112,6 +112,7 @@ fn updates_visible_under_every_strategy() {
         blendhouse::Strategy::BruteForce,
         blendhouse::Strategy::PreFilter,
         blendhouse::Strategy::PostFilter,
+        blendhouse::Strategy::FilteredTraversal,
     ] {
         let opts = blendhouse::QueryOptions {
             forced_strategy: Some(strategy),
